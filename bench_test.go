@@ -1,0 +1,221 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (see
+// DESIGN.md §4): each bench regenerates the figure's data through the
+// same experiment runner the figures command uses, so `go test
+// -bench=.` doubles as the full reproduction harness at laptop scale.
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/dsp"
+	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/gtpsim"
+	"repro/internal/kshape"
+	"repro/internal/peaks"
+	"repro/internal/probe"
+	"repro/internal/services"
+	"repro/internal/synth"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.NewEnv(synth.SmallConfig())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+func runFig(b *testing.B, id string) {
+	e := env(b)
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2ServiceRanking(b *testing.B)       { runFig(b, "fig2") }
+func BenchmarkFig3Top20(b *testing.B)                { runFig(b, "fig3") }
+func BenchmarkFig4TimeSeries(b *testing.B)           { runFig(b, "fig4") }
+func BenchmarkFig5ClusterSweep(b *testing.B)         { runFig(b, "fig5") }
+func BenchmarkFig6PeakCalendar(b *testing.B)         { runFig(b, "fig6") }
+func BenchmarkFig7PeakIntensity(b *testing.B)        { runFig(b, "fig7") }
+func BenchmarkFig8SpatialConcentration(b *testing.B) { runFig(b, "fig8") }
+func BenchmarkFig9Maps(b *testing.B)                 { runFig(b, "fig9") }
+func BenchmarkFig10SpatialCorrelation(b *testing.B)  { runFig(b, "fig10") }
+
+// Fig. 11 splits into its two panels: the volume-ratio regression and
+// the temporal-correlation matrix both come from UrbanizationAnalysis.
+func BenchmarkFig11Ratios(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.An.UrbanizationAnalysis(services.DL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Correlation(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.An.UrbanizationAnalysis(services.UL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPIClassification measures the classifier fast path (the
+// Section 3 "88% of traffic" machinery).
+func BenchmarkDPIClassification(b *testing.B) {
+	catalog := services.Catalog()
+	c := dpi.NewClassifier(catalog)
+	hello := dpi.BuildClientHello("upload.video.snapchat.com")
+	server := [4]byte{203, 16, 1, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := c.Classify(server, 443, hello); r.Service == "" {
+			b.Fatal("unclassified")
+		}
+	}
+}
+
+// BenchmarkProbePipeline measures the full packet path: decode, ULI
+// tracking, DPI, aggregation (Section 2's probe machinery).
+func BenchmarkProbePipeline(b *testing.B) {
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	cfg := gtpsim.DefaultConfig()
+	cfg.Sessions = 400
+	sim, err := gtpsim.New(country, catalog, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames, _ := sim.Run()
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(len(f.Data))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := probe.New(probe.DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog))
+		for _, f := range frames {
+			p.HandleFrame(f.Time, f.Data)
+		}
+		b.SetBytes(bytes)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ---------------------------------
+
+// BenchmarkSBDFFTvsNaive quantifies why the FFT path exists: the
+// shape-based distance over week-long series.
+func BenchmarkSBDFFTvsNaive(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	x := make([]float64, 672)
+	y := make([]float64, 672)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.Run("fft", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dsp.CrossCorrelate(x, y)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dsp.CrossCorrelateNaive(x, y)
+		}
+	})
+}
+
+// BenchmarkKShapeVsKMeans times the two clusterers on the study's 20
+// national series.
+func BenchmarkKShapeVsKMeans(b *testing.B) {
+	e := env(b)
+	series := make([][]float64, len(e.DS.Catalog))
+	for s := range series {
+		series[s] = e.DS.National[services.DL][s].Values
+	}
+	b.Run("kshape", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kshape.Cluster(series, 4, kshape.Options{Seed: 1, ZNormalize: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kmeans", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kshape.KMeans(series, 4, kshape.Options{Seed: 1, ZNormalize: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPeakDetectorAblation times the paper's detector against the
+// fixed-threshold baseline on one weekly series.
+func BenchmarkPeakDetectorAblation(b *testing.B) {
+	e := env(b)
+	values := e.DS.National[services.DL][0].Values
+	b.Run("smoothed-zscore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := peaks.Detect(values, peaks.PaperParams()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("threshold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			peaks.ThresholdDetect(values, 2)
+		}
+	})
+}
+
+// BenchmarkSpatialGranularity times the Fig. 10 correlation at the two
+// aggregation levels of the granularity ablation.
+func BenchmarkSpatialGranularity(b *testing.B) {
+	e := env(b)
+	r, err := experiments.ByID("ablation-granularity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

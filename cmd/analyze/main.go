@@ -1,0 +1,100 @@
+// Command analyze runs the complete study end to end and reports the
+// paper's three key insights with the measured values:
+//
+//  1. services have heterogeneous temporal dynamics (no natural
+//     clustering; unique peak calendars);
+//  2. services share very similar spatial distributions (high pairwise
+//     r², Netflix and iCloud as outliers);
+//  3. urbanization drives how much users consume, not when (slope
+//     ratios vs temporal correlations; TGV the exception).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "dataset scale: small | full")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	cfg := synth.SmallConfig()
+	if *scale == "full" {
+		cfg = synth.DefaultConfig()
+	}
+	cfg.Seed = *seed
+
+	fmt.Printf("Generating %d-commune dataset (%d services, seed %d)...\n",
+		cfg.Geo.NumCommunes, cfg.TotalServices, cfg.Seed)
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Country: %d communes, %d subscribers, %d cities\n\n",
+		len(env.DS.Country.Communes), env.DS.Country.TotalSubscribers(),
+		len(env.DS.Country.Cities))
+
+	metric := func(id, key string) float64 {
+		r, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := r.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		return res.Metrics[key]
+	}
+
+	fmt.Println("== Overview (Sec. 3) ==")
+	fmt.Printf("  Zipf exponent, top half, downlink: %.2f  (paper: -1.69)\n",
+		metric("fig2", "zipf_exponent_downlink"))
+	fmt.Printf("  Zipf exponent, top half, uplink:   %.2f  (paper: -1.55)\n",
+		metric("fig2", "zipf_exponent_uplink"))
+	fmt.Printf("  Video share of downlink:           %.1f%% (paper: 46%%)\n",
+		100*metric("fig3", "video_share_downlink"))
+
+	fmt.Println("\n== Insight 1: heterogeneous temporal dynamics (Sec. 4) ==")
+	fmt.Printf("  Distinct peak calendars:           %.0f/20 (paper: all distinct)\n",
+		metric("fig6", "distinct_patterns"))
+	fmt.Printf("  Peaks outside 7 topical times:     %.0f    (paper: 0)\n",
+		metric("fig6", "outside_peaks"))
+	fmt.Printf("  Silhouette trend vs k (downlink):  %+.4f (paper: degrading, no winner)\n",
+		metric("fig5", "silhouette_slope_downlink"))
+
+	fmt.Println("\n== Insight 2: homogeneous spatial distributions (Sec. 5) ==")
+	fmt.Printf("  Mean pairwise r², downlink:        %.2f  (paper: 0.60)\n",
+		metric("fig10", "mean_r2_downlink"))
+	fmt.Printf("  Mean pairwise r², uplink:          %.2f  (paper: 0.53)\n",
+		metric("fig10", "mean_r2_uplink"))
+	fmt.Printf("  Twitter top-1%% commune share:      %.1f%% (paper: >50%%)\n",
+		100*metric("fig8", "top1pct_share"))
+	fmt.Printf("  Twitter top-10%% commune share:     %.1f%% (paper: >90%%)\n",
+		100*metric("fig8", "top10pct_share"))
+
+	fmt.Println("\n== Insight 3: urbanization drives how much, not when (Sec. 5) ==")
+	fmt.Printf("  Mean semi-urban/urban slope:       %.2f  (paper: ≈1)\n",
+		metric("fig11", "mean_slope_semiurban"))
+	fmt.Printf("  Mean rural/urban slope:            %.2f  (paper: ≈0.5)\n",
+		metric("fig11", "mean_slope_rural"))
+	fmt.Printf("  Mean TGV/urban slope:              %.2f  (paper: ≥2)\n",
+		metric("fig11", "mean_slope_tgv"))
+	fmt.Printf("  Mean temporal r², urban row:       %.2f  (paper: high)\n",
+		metric("fig11", "mean_time_r2_urban"))
+	fmt.Printf("  Mean temporal r², TGV row:         %.2f  (paper: low outlier)\n",
+		metric("fig11", "mean_time_r2_tgv"))
+
+	fmt.Println("\n== Measurement pipeline (Sec. 2) ==")
+	fmt.Printf("  DPI classification rate:           %.1f%% (paper: 88%%)\n",
+		100*metric("probe", "classification_rate"))
+	fmt.Printf("  Median ULI localization error:     %.1f km (paper: ≈3 km)\n",
+		metric("probe", "median_uli_error_km"))
+}

@@ -1,0 +1,67 @@
+// Command figures regenerates any table or figure of the paper's
+// evaluation from the synthetic nationwide dataset.
+//
+// Usage:
+//
+//	figures -fig fig7            # one figure, laptop scale
+//	figures -fig all -scale full # everything at 36,000-commune scale
+//	figures -list                # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment id (fig2..fig11, probe, ablation-*) or 'all'")
+	scale := flag.String("scale", "small", "dataset scale: small | full")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-22s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := synth.SmallConfig()
+	if *scale == "full" {
+		cfg = synth.DefaultConfig()
+	}
+	cfg.Seed = *seed
+
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generating dataset:", err)
+		os.Exit(1)
+	}
+
+	run := func(r experiments.Runner) {
+		res, err := r.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+	}
+
+	if *fig == "all" {
+		for _, r := range experiments.All() {
+			run(r)
+		}
+		return
+	}
+	r, err := experiments.ByID(*fig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run(r)
+}

@@ -1,0 +1,110 @@
+// Command tracegen generates a synthetic nationwide dataset and
+// persists its aggregates as CSV files, so external tooling (or a
+// rerun of the analysis) can consume the exact same data.
+//
+// Outputs in -out:
+//
+//	communes.csv   id, x_km, y_km, population, subscribers, class, coverage
+//	national.csv   service, direction, sample_index, bytes
+//	spatial.csv    service, direction, commune_id, weekly_bytes
+//	ranking.csv    rank, direction, weekly_bytes (full 500-service population)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/services"
+	"repro/internal/synth"
+)
+
+func main() {
+	out := flag.String("out", "trace-out", "output directory")
+	scale := flag.String("scale", "small", "dataset scale: small | full")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	cfg := synth.SmallConfig()
+	if *scale == "full" {
+		cfg = synth.DefaultConfig()
+	}
+	cfg.Seed = *seed
+
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	write(*out, "communes.csv", func(w *bufio.Writer) {
+		fmt.Fprintln(w, "id,x_km,y_km,population,subscribers,class,coverage")
+		for i := range ds.Country.Communes {
+			c := &ds.Country.Communes[i]
+			fmt.Fprintf(w, "%d,%.2f,%.2f,%d,%d,%s,%s\n",
+				c.ID, c.Center.X, c.Center.Y, c.Population, c.Subscribers,
+				c.Urbanization, c.Coverage)
+		}
+	})
+
+	write(*out, "national.csv", func(w *bufio.Writer) {
+		fmt.Fprintln(w, "service,direction,sample,bytes")
+		for dir := services.Direction(0); dir < services.NumDirections; dir++ {
+			for s := range ds.Catalog {
+				for i, v := range ds.National[dir][s].Values {
+					fmt.Fprintf(w, "%s,%s,%d,%.0f\n", ds.Catalog[s].Name, dir, i, v)
+				}
+			}
+		}
+	})
+
+	write(*out, "spatial.csv", func(w *bufio.Writer) {
+		fmt.Fprintln(w, "service,direction,commune,weekly_bytes")
+		for dir := services.Direction(0); dir < services.NumDirections; dir++ {
+			for s := range ds.Catalog {
+				for c, v := range ds.Spatial[dir][s] {
+					if v > 0 {
+						fmt.Fprintf(w, "%s,%s,%d,%.0f\n", ds.Catalog[s].Name, dir, c, v)
+					}
+				}
+			}
+		}
+	})
+
+	write(*out, "ranking.csv", func(w *bufio.Writer) {
+		fmt.Fprintln(w, "rank,direction,weekly_bytes")
+		for dir := services.Direction(0); dir < services.NumDirections; dir++ {
+			vols := ds.AllVolumes(dir)
+			for i, v := range vols {
+				fmt.Fprintf(w, "%d,%s,%.3g\n", i+1, dir, v)
+			}
+		}
+	})
+
+	fmt.Printf("wrote dataset (%d communes, %d services) to %s\n",
+		len(ds.Country.Communes), cfg.TotalServices, *out)
+}
+
+func write(dir, name string, fill func(*bufio.Writer)) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fail(err)
+	}
+	w := bufio.NewWriter(f)
+	fill(w)
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

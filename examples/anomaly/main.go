@@ -1,0 +1,86 @@
+// Anomaly: use the paper's smoothed z-score detector as an operational
+// tool — watch a service's national series for flash-crowd events. A
+// synthetic incident (a viral event tripling Twitter traffic on a
+// Wednesday night) is injected and recovered, illustrating why the
+// robust running-window detector beats a fixed threshold for
+// operations.
+//
+//	go run ./examples/anomaly
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/peaks"
+	"repro/internal/report"
+	"repro/internal/services"
+	"repro/internal/synth"
+	"repro/internal/timeseries"
+)
+
+func main() {
+	ds, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := ds.ServiceIndex("Twitter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := ds.National[services.DL][idx].Clone()
+
+	// Inject a flash crowd: Wednesday 02:30 (an overseas event hitting
+	// the overnight trough), far from every topical time, ramping to
+	// 3x load over 90 minutes.
+	event := timeseries.StudyStart.Add(4*24*time.Hour + 2*time.Hour + 30*time.Minute)
+	start := s.IndexOf(event)
+	profile := []float64{0.5, 1.2, 2.0, 1.6, 0.9, 0.4}
+	for k, boost := range profile {
+		if start+k < s.Len() {
+			s.Values[start+k] *= 1 + boost
+		}
+	}
+
+	res, err := peaks.Detect(s.Values, peaks.PaperParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pks, err := peaks.ExtractPeaks(s.Values, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("smoothed z-score scan of the Twitter national series:")
+	found := false
+	for _, pk := range pks {
+		if pk.Duration() < 2 || pk.Intensity() < 0.03 {
+			continue
+		}
+		at := s.TimeAt(pk.MaxIdx)
+		tt := peaks.AssignTopical(at)
+		label := tt.String()
+		if tt == peaks.NoTopicalTime {
+			label = "ANOMALY (outside every topical time)"
+			found = true
+		}
+		fmt.Printf("  %s  intensity %5.1f%%  %s\n",
+			at.Format("Mon 15:04"), pk.Intensity()*100, label)
+	}
+	if !found {
+		fmt.Println("  injected event missed!")
+	}
+
+	markers := make([]bool, s.Len())
+	for _, pk := range pks {
+		if pk.Duration() >= 2 && pk.Intensity() >= 0.03 {
+			markers[pk.Start] = true
+		}
+	}
+	fmt.Println()
+	fmt.Println(report.LinePlot("Twitter downlink with injected flash crowd (Sat..Fri)",
+		s.Values, 96, 10, markers))
+	fmt.Println("Routine peaks all map onto the paper's seven topical times;")
+	fmt.Println("the one that does not is the incident.")
+}

@@ -1,0 +1,366 @@
+// Package core implements the paper's analysis pipeline — the primary
+// contribution being reproduced. Given a Dataset (synthetic here,
+// probe-measured in the original study), it computes every statistic
+// behind Figs. 2-11: service rank-size laws, top-20 rankings, peak
+// calendars and intensities, the k-Shape cluster-quality sweep,
+// spatial concentration and correlation, and the urbanization
+// analysis.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cvi"
+	"repro/internal/geo"
+	"repro/internal/kshape"
+	"repro/internal/peaks"
+	"repro/internal/services"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/timeseries"
+)
+
+// Analyzer runs the paper's computations over one dataset.
+type Analyzer struct {
+	DS *synth.Dataset
+}
+
+// New wraps a dataset.
+func New(ds *synth.Dataset) *Analyzer { return &Analyzer{DS: ds} }
+
+// --- Fig. 2: service ranking and Zipf fit ---------------------------
+
+// Ranking is the rank-size analysis of the full service population.
+type Ranking struct {
+	// Volumes is the full volume vector sorted descending.
+	Volumes []float64
+	// Normalized is Volumes scaled so rank 1 equals 1 (the paper's
+	// "normalized traffic" axis).
+	Normalized []float64
+	// HeadFit is the Zipf fit over the top half of the ranking, the
+	// fit reported in Fig. 2 (-1.69 DL, -1.55 UL).
+	HeadFit stats.ZipfFit
+}
+
+// ServiceRanking computes the Fig. 2 analysis for one direction.
+func (a *Analyzer) ServiceRanking(dir services.Direction) (Ranking, error) {
+	vols := a.DS.AllVolumes(dir)
+	sort.Sort(sort.Reverse(sort.Float64Slice(vols)))
+	fit, err := stats.FitZipf(vols, len(vols)/2)
+	if err != nil {
+		return Ranking{}, fmt.Errorf("core: ranking fit: %w", err)
+	}
+	norm := make([]float64, len(vols))
+	if vols[0] > 0 {
+		for i, v := range vols {
+			norm[i] = v / vols[0]
+		}
+	}
+	return Ranking{Volumes: vols, Normalized: norm, HeadFit: fit}, nil
+}
+
+// --- Fig. 3: top-20 ranking by direction ----------------------------
+
+// RankedService is one bar of Fig. 3.
+type RankedService struct {
+	Name     string
+	Category services.Category
+	// Share of the total (named + tail) traffic in the direction.
+	Share float64
+}
+
+// Top20 ranks the named services on their share of total traffic.
+func (a *Analyzer) Top20(dir services.Direction) []RankedService {
+	total := a.DS.TotalTraffic(dir)
+	out := make([]RankedService, 0, len(a.DS.Catalog))
+	for s := range a.DS.Catalog {
+		out = append(out, RankedService{
+			Name:     a.DS.Catalog[s].Name,
+			Category: a.DS.Catalog[s].Category,
+			Share:    a.DS.NationalTotal(dir, s) / total,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	return out
+}
+
+// CategoryShare sums the share of a category in the direction.
+func (a *Analyzer) CategoryShare(dir services.Direction, cat services.Category) float64 {
+	var share float64
+	for _, r := range a.Top20(dir) {
+		if r.Category == cat {
+			share += r.Share
+		}
+	}
+	return share
+}
+
+// --- Fig. 4 + 6 + 7: peak analysis ----------------------------------
+
+// ServiceCalendar pairs a service with its detected peak calendar.
+type ServiceCalendar struct {
+	Service  string
+	Calendar peaks.Calendar
+}
+
+// PeakCalendars runs the smoothed z-score detector (paper parameters)
+// over every national series and maps peaks onto topical times. It
+// returns one calendar per service and the count of peaks that fell
+// outside every topical window (empirically zero, as in the paper).
+func (a *Analyzer) PeakCalendars(dir services.Direction) ([]ServiceCalendar, int, error) {
+	out := make([]ServiceCalendar, 0, len(a.DS.Catalog))
+	totalOutside := 0
+	for s := range a.DS.Catalog {
+		cal, outside, err := peaks.BuildCalendar(a.DS.National[dir][s], peaks.PaperParams())
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: calendar for %s: %w", a.DS.Catalog[s].Name, err)
+		}
+		totalOutside += outside
+		out = append(out, ServiceCalendar{Service: a.DS.Catalog[s].Name, Calendar: cal})
+	}
+	return out, totalOutside, nil
+}
+
+// DistinctCalendarCount returns how many distinct peak patterns the
+// calendars exhibit; the paper's Fig. 6 observation is that (almost)
+// every service is unique.
+func DistinctCalendarCount(cals []ServiceCalendar) int {
+	seen := map[[peaks.NumTopicalTimes]bool]bool{}
+	for _, c := range cals {
+		seen[c.Calendar.Present] = true
+	}
+	return len(seen)
+}
+
+// DetectOn exposes the raw detector output for one service (the
+// Fig. 4 illustration): the series, the detector result and the
+// extracted peaks.
+func (a *Analyzer) DetectOn(dir services.Direction, name string) (*timeseries.Series, *peaks.Result, []peaks.Peak, error) {
+	idx, err := a.DS.ServiceIndex(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := a.DS.National[dir][idx]
+	res, err := peaks.Detect(s.Values, peaks.PaperParams())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pks, err := peaks.ExtractPeaks(s.Values, res)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return s, res, pks, nil
+}
+
+// --- Fig. 5: clustering sweep ----------------------------------------
+
+// SweepPoint is the cluster-quality measurement at one k.
+type SweepPoint struct {
+	K      int
+	Scores cvi.Scores
+}
+
+// ClusterSweep z-normalizes the 20 national series and runs k-Shape
+// for every k in [kMin, kMax], scoring each clustering with all four
+// validity indices under the shape-based distance. The paper sweeps
+// k = 2..19 and finds no winner: quality degrades monotonically.
+func (a *Analyzer) ClusterSweep(dir services.Direction, kMin, kMax int, seed uint64) ([]SweepPoint, error) {
+	n := len(a.DS.Catalog)
+	if kMin < 2 {
+		return nil, fmt.Errorf("core: sweep kMin %d < 2", kMin)
+	}
+	if kMax >= n {
+		return nil, fmt.Errorf("core: sweep kMax %d >= %d services", kMax, n)
+	}
+	series := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		series[s] = timeseries.ZNormalize(a.DS.National[dir][s].Values)
+	}
+	var out []SweepPoint
+	for k := kMin; k <= kMax; k++ {
+		res, err := kshape.Cluster(series, k, kshape.Options{Seed: seed, ZNormalize: false})
+		if err != nil {
+			return nil, fmt.Errorf("core: k-shape k=%d: %w", k, err)
+		}
+		c := cvi.Clustering{Points: series, Assign: res.Assign, Centroids: res.Centroids, K: k}
+		out = append(out, SweepPoint{K: k, Scores: cvi.AllScores(c, kshape.SBDDist)})
+	}
+	return out, nil
+}
+
+// --- Fig. 8: spatial concentration -----------------------------------
+
+// Concentration is the Fig. 8 analysis for one service.
+type Concentration struct {
+	// TopShares maps a commune fraction to its share of total traffic
+	// (e.g. 0.01 -> 0.55 means the top 1% of communes carry 55%).
+	TopShares map[float64]float64
+	// PerUser is the per-commune per-subscriber volume sample.
+	PerUser []float64
+	// CDF is the empirical distribution of PerUser.
+	CDF *stats.ECDF
+	// Gini summarizes the commune-volume concentration.
+	Gini float64
+}
+
+// SpatialConcentration computes Fig. 8 for one service.
+func (a *Analyzer) SpatialConcentration(dir services.Direction, name string) (Concentration, error) {
+	idx, err := a.DS.ServiceIndex(name)
+	if err != nil {
+		return Concentration{}, err
+	}
+	spatial := a.DS.Spatial[dir][idx]
+	shares, err := stats.LorenzCurve(spatial, []float64{0.01, 0.05, 0.10, 0.50, 1})
+	if err != nil {
+		return Concentration{}, err
+	}
+	gini, err := stats.Gini(spatial)
+	if err != nil {
+		return Concentration{}, err
+	}
+	perUser := a.DS.PerUser(dir, idx)
+	cdf, err := stats.NewECDF(perUser)
+	if err != nil {
+		return Concentration{}, err
+	}
+	return Concentration{TopShares: shares, PerUser: perUser, CDF: cdf, Gini: gini}, nil
+}
+
+// --- Fig. 10: pairwise spatial correlation ---------------------------
+
+// SpatialCorrelation is the Fig. 10 analysis for one direction.
+type SpatialCorrelation struct {
+	// Names indexes the matrix.
+	Names []string
+	// R2 is the symmetric pairwise coefficient-of-determination matrix
+	// between per-user commune vectors (diagonal = 1).
+	R2 [][]float64
+	// Pairs lists the upper-triangle values (the Fig. 10 CDF sample).
+	Pairs []float64
+	// Mean is the average pairwise r² (paper: 0.60 DL, 0.53 UL).
+	Mean float64
+	// ServiceMean[i] is the mean r² of service i against all others;
+	// Netflix and iCloud sit lowest (the outlier rows).
+	ServiceMean []float64
+	// MeanSpearman is the average pairwise squared Spearman rank
+	// correlation — the robustness companion: per-commune volumes are
+	// heavy-tailed, so a moment-based r² could in principle be carried
+	// by a handful of metropolises. Agreement between the two means
+	// shows the spatial similarity is not an outlier artefact.
+	MeanSpearman float64
+}
+
+// SpatialCorrelationAnalysis computes Fig. 10 for one direction.
+func (a *Analyzer) SpatialCorrelationAnalysis(dir services.Direction) (SpatialCorrelation, error) {
+	n := len(a.DS.Catalog)
+	perUser := make([][]float64, n)
+	names := make([]string, n)
+	for s := 0; s < n; s++ {
+		perUser[s] = a.DS.PerUser(dir, s)
+		names[s] = a.DS.Catalog[s].Name
+	}
+	r2 := make([][]float64, n)
+	for i := range r2 {
+		r2[i] = make([]float64, n)
+		r2[i][i] = 1
+	}
+	// Precompute rank transforms once per service for the Spearman
+	// robustness check.
+	rankOf := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		r, err := stats.Ranks(perUser[s])
+		if err != nil {
+			return SpatialCorrelation{}, fmt.Errorf("core: ranks(%s): %w", names[s], err)
+		}
+		rankOf[s] = r
+	}
+	var pairs []float64
+	var sum, sumSpear float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v, err := stats.R2(perUser[i], perUser[j])
+			if err != nil {
+				return SpatialCorrelation{}, fmt.Errorf("core: r2(%s, %s): %w", names[i], names[j], err)
+			}
+			r2[i][j] = v
+			r2[j][i] = v
+			pairs = append(pairs, v)
+			sum += v
+			if rho, err := stats.Pearson(rankOf[i], rankOf[j]); err == nil {
+				sumSpear += rho * rho
+			}
+		}
+	}
+	svcMean := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				s += r2[i][j]
+			}
+		}
+		svcMean[i] = s / float64(n-1)
+	}
+	return SpatialCorrelation{
+		Names: names, R2: r2, Pairs: pairs,
+		Mean:         sum / float64(len(pairs)),
+		ServiceMean:  svcMean,
+		MeanSpearman: sumSpear / float64(len(pairs)),
+	}, nil
+}
+
+// --- Fig. 11: urbanization analysis ----------------------------------
+
+// UrbanizationResult is the Fig. 11 analysis for one direction.
+type UrbanizationResult struct {
+	Names []string
+	// Slopes[s][u] is the through-origin regression slope of the
+	// per-user series of class u against the urban one (Fig. 11 top);
+	// Slopes[s][geo.Urban] is 1 by construction.
+	Slopes [][geo.NumUrbanization]float64
+	// TimeR2[s][u] is the mean r² between class u's series of service
+	// s and the other classes' series (Fig. 11 bottom).
+	TimeR2 [][geo.NumUrbanization]float64
+}
+
+// UrbanizationAnalysis computes Fig. 11 for one direction.
+func (a *Analyzer) UrbanizationAnalysis(dir services.Direction) (UrbanizationResult, error) {
+	n := len(a.DS.Catalog)
+	res := UrbanizationResult{
+		Names:  make([]string, n),
+		Slopes: make([][geo.NumUrbanization]float64, n),
+		TimeR2: make([][geo.NumUrbanization]float64, n),
+	}
+	for s := 0; s < n; s++ {
+		res.Names[s] = a.DS.Catalog[s].Name
+		var perUser [geo.NumUrbanization]*timeseries.Series
+		for u := 0; u < geo.NumUrbanization; u++ {
+			perUser[u] = a.DS.GroupPerUser(dir, s, geo.Urbanization(u))
+		}
+		urban := perUser[geo.Urban].Values
+		for u := 0; u < geo.NumUrbanization; u++ {
+			slope, err := stats.SlopeThroughOrigin(urban, perUser[u].Values)
+			if err != nil {
+				return res, fmt.Errorf("core: slope %s/%v: %w", res.Names[s], geo.Urbanization(u), err)
+			}
+			res.Slopes[s][u] = slope
+			var sum float64
+			cnt := 0
+			for v := 0; v < geo.NumUrbanization; v++ {
+				if v == u {
+					continue
+				}
+				r2, err := stats.R2(perUser[u].Values, perUser[v].Values)
+				if err != nil {
+					return res, fmt.Errorf("core: time r2 %s %v/%v: %w",
+						res.Names[s], geo.Urbanization(u), geo.Urbanization(v), err)
+				}
+				sum += r2
+				cnt++
+			}
+			res.TimeR2[s][u] = sum / float64(cnt)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,200 @@
+package dpi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+	"repro/internal/services"
+)
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	for _, host := range []string{"youtube.com", "cdn.snapchat.com", "a.b.c.d.example.org"} {
+		rec := BuildClientHello(host)
+		got, ok := ParseClientHelloSNI(rec)
+		if !ok || got != host {
+			t.Errorf("SNI round trip for %q: got %q ok=%v", host, got, ok)
+		}
+	}
+}
+
+func TestClientHelloRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Hostname from arbitrary bytes, sanitized to printable ASCII.
+		if len(raw) == 0 || len(raw) > 100 {
+			return true
+		}
+		host := make([]byte, len(raw))
+		for i, b := range raw {
+			host[i] = 'a' + b%26
+		}
+		rec := BuildClientHello(string(host))
+		got, ok := ParseClientHelloSNI(rec)
+		return ok && got == string(host)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x17, 0x03, 0x03, 0x00, 0x01, 0x00}, // app data, not handshake
+		{0x16, 0x03, 0x01, 0xff, 0xff},       // record length beyond data
+		[]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"), // plaintext HTTP
+	}
+	for i, c := range cases {
+		if _, ok := ParseClientHelloSNI(c); ok {
+			t.Errorf("case %d: garbage parsed as ClientHello", i)
+		}
+	}
+	// Truncations of a valid record must not panic or parse.
+	rec := BuildClientHello("youtube.com")
+	for cut := 1; cut < len(rec); cut++ {
+		if _, ok := ParseClientHelloSNI(rec[:cut]); ok {
+			t.Errorf("truncation at %d parsed", cut)
+		}
+	}
+}
+
+func TestClassifyBySNI(t *testing.T) {
+	catalog := services.Catalog()
+	c := NewClassifier(catalog)
+	hello := BuildClientHello("youtube.com")
+	r := c.Classify([4]byte{1, 2, 3, 4}, 443, hello)
+	if r.Service != "YouTube" || r.Stage != "sni" {
+		t.Errorf("Classify = %+v", r)
+	}
+	// Subdomains match the suffix.
+	hello = BuildClientHello("upload.video.snapchat.com")
+	r = c.Classify([4]byte{1, 2, 3, 4}, 443, hello)
+	if r.Service != "SnapChat" {
+		t.Errorf("subdomain Classify = %+v", r)
+	}
+}
+
+func TestClassifyByServerPrefix(t *testing.T) {
+	catalog := services.Catalog()
+	c := NewClassifier(catalog)
+	// Netflix is index 4 in the catalogue.
+	idx := -1
+	for i := range catalog {
+		if catalog[i].Name == "Netflix" {
+			idx = i
+		}
+	}
+	prefix := PrefixFor(idx)
+	r := c.Classify([4]byte{prefix[0], prefix[1], 9, 9}, 443, nil)
+	if r.Service != "Netflix" || r.Stage != "ip" {
+		t.Errorf("Classify = %+v", r)
+	}
+}
+
+func TestClassifyByPort(t *testing.T) {
+	c := NewClassifier(services.Catalog())
+	r := c.Classify([4]byte{UnknownPrefix[0], UnknownPrefix[1], 1, 1}, MMSPort, nil)
+	if r.Service != "MMS" || r.Stage != "port" {
+		t.Errorf("Classify = %+v", r)
+	}
+}
+
+func TestUnclassified(t *testing.T) {
+	c := NewClassifier(services.Catalog())
+	r := c.Classify([4]byte{UnknownPrefix[0], UnknownPrefix[1], 7, 7}, 443, nil)
+	if r.Service != "" {
+		t.Errorf("unknown endpoint classified as %q", r.Service)
+	}
+	// Unknown SNI on unknown prefix stays unclassified.
+	hello := BuildClientHello("totally-unknown-site.org")
+	r = c.Classify([4]byte{UnknownPrefix[0], UnknownPrefix[1], 7, 7}, 443, hello)
+	if r.Service != "" {
+		t.Errorf("unknown SNI classified as %q", r.Service)
+	}
+}
+
+func TestSNITakesPrecedenceOverIP(t *testing.T) {
+	catalog := services.Catalog()
+	c := NewClassifier(catalog)
+	// A YouTube ClientHello sent to Netflix's prefix classifies by SNI.
+	hello := BuildClientHello("youtube.com")
+	var nfIdx int
+	for i := range catalog {
+		if catalog[i].Name == "Netflix" {
+			nfIdx = i
+		}
+	}
+	prefix := PrefixFor(nfIdx)
+	r := c.Classify([4]byte{prefix[0], prefix[1], 0, 1}, 443, hello)
+	if r.Service != "YouTube" || r.Stage != "sni" {
+		t.Errorf("Classify = %+v", r)
+	}
+}
+
+func TestFlowCache(t *testing.T) {
+	catalog := services.Catalog()
+	fc := NewFlowCache(NewClassifier(catalog))
+	flow := pkt.Flow{
+		A:        pkt.Endpoint{IP: [4]byte{10, 0, 0, 1}, Port: 5000},
+		B:        pkt.Endpoint{IP: [4]byte{203, 1, 0, 1}, Port: 443},
+		Protocol: pkt.IPProtoTCP,
+	}
+	// First packet: no payload -> falls back to IP prefix (YouTube=idx 0).
+	r := fc.Classify(flow, [4]byte{203, 1, 0, 1}, 443, nil)
+	if r.Service != "YouTube" {
+		t.Fatalf("first classify = %+v", r)
+	}
+	// Cached on second call even with a contradicting payload.
+	r = fc.Classify(flow, [4]byte{203, 1, 0, 1}, 443, BuildClientHello("netflix.com"))
+	if r.Service != "YouTube" {
+		t.Errorf("cache not honoured: %+v", r)
+	}
+	if fc.Len() != 1 {
+		t.Errorf("flow count = %d", fc.Len())
+	}
+	if fc.Stats["ip"] != 1 {
+		t.Errorf("stats = %v", fc.Stats)
+	}
+}
+
+func TestFlowCacheRetriesUnclassified(t *testing.T) {
+	fc := NewFlowCache(NewClassifier(services.Catalog()))
+	flow := pkt.Flow{
+		A:        pkt.Endpoint{IP: [4]byte{10, 0, 0, 1}, Port: 5000},
+		B:        pkt.Endpoint{IP: [4]byte{UnknownPrefix[0], UnknownPrefix[1], 0, 1}, Port: 443},
+		Protocol: pkt.IPProtoTCP,
+	}
+	server := [4]byte{UnknownPrefix[0], UnknownPrefix[1], 0, 1}
+	if r := fc.Classify(flow, server, 443, nil); r.Service != "" {
+		t.Fatal("empty payload should stay unclassified")
+	}
+	// SNI arrives later (after handshake): must now classify.
+	r := fc.Classify(flow, server, 443, BuildClientHello("whatsapp.com"))
+	if r.Service != "WhatsApp" {
+		t.Errorf("late SNI not picked up: %+v", r)
+	}
+}
+
+func TestServiceHost(t *testing.T) {
+	if ServiceHost("Pokemon Go") != "pokemongo.com" {
+		t.Errorf("ServiceHost = %q", ServiceHost("Pokemon Go"))
+	}
+	if ServiceHost("iCloud") != "icloud.com" {
+		t.Errorf("ServiceHost = %q", ServiceHost("iCloud"))
+	}
+}
+
+func TestPrefixesDistinct(t *testing.T) {
+	catalog := services.Catalog()
+	seen := map[[2]byte]bool{}
+	for i := range catalog {
+		p := PrefixFor(i)
+		if seen[p] {
+			t.Fatalf("duplicate prefix %v", p)
+		}
+		if p == UnknownPrefix {
+			t.Fatalf("service prefix collides with UnknownPrefix")
+		}
+		seen[p] = true
+	}
+}

@@ -1,0 +1,232 @@
+package dsp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func complexSlicesClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEqual(real(a[i]), real(b[i]), tol) || !almostEqual(imag(a[i]), imag(b[i]), tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func floatSlicesClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEqual(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{1023, 1024}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := NextPow2(c.in); got != c.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNextPow2PanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NextPow2(-1) did not panic")
+		}
+	}()
+	NextPow2(-1)
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false, want true", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true, want false", n)
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of an impulse is all ones.
+	x := []complex128{1, 0, 0, 0}
+	FFT(x)
+	for i, v := range x {
+		if !almostEqual(real(v), 1, eps) || !almostEqual(imag(v), 0, eps) {
+			t.Errorf("impulse FFT[%d] = %v, want 1", i, v)
+		}
+	}
+	// FFT of a constant is an impulse at DC.
+	y := []complex128{2, 2, 2, 2}
+	FFT(y)
+	if !almostEqual(real(y[0]), 8, eps) {
+		t.Errorf("constant FFT DC = %v, want 8", y[0])
+	}
+	for i := 1; i < 4; i++ {
+		if !almostEqual(real(y[i]), 0, eps) || !almostEqual(imag(y[i]), 0, eps) {
+			t.Errorf("constant FFT[%d] = %v, want 0", i, y[i])
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		if !complexSlicesClose(got, want, 1e-7*float64(n)) {
+			t.Errorf("FFT(n=%d) disagrees with DFT", n)
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FFT on length 3 did not panic")
+		}
+	}()
+	FFT(make([]complex128, 3))
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, sizeExp uint8) bool {
+		n := 1 << (sizeExp%9 + 1) // 2..512
+		rng := rand.New(rand.NewPCG(seed, seed^0xdead))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		FFT(y)
+		IFFT(y)
+		return complexSlicesClose(x, y, 1e-8*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Energy in time domain equals energy in frequency domain / N.
+	f := func(seed uint64, sizeExp uint8) bool {
+		n := 1 << (sizeExp%8 + 1)
+		rng := rand.New(rand.NewPCG(seed, 99))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		timeEnergy := Energy(x)
+		spec := FFTReal(x)
+		var freqEnergy float64
+		for _, v := range spec {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(len(spec))
+		return almostEqual(timeEnergy, freqEnergy, 1e-6*(1+timeEnergy))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed uint64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		const n = 64
+		rng := rand.New(rand.NewPCG(seed, 7))
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			y[i] = complex(rng.NormFloat64(), 0)
+		}
+		// FFT(a·x + b·y)
+		mix := make([]complex128, n)
+		for i := range mix {
+			mix[i] = complex(a, 0)*x[i] + complex(b, 0)*y[i]
+		}
+		FFT(mix)
+		fx := append([]complex128(nil), x...)
+		fy := append([]complex128(nil), y...)
+		FFT(fx)
+		FFT(fy)
+		for i := range fx {
+			fx[i] = complex(a, 0)*fx[i] + complex(b, 0)*fy[i]
+		}
+		return complexSlicesClose(mix, fx, 1e-6*(1+math.Abs(a)+math.Abs(b))*n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	FFT(nil) // must not panic
+	x := []complex128{complex(3, 1)}
+	FFT(x)
+	if x[0] != complex(3, 1) {
+		t.Errorf("FFT of singleton changed value: %v", x[0])
+	}
+	IFFT(x)
+	if x[0] != complex(3, 1) {
+		t.Errorf("IFFT of singleton changed value: %v", x[0])
+	}
+}
+
+func TestPad(t *testing.T) {
+	x := []float64{1, 2, 3}
+	p := Pad(x, 5)
+	if !floatSlicesClose(p, []float64{1, 2, 3, 0, 0}, 0) {
+		t.Errorf("Pad = %v", p)
+	}
+	q := Pad(x, 2)
+	if !floatSlicesClose(q, []float64{1, 2}, 0) {
+		t.Errorf("Pad truncation = %v", q)
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	if got := Energy([]float64{3, 4}); !almostEqual(got, 25, eps) {
+		t.Errorf("Energy = %v, want 25", got)
+	}
+	if got := Energy(nil); got != 0 {
+		t.Errorf("Energy(nil) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,166 @@
+package dsp
+
+import "math"
+
+// CrossCorrelate returns the full linear cross-correlation sequence
+// between x and y, computed via the FFT in O(n log n). The result has
+// length len(x)+len(y)-1; entry k corresponds to a shift of
+// s = k - (len(y)-1) applied to y, i.e.
+//
+//	out[k] = Σ_t x[t+s]·y[t]
+//
+// matching the CC_w(x, y) sequence used by the shape-based distance of
+// Paparrizos & Gravano (SIGMOD 2015).
+func CrossCorrelate(x, y []float64) []float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	outLen := len(x) + len(y) - 1
+	n := NextPow2(outLen)
+	fx := make([]complex128, n)
+	fy := make([]complex128, n)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	for i, v := range y {
+		fy[i] = complex(v, 0)
+	}
+	FFT(fx)
+	FFT(fy)
+	for i := range fx {
+		// Correlation is convolution with the conjugate spectrum.
+		fx[i] *= complex(real(fy[i]), -imag(fy[i]))
+	}
+	IFFT(fx)
+	// The FFT product yields correlation at circular lags; unwrap so the
+	// output is ordered from the most negative shift -(len(y)-1) to the
+	// most positive +(len(x)-1).
+	out := make([]float64, outLen)
+	for k := 0; k < outLen; k++ {
+		shift := k - (len(y) - 1)
+		idx := shift
+		if idx < 0 {
+			idx += n
+		}
+		out[k] = real(fx[idx])
+	}
+	return out
+}
+
+// CrossCorrelateNaive is the O(n·m) reference implementation of
+// CrossCorrelate. It is used as a test oracle and as the ablation
+// baseline demonstrating the FFT speedup.
+func CrossCorrelateNaive(x, y []float64) []float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	outLen := len(x) + len(y) - 1
+	out := make([]float64, outLen)
+	for k := 0; k < outLen; k++ {
+		shift := k - (len(y) - 1)
+		var sum float64
+		for t := 0; t < len(y); t++ {
+			xi := t + shift
+			if xi < 0 || xi >= len(x) {
+				continue
+			}
+			sum += x[xi] * y[t]
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// NCC returns the coefficient-normalized cross-correlation sequence
+// NCC_c(x, y) = CC(x, y) / (‖x‖·‖y‖). When either vector has zero
+// norm the result is all zeros (two flat signals carry no shape
+// information).
+func NCC(x, y []float64) []float64 {
+	cc := CrossCorrelate(x, y)
+	norm := math.Sqrt(Energy(x) * Energy(y))
+	if norm == 0 || math.IsNaN(norm) {
+		for i := range cc {
+			cc[i] = 0
+		}
+		return cc
+	}
+	for i := range cc {
+		cc[i] /= norm
+	}
+	return cc
+}
+
+// MaxNCC returns the maximum of the NCC sequence and the shift (in
+// samples, applied to y relative to x) at which it occurs.
+func MaxNCC(x, y []float64) (value float64, shift int) {
+	cc := NCC(x, y)
+	if len(cc) == 0 {
+		return 0, 0
+	}
+	best, bestIdx := cc[0], 0
+	for i, v := range cc {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return best, bestIdx - (len(y) - 1)
+}
+
+// Convolve returns the linear convolution of x and y via the FFT; the
+// result has length len(x)+len(y)-1.
+func Convolve(x, y []float64) []float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	outLen := len(x) + len(y) - 1
+	n := NextPow2(outLen)
+	fx := make([]complex128, n)
+	fy := make([]complex128, n)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	for i, v := range y {
+		fy[i] = complex(v, 0)
+	}
+	FFT(fx)
+	FFT(fy)
+	for i := range fx {
+		fx[i] *= fy[i]
+	}
+	IFFT(fx)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fx[i])
+	}
+	return out
+}
+
+// MovingAverage returns the centered moving average of x with the given
+// window (clamped at the edges). Window must be >= 1; even windows are
+// rounded up to the next odd value so the filter stays centered.
+func MovingAverage(x []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	if window%2 == 0 {
+		window++
+	}
+	half := window / 2
+	out := make([]float64, len(x))
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(x) {
+			hi = len(x) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += x[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}

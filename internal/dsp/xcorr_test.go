@@ -1,0 +1,195 @@
+package dsp
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCrossCorrelateMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, pair := range [][2]int{{1, 1}, {4, 4}, {5, 3}, {3, 5}, {17, 31}, {128, 128}, {100, 7}} {
+		x := make([]float64, pair[0])
+		y := make([]float64, pair[1])
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		want := CrossCorrelateNaive(x, y)
+		got := CrossCorrelate(x, y)
+		if !floatSlicesClose(got, want, 1e-8*float64(len(x)+len(y))) {
+			t.Errorf("CrossCorrelate(%d,%d) disagrees with naive\n got %v\nwant %v",
+				pair[0], pair[1], got, want)
+		}
+	}
+}
+
+func TestCrossCorrelateKnown(t *testing.T) {
+	// x=[1,2,3], y=[1,1]: shifts -1..2 give [1*1, 1+2, 2+3, 3*1].
+	got := CrossCorrelate([]float64{1, 2, 3}, []float64{1, 1})
+	want := []float64{1, 3, 5, 3}
+	if !floatSlicesClose(got, want, 1e-9) {
+		t.Errorf("CrossCorrelate = %v, want %v", got, want)
+	}
+}
+
+func TestCrossCorrelateEmpty(t *testing.T) {
+	if got := CrossCorrelate(nil, []float64{1}); got != nil {
+		t.Errorf("CrossCorrelate(nil, x) = %v, want nil", got)
+	}
+	if got := CrossCorrelateNaive([]float64{1}, nil); got != nil {
+		t.Errorf("CrossCorrelateNaive(x, nil) = %v, want nil", got)
+	}
+}
+
+func TestNCCSelfPeakIsOne(t *testing.T) {
+	f := func(seed uint64, sizeExp uint8) bool {
+		n := int(sizeExp%60) + 2
+		rng := rand.New(rand.NewPCG(seed, 11))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		v, shift := MaxNCC(x, x)
+		return almostEqual(v, 1, 1e-8) && shift == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNCCBoundedProperty(t *testing.T) {
+	// |NCC| <= 1 everywhere (Cauchy-Schwarz).
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 23))
+		n := rng.IntN(100) + 1
+		m := rng.IntN(100) + 1
+		x := make([]float64, n)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		for _, v := range NCC(x, y) {
+			if v > 1+1e-8 || v < -1-1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNCCZeroSignal(t *testing.T) {
+	out := NCC([]float64{0, 0, 0}, []float64{1, 2, 3})
+	for i, v := range out {
+		if v != 0 {
+			t.Errorf("NCC with zero signal: out[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestMaxNCCDetectsShift(t *testing.T) {
+	// y is x delayed by 3 samples; the best alignment shift must be +3.
+	x := make([]float64, 64)
+	x[10] = 1
+	x[11] = 2
+	x[12] = 1
+	y := make([]float64, 64)
+	y[7] = 1
+	y[8] = 2
+	y[9] = 1
+	v, shift := MaxNCC(x, y)
+	if shift != 3 {
+		t.Errorf("MaxNCC shift = %d, want 3", shift)
+	}
+	if !almostEqual(v, 1, 1e-9) {
+		t.Errorf("MaxNCC value = %v, want 1", v)
+	}
+}
+
+func TestConvolveKnown(t *testing.T) {
+	got := Convolve([]float64{1, 2}, []float64{3, 4})
+	want := []float64{3, 10, 8}
+	if !floatSlicesClose(got, want, 1e-9) {
+		t.Errorf("Convolve = %v, want %v", got, want)
+	}
+}
+
+func TestConvolveCommutativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		n := rng.IntN(50) + 1
+		m := rng.IntN(50) + 1
+		x := make([]float64, n)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		return floatSlicesClose(Convolve(x, y), Convolve(y, x), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	got := MovingAverage(x, 3)
+	want := []float64{1.5, 2, 3, 4, 4.5}
+	if !floatSlicesClose(got, want, 1e-9) {
+		t.Errorf("MovingAverage = %v, want %v", got, want)
+	}
+	// Window 1 is identity.
+	if !floatSlicesClose(MovingAverage(x, 1), x, 0) {
+		t.Error("MovingAverage window=1 is not identity")
+	}
+	// Even windows round up and stay centered.
+	if !floatSlicesClose(MovingAverage(x, 2), got, 1e-9) {
+		t.Error("MovingAverage window=2 should equal window=3")
+	}
+	// Constant input stays constant for any window.
+	c := []float64{7, 7, 7, 7}
+	for _, w := range []int{1, 3, 5, 9} {
+		if !floatSlicesClose(MovingAverage(c, w), c, 1e-12) {
+			t.Errorf("MovingAverage of constant changed values (w=%d)", w)
+		}
+	}
+}
+
+func BenchmarkCrossCorrelateFFT(b *testing.B) {
+	x := make([]float64, 672)
+	y := make([]float64, 672)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CrossCorrelate(x, y)
+	}
+}
+
+func BenchmarkCrossCorrelateNaive(b *testing.B) {
+	x := make([]float64, 672)
+	y := make([]float64, 672)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CrossCorrelateNaive(x, y)
+	}
+}

@@ -1,0 +1,102 @@
+// Package experiments contains one runner per table/figure of the
+// paper's evaluation. Every runner returns a Result with the rendered
+// text figure and the headline metrics, so the figures command, the
+// benchmark harness and EXPERIMENTS.md all consume the same code path.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// Env is the shared experiment environment: one generated dataset and
+// its analyzer.
+type Env struct {
+	DS *synth.Dataset
+	An *core.Analyzer
+}
+
+// NewEnv generates the dataset for the given configuration.
+func NewEnv(cfg synth.Config) (*Env, error) {
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{DS: ds, An: core.New(ds)}, nil
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	// ID is the figure identifier ("fig2" ... "fig11", "probe", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Metrics holds the headline numbers, keyed by a stable name.
+	Metrics map[string]float64
+	// Text is the rendered figure.
+	Text string
+}
+
+// String renders the result with its metric block.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n\n", r.ID, r.Title)
+	b.WriteString(r.Text)
+	if len(r.Metrics) > 0 {
+		b.WriteString("\nHeadline metrics:\n")
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-40s %.4f\n", k, r.Metrics[k])
+		}
+	}
+	return b.String()
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(*Env) (Result, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig2", "Service ranking and Zipf fit", (*Env).Fig2},
+		{"fig3", "Top-20 services by direction", (*Env).Fig3},
+		{"fig4", "Sample time series and smoothed z-score detection", (*Env).Fig4},
+		{"fig5", "Cluster quality indices vs k", (*Env).Fig5},
+		{"fig6", "Activity peak times of mobile services", (*Env).Fig6},
+		{"fig7", "Peak intensities per topical time", (*Env).Fig7},
+		{"fig8", "Twitter spatial concentration", (*Env).Fig8},
+		{"fig9", "Per-subscriber activity maps and coverage", (*Env).Fig9},
+		{"fig10", "Pairwise spatial correlation between services", (*Env).Fig10},
+		{"fig11", "Urbanization: volume ratios and temporal correlation", (*Env).Fig11},
+		{"probe", "Packet pipeline: DPI rate and ULI accuracy (Sec. 2-3)", (*Env).ProbeExperiment},
+		{"ablation-kmeans", "Ablation: k-Shape vs Euclidean k-means", (*Env).AblationKMeans},
+		{"ablation-peaks", "Ablation: smoothed z-score vs fixed threshold", (*Env).AblationPeakDetector},
+		{"ablation-granularity", "Ablation: commune vs RA/TA aggregation", (*Env).AblationGranularity},
+	}
+}
+
+// ByID returns the runner with the given id.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	var ids []string
+	for _, r := range All() {
+		ids = append(ids, r.ID)
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+}

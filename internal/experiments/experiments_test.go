@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+// testEnv memoizes a laptop-scale environment for all tests.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(synth.SmallConfig())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestAllRunnersSucceed(t *testing.T) {
+	e := testEnv(t)
+	for _, r := range All() {
+		res, err := r.Run(e)
+		if err != nil {
+			t.Errorf("%s: %v", r.ID, err)
+			continue
+		}
+		if res.ID != r.ID {
+			t.Errorf("%s: result id %q", r.ID, res.ID)
+		}
+		if res.Text == "" {
+			t.Errorf("%s: empty figure text", r.ID)
+		}
+		if len(res.Metrics) == 0 {
+			t.Errorf("%s: no metrics", r.ID)
+		}
+		for k, v := range res.Metrics {
+			if math.IsNaN(v) {
+				t.Errorf("%s: metric %s is NaN", r.ID, k)
+			}
+		}
+		if !strings.Contains(res.String(), r.ID) {
+			t.Errorf("%s: String() lacks the id", r.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id: want error")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	video := res.Metrics["video_share_downlink"]
+	if math.Abs(video-0.46) > 0.02 {
+		t.Errorf("video share = %v, want ≈ 0.46", video)
+	}
+	if res.Metrics["top20_share_downlink"] < 0.55 {
+		t.Errorf("top20 share = %v", res.Metrics["top20_share_downlink"])
+	}
+}
+
+func TestFig5NoWinner(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's conclusion: quality degrades as k grows — the
+	// silhouette trend over k must be negative, and no interior k may
+	// beat the trivial k=2 by a margin.
+	if res.Metrics["silhouette_slope_downlink"] >= 0 {
+		t.Errorf("silhouette slope = %v, want negative",
+			res.Metrics["silhouette_slope_downlink"])
+	}
+}
+
+func TestFig6AllPeaksTopical(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["outside_peaks"] != 0 {
+		t.Errorf("outside peaks = %v", res.Metrics["outside_peaks"])
+	}
+	if res.Metrics["distinct_patterns"] != 20 {
+		t.Errorf("distinct patterns = %v, want 20", res.Metrics["distinct_patterns"])
+	}
+	if res.Metrics["services_with_midday_peak"] < 18 {
+		t.Errorf("midday services = %v, want almost all", res.Metrics["services_with_midday_peak"])
+	}
+}
+
+func TestFig9NetflixGated(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := res.Metrics["twitter_3g_over_4g_per_user"]
+	nf := res.Metrics["netflix_3g_over_4g_per_user"]
+	if tw == 0 || nf == 0 {
+		t.Skip("small country has no 3G-only communes")
+	}
+	if nf > tw/3 {
+		t.Errorf("Netflix 3G/4G ratio %v should be far below Twitter's %v", nf, tw)
+	}
+}
+
+func TestProbeExperiment(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.ProbeExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := res.Metrics["classification_rate"]
+	if rate < 0.8 || rate > 0.95 {
+		t.Errorf("classification rate = %v, want ≈ 0.88", rate)
+	}
+	if res.Metrics["decode_errors"] != 0 {
+		t.Errorf("decode errors = %v", res.Metrics["decode_errors"])
+	}
+	med := res.Metrics["median_uli_error_km"]
+	if med < 1.5 || med > 4.5 {
+		t.Errorf("median ULI error = %v km, want ≈ 3", med)
+	}
+	if res.Metrics["ul_over_dl"] >= 1.0/10 {
+		t.Errorf("UL/DL = %v, want small", res.Metrics["ul_over_dl"])
+	}
+}
+
+func TestAblationKMeans(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.AblationKMeans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["kshape_accuracy"] != 1 {
+		t.Errorf("k-Shape accuracy = %v, want 1 on shifted families", res.Metrics["kshape_accuracy"])
+	}
+	if res.Metrics["kmeans_accuracy"] > res.Metrics["kshape_accuracy"] {
+		t.Error("k-means should not beat k-Shape on shifted shapes")
+	}
+}
+
+func TestAblationGranularity(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.AblationGranularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["mean_r2_area"] <= res.Metrics["mean_r2_commune"] {
+		t.Errorf("area r² %v should exceed commune r² %v",
+			res.Metrics["mean_r2_area"], res.Metrics["mean_r2_commune"])
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	res, err := SeedSensitivity(synth.SmallConfig(), []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The qualitative findings must be stable across seeds: every seed
+	// keeps all calendars distinct, all peaks topical, and the spatial
+	// correlation inside a broad band.
+	if res.Metrics["distinct_calendars_mean"] != 20 || res.Metrics["distinct_calendars_std"] != 0 {
+		t.Errorf("calendar distinctness unstable: %v ± %v",
+			res.Metrics["distinct_calendars_mean"], res.Metrics["distinct_calendars_std"])
+	}
+	if res.Metrics["outside_peaks_mean"] != 0 {
+		t.Errorf("outside peaks appear under some seed: %v", res.Metrics["outside_peaks_mean"])
+	}
+	if res.Metrics["mean_pairwise_r2_std"] > 0.1 {
+		t.Errorf("r² spread across seeds = %v, want small", res.Metrics["mean_pairwise_r2_std"])
+	}
+	if res.Metrics["slope_rural_std"] > 0.1 {
+		t.Errorf("rural slope spread = %v", res.Metrics["slope_rural_std"])
+	}
+	if _, err := SeedSensitivity(synth.SmallConfig(), []uint64{1}); err == nil {
+		t.Error("single seed: want error")
+	}
+}

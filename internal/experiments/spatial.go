@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/report"
+	"repro/internal/services"
+	"repro/internal/stats"
+)
+
+// Fig8 reproduces the Twitter spatial concentration analysis: the
+// cumulative traffic over ranked communes and the per-subscriber CDF.
+func (e *Env) Fig8() (Result, error) {
+	res := Result{ID: "fig8", Title: "Twitter spatial concentration", Metrics: map[string]float64{}}
+	var b strings.Builder
+	for _, dir := range []services.Direction{services.DL, services.UL} {
+		c, err := e.An.SpatialConcentration(dir, "Twitter")
+		if err != nil {
+			return res, err
+		}
+		rows := [][]string{}
+		for _, f := range []float64{0.01, 0.05, 0.10, 0.50, 1} {
+			rows = append(rows, []string{report.Pct(f), report.Pct(c.TopShares[f])})
+		}
+		fmt.Fprintf(&b, "%s — cumulative traffic on ranked communes (Gini %.3f)\n", dir, c.Gini)
+		b.WriteString(report.Table([]string{"top communes", "traffic share"}, rows))
+		b.WriteString("\n")
+		if dir == services.DL {
+			res.Metrics["top1pct_share"] = c.TopShares[0.01]
+			res.Metrics["top10pct_share"] = c.TopShares[0.10]
+			res.Metrics["gini"] = c.Gini
+			// CDF of per-subscriber volumes.
+			var pos []float64
+			for _, v := range c.PerUser {
+				if v > 0 {
+					pos = append(pos, v)
+				}
+			}
+			ecdf, err := stats.NewECDF(pos)
+			if err != nil {
+				return res, err
+			}
+			pts := ecdf.Points(60)
+			xs := make([]float64, len(pts))
+			ps := make([]float64, len(pts))
+			for i, p := range pts {
+				xs[i], ps[i] = p.X, p.Y
+			}
+			b.WriteString(report.CDFPlot("CDF of weekly per-subscriber Twitter traffic (bytes, log x)", xs, ps, 72, 12, true))
+			b.WriteString("\n")
+			p50 := ecdf.Quantile(0.5)
+			p99 := ecdf.Quantile(0.99)
+			res.Metrics["per_user_p50_bytes"] = p50
+			res.Metrics["per_user_p99_bytes"] = p99
+			res.Metrics["per_user_orders_of_magnitude"] =
+				math.Log10(ecdf.Quantile(1)) - math.Log10(ecdf.Quantile(0.001))
+		}
+	}
+	res.Text = b.String()
+	return res, nil
+}
+
+// Fig9 renders the per-subscriber activity maps for Twitter and
+// Netflix and the 3G/4G coverage map on the commune lattice.
+func (e *Env) Fig9() (Result, error) {
+	res := Result{ID: "fig9", Title: "Per-subscriber maps and coverage", Metrics: map[string]float64{}}
+	var b strings.Builder
+
+	const gridW, gridH = 96, 40
+	country := e.DS.Country
+	toGrid := func(values []float64) [][]float64 {
+		grid := make([][]float64, gridH)
+		counts := make([][]int, gridH)
+		for r := range grid {
+			grid[r] = make([]float64, gridW)
+			counts[r] = make([]int, gridW)
+		}
+		for i := range country.Communes {
+			c := &country.Communes[i]
+			col := int(c.Center.X / country.WidthKm * float64(gridW))
+			row := int(c.Center.Y / country.HeightKm * float64(gridH))
+			if col < 0 || col >= gridW || row < 0 || row >= gridH {
+				continue
+			}
+			grid[row][col] += values[i]
+			counts[row][col]++
+		}
+		for r := range grid {
+			for cI := range grid[r] {
+				if counts[r][cI] > 0 {
+					grid[r][cI] /= float64(counts[r][cI])
+				}
+			}
+		}
+		return grid
+	}
+
+	for _, name := range []string{"Twitter", "Netflix"} {
+		idx, err := e.DS.ServiceIndex(name)
+		if err != nil {
+			return res, err
+		}
+		pu := e.DS.PerUser(services.DL, idx)
+		b.WriteString(report.HeatMap(name+" — weekly per-subscriber downlink (log shade)", toGrid(pu), true))
+		b.WriteString("\n")
+	}
+	// Coverage map: 4G = 1, 3G = 0.15.
+	cov := make([]float64, len(country.Communes))
+	n4G := 0
+	for i := range country.Communes {
+		if country.Communes[i].Coverage == geo.Tech4G {
+			cov[i] = 1
+			n4G++
+		} else {
+			cov[i] = 0.15
+		}
+	}
+	b.WriteString(report.HeatMap("Radio coverage (dark = 4G, light = 3G only)", toGrid(cov), false))
+	res.Metrics["frac_communes_4g"] = float64(n4G) / float64(len(country.Communes))
+
+	// The structural claim: Netflix per-user demand collapses in
+	// 3G-only communes while Twitter's does not.
+	twIdx, _ := e.DS.ServiceIndex("Twitter")
+	nfIdx, _ := e.DS.ServiceIndex("Netflix")
+	tw := e.DS.PerUser(services.DL, twIdx)
+	nf := e.DS.PerUser(services.DL, nfIdx)
+	var tw3, tw4, nf3, nf4 float64
+	var n3, n4 int
+	for i := range country.Communes {
+		if country.Communes[i].Coverage == geo.Tech4G {
+			tw4 += tw[i]
+			nf4 += nf[i]
+			n4++
+		} else {
+			tw3 += tw[i]
+			nf3 += nf[i]
+			n3++
+		}
+	}
+	if n3 > 0 && n4 > 0 {
+		res.Metrics["twitter_3g_over_4g_per_user"] = (tw3 / float64(n3)) / (tw4 / float64(n4))
+		res.Metrics["netflix_3g_over_4g_per_user"] = (nf3 / float64(n3)) / (nf4 / float64(n4))
+	}
+	res.Text = b.String()
+	return res, nil
+}
+
+// Fig10 reproduces the pairwise spatial-correlation analysis.
+func (e *Env) Fig10() (Result, error) {
+	res := Result{ID: "fig10", Title: "Pairwise spatial correlation", Metrics: map[string]float64{}}
+	var b strings.Builder
+	for _, dir := range []services.Direction{services.DL, services.UL} {
+		sc, err := e.An.SpatialCorrelationAnalysis(dir)
+		if err != nil {
+			return res, err
+		}
+		ecdf, err := stats.NewECDF(sc.Pairs)
+		if err != nil {
+			return res, err
+		}
+		pts := ecdf.Points(50)
+		xs := make([]float64, len(pts))
+		ps := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i], ps[i] = p.X, p.Y
+		}
+		fmt.Fprintf(&b, "%s — mean pairwise r² = %.3f\n", dir, sc.Mean)
+		b.WriteString(report.CDFPlot("CDF of pairwise r²", xs, ps, 64, 10, false))
+		b.WriteString("\n")
+		// Outlier rows.
+		rows := [][]string{}
+		for i, name := range sc.Names {
+			rows = append(rows, []string{name, fmt.Sprintf("%.3f", sc.ServiceMean[i])})
+		}
+		b.WriteString(report.Table([]string{"service", "mean r² vs others"}, rows))
+		b.WriteString("\n")
+		res.Metrics["mean_r2_"+dir.String()] = sc.Mean
+		res.Metrics["mean_spearman2_"+dir.String()] = sc.MeanSpearman
+		for i, name := range sc.Names {
+			if name == "Netflix" || name == "iCloud" {
+				key := "mean_r2_" + strings.ToLower(name) + "_" + dir.String()
+				res.Metrics[key] = sc.ServiceMean[i]
+			}
+		}
+		if dir == services.DL {
+			b.WriteString(report.Matrix("Pairwise r² (downlink)", sc.Names, sc.R2))
+			b.WriteString("\n")
+		}
+	}
+	res.Text = b.String()
+	return res, nil
+}
+
+// Fig11 reproduces the urbanization analysis: per-user volume ratios
+// (top) and temporal correlation across urbanization classes (bottom).
+func (e *Env) Fig11() (Result, error) {
+	res := Result{ID: "fig11", Title: "Urbanization analysis", Metrics: map[string]float64{}}
+	ur, err := e.An.UrbanizationAnalysis(services.DL)
+	if err != nil {
+		return res, err
+	}
+	var b strings.Builder
+	rows := make([][]string, 0, len(ur.Names))
+	var sumSemi, sumRural, sumTGV float64
+	for s, name := range ur.Names {
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.2f", ur.Slopes[s][geo.SemiUrban]),
+			fmt.Sprintf("%.2f", ur.Slopes[s][geo.Rural]),
+			fmt.Sprintf("%.2f", ur.Slopes[s][geo.RuralTGV]),
+		})
+		sumSemi += ur.Slopes[s][geo.SemiUrban]
+		sumRural += ur.Slopes[s][geo.Rural]
+		sumTGV += ur.Slopes[s][geo.RuralTGV]
+	}
+	b.WriteString("Per-user volume ratio vs urban users (Fig. 11 top)\n")
+	b.WriteString(report.Table([]string{"service", "semi-urban", "rural", "TGV"}, rows))
+	b.WriteString("\n")
+
+	rows = rows[:0]
+	var sumUrbanR2, sumTGVR2 float64
+	for s, name := range ur.Names {
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.2f", ur.TimeR2[s][geo.Urban]),
+			fmt.Sprintf("%.2f", ur.TimeR2[s][geo.SemiUrban]),
+			fmt.Sprintf("%.2f", ur.TimeR2[s][geo.Rural]),
+			fmt.Sprintf("%.2f", ur.TimeR2[s][geo.RuralTGV]),
+		})
+		sumUrbanR2 += ur.TimeR2[s][geo.Urban]
+		sumTGVR2 += ur.TimeR2[s][geo.RuralTGV]
+	}
+	b.WriteString("Mean r² of per-class time series vs the other classes (Fig. 11 bottom)\n")
+	b.WriteString(report.Table([]string{"service", "urban", "semi-urban", "rural", "TGV"}, rows))
+
+	n := float64(len(ur.Names))
+	res.Metrics["mean_slope_semiurban"] = sumSemi / n
+	res.Metrics["mean_slope_rural"] = sumRural / n
+	res.Metrics["mean_slope_tgv"] = sumTGV / n
+	res.Metrics["mean_time_r2_urban"] = sumUrbanR2 / n
+	res.Metrics["mean_time_r2_tgv"] = sumTGVR2 / n
+	res.Text = b.String()
+	return res, nil
+}

@@ -1,0 +1,410 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Urbanization is the INSEE-inspired land-use class of a commune. The
+// paper groups communes into urban, semi-urban and rural, and splits
+// rural communes crossed by a TGV line into their own category because
+// their traffic is dominated by passengers at 300 km/h rather than by
+// residents.
+type Urbanization int
+
+const (
+	// Urban communes belong to a dense city core.
+	Urban Urbanization = iota
+	// SemiUrban communes form the periphery of cities and mid-size towns.
+	SemiUrban
+	// Rural communes are countryside far from dense cores.
+	Rural
+	// RuralTGV communes are rural communes crossed by a high-speed line.
+	RuralTGV
+)
+
+// NumUrbanization is the number of urbanization classes.
+const NumUrbanization = 4
+
+// String returns the class label used in Fig. 11.
+func (u Urbanization) String() string {
+	switch u {
+	case Urban:
+		return "Urban"
+	case SemiUrban:
+		return "Semi-Urban"
+	case Rural:
+		return "Rural"
+	case RuralTGV:
+		return "TGV"
+	default:
+		return fmt.Sprintf("Urbanization(%d)", int(u))
+	}
+}
+
+// Tech is the best radio access technology available in a commune.
+type Tech int
+
+const (
+	// Tech3G means only 3G coverage (pervasive in the study country).
+	Tech3G Tech = iota
+	// Tech4G means 4G is available (cities and main corridors).
+	Tech4G
+)
+
+// String returns the technology label.
+func (t Tech) String() string {
+	if t == Tech4G {
+		return "4G"
+	}
+	return "3G"
+}
+
+// Commune is one cell of the spatial tessellation.
+type Commune struct {
+	ID           int
+	Center       Point
+	AreaKm2      float64
+	Population   int
+	Subscribers  int // operator's user base in the commune
+	Urbanization Urbanization
+	Coverage     Tech
+	// DistToCity is the distance to the nearest major city centre (km).
+	DistToCity float64
+	// DistToTGV is the distance to the nearest TGV corridor (km).
+	DistToTGV float64
+}
+
+// City is a major population centre.
+type City struct {
+	Name       string
+	Center     Point
+	Population int
+	// Radius is the e-folding scale of the city's density kernel (km).
+	Radius float64
+}
+
+// Country is the full synthetic territory.
+type Country struct {
+	WidthKm, HeightKm float64
+	Communes          []Commune
+	Cities            []City
+	TGVLines          []Polyline
+}
+
+// Config controls country generation. The defaults reproduce the
+// study's France-scale numbers.
+type Config struct {
+	// NumCommunes is the number of lattice cells (default 36000).
+	NumCommunes int
+	// NumCities is the number of major centres (default 40).
+	NumCities int
+	// Population is the total resident population (default 64M).
+	Population int
+	// OperatorShare is the fraction of residents subscribing to the
+	// studied operator (default 0.47, giving ≈ 30M subscribers).
+	OperatorShare float64
+	// Seed drives all randomness; equal seeds give identical countries.
+	Seed uint64
+}
+
+// DefaultConfig returns the France-scale configuration used by the
+// nationwide experiments: ≈ 550,000 km², 36,000 communes of ≈ 16 km²,
+// 30M subscribers.
+func DefaultConfig() Config {
+	return Config{
+		NumCommunes:   36000,
+		NumCities:     40,
+		Population:    64_000_000,
+		OperatorShare: 0.47,
+		Seed:          1,
+	}
+}
+
+// SmallConfig returns a laptop-scale country (a few hundred communes,
+// a dense region rather than a whole nation) for tests and examples.
+func SmallConfig() Config {
+	return Config{
+		NumCommunes:   400,
+		NumCities:     6,
+		Population:    10_000_000,
+		OperatorShare: 0.47,
+		Seed:          1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.NumCommunes <= 0 {
+		c.NumCommunes = d.NumCommunes
+	}
+	if c.NumCities <= 0 {
+		c.NumCities = d.NumCities
+	}
+	if c.Population <= 0 {
+		c.Population = d.Population
+	}
+	if c.OperatorShare <= 0 || c.OperatorShare > 1 {
+		c.OperatorShare = d.OperatorShare
+	}
+	return c
+}
+
+// cityNames label the largest synthetic cities after the French metro
+// areas the paper's maps highlight; the rest get generated names.
+var cityNames = []string{
+	"Paris", "Lyon", "Marseille", "Toulouse", "Lille", "Bordeaux",
+	"Nice", "Nantes", "Strasbourg", "Rennes", "Grenoble", "Rouen",
+	"Toulon", "Montpellier", "Douai", "Avignon", "Saint-Etienne",
+}
+
+// Generate builds a deterministic synthetic country from the config.
+//
+// The construction follows the drivers the paper identifies:
+//   - city populations follow a rank-size (Zipf) law, so commune
+//     populations inherit a realistic heavy tail;
+//   - TGV corridors connect the largest city to the next largest ones,
+//     so high-speed lines cross rural territory between metros;
+//   - 4G coverage concentrates on dense areas and corridors while 3G is
+//     pervasive, which later gates high-rate services such as Netflix.
+func Generate(cfg Config) *Country {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x67656f)) // "geo"
+
+	// Keep the average commune surface at the French value (~16 km²)
+	// whatever the commune count; at the default 36,000 communes the
+	// country covers ≈ 576,000 km², matching the paper's "more than
+	// 550,000 km²".
+	const communeArea = 16.0
+	side := math.Sqrt(communeArea * float64(cfg.NumCommunes))
+	country := &Country{WidthKm: side, HeightKm: side}
+
+	country.Cities = placeCities(rng, cfg, side)
+	country.TGVLines = buildTGV(country.Cities)
+
+	// Jittered square lattice of communes.
+	cols := int(math.Ceil(math.Sqrt(float64(cfg.NumCommunes))))
+	cell := side / float64(cols)
+	communes := make([]Commune, 0, cfg.NumCommunes)
+	for id := 0; id < cfg.NumCommunes; id++ {
+		row := id / cols
+		col := id % cols
+		center := Point{
+			X: (float64(col)+0.5)*cell + (rng.Float64()-0.5)*cell*0.6,
+			Y: (float64(row)+0.5)*cell + (rng.Float64()-0.5)*cell*0.6,
+		}
+		communes = append(communes, Commune{
+			ID:      id,
+			Center:  center,
+			AreaKm2: cell * cell,
+		})
+	}
+
+	assignPopulation(rng, cfg, communes, country)
+	classify(communes, country)
+	country.Communes = communes
+	return country
+}
+
+// placeCities spreads the major centres with a minimum separation and a
+// Zipf rank-size population law (exponent ~1.07, the classic value for
+// city systems).
+func placeCities(rng *rand.Rand, cfg Config, side float64) []City {
+	cities := make([]City, 0, cfg.NumCities)
+	// 55% of the population lives in the city kernels (metropolitan France:
+	// urban units hold well over half the residents).
+	urbanPop := float64(cfg.Population) * 0.60
+	var totalW float64
+	weights := make([]float64, cfg.NumCities)
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -1.15)
+		totalW += weights[i]
+	}
+	minSep := side / math.Sqrt(float64(cfg.NumCities)) / 1.4
+	for i := 0; i < cfg.NumCities; i++ {
+		var p Point
+		for try := 0; ; try++ {
+			p = Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+			ok := true
+			for _, c := range cities {
+				if c.Center.Dist(p) < minSep {
+					ok = false
+					break
+				}
+			}
+			if ok || try > 200 {
+				break
+			}
+		}
+		name := fmt.Sprintf("City-%02d", i+1)
+		if i < len(cityNames) {
+			name = cityNames[i]
+		}
+		pop := int(urbanPop * weights[i] / totalW)
+		cities = append(cities, City{
+			Name:       name,
+			Center:     p,
+			Population: pop,
+			// Bigger cities spread wider: radius grows with the cube
+			// root of population, anchored at ~12 km for the largest.
+			Radius: 2.5 + 5.5*math.Cbrt(weights[i]/weights[0]),
+		})
+	}
+	return cities
+}
+
+// buildTGV connects the largest city to the next four, mimicking the
+// radial French high-speed network (Paris-Lyon-Marseille etc.).
+func buildTGV(cities []City) []Polyline {
+	if len(cities) < 2 {
+		return nil
+	}
+	hub := cities[0]
+	var lines []Polyline
+	n := len(cities) - 1
+	if n > 4 {
+		n = 4
+	}
+	for i := 1; i <= n; i++ {
+		// A gentle midpoint bend so lines do not all look straight.
+		mid := Point{
+			X: (hub.Center.X+cities[i].Center.X)/2 + float64(i-2)*15,
+			Y: (hub.Center.Y+cities[i].Center.Y)/2 - float64(i-2)*10,
+		}
+		lines = append(lines, Polyline{hub.Center, mid, cities[i].Center})
+	}
+	// One transversal line between cities 1 and 2 (Lyon-Marseille).
+	if len(cities) >= 3 {
+		lines = append(lines, Polyline{cities[1].Center, cities[2].Center})
+	}
+	return lines
+}
+
+// assignPopulation distributes residents over communes: a normalized
+// exponential density kernel around each city (mass Pop_city, scale
+// Radius) plus a lognormal rural floor, so that city cores are dense
+// while countryside communes keep realistic village populations.
+func assignPopulation(rng *rand.Rand, cfg Config, communes []Commune, country *Country) {
+	weights := make([]float64, len(communes))
+	var totalW float64
+	for i := range communes {
+		p := communes[i].Center
+		area := communes[i].AreaKm2
+		// City kernels: density Pop·exp(-d/R)/(2πR²) integrated over
+		// the commune cell.
+		var w float64
+		nearest := math.Inf(1)
+		for _, c := range country.Cities {
+			d := c.Center.Dist(p)
+			if d < nearest {
+				nearest = d
+			}
+			w += float64(c.Population) * math.Exp(-d/c.Radius) / (2 * math.Pi * c.Radius * c.Radius) * area
+		}
+		communes[i].DistToCity = nearest
+		// Rural floor with lognormal heterogeneity (villages vs hamlets).
+		w += 300.0 * math.Exp(rng.NormFloat64()*0.9-0.405)
+		weights[i] = w
+		totalW += w
+		// Distance to the TGV network.
+		dTGV := math.Inf(1)
+		for _, l := range country.TGVLines {
+			if d := l.DistTo(p); d < dTGV {
+				dTGV = d
+			}
+		}
+		communes[i].DistToTGV = dTGV
+	}
+	for i := range communes {
+		pop := int(float64(cfg.Population) * weights[i] / totalW)
+		if pop < 10 {
+			pop = 10
+		}
+		communes[i].Population = pop
+		subs := int(float64(pop) * cfg.OperatorShare)
+		if subs < 1 {
+			subs = 1
+		}
+		communes[i].Subscribers = subs
+	}
+}
+
+// classify derives the urbanization class and radio coverage of every
+// commune. Classes follow the *density ranking* (top 2% of communes by
+// population density are urban, the next 10% semi-urban), mirroring how
+// the INSEE grid classifies a roughly fixed share of French territory;
+// rank-based thresholds keep every class populated at any simulation
+// scale.
+func classify(communes []Commune, country *Country) {
+	densities := make([]float64, len(communes))
+	for i := range communes {
+		densities[i] = float64(communes[i].Population) / communes[i].AreaKm2
+	}
+	sorted := append([]float64(nil), densities...)
+	sort.Float64s(sorted)
+	q := func(f float64) float64 {
+		idx := int(f * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	urbanThresh := q(0.98)
+	semiThresh := q(0.88)
+	for i := range communes {
+		c := &communes[i]
+		density := densities[i]
+		switch {
+		case density >= urbanThresh:
+			c.Urbanization = Urban
+		case density >= semiThresh:
+			c.Urbanization = SemiUrban
+		default:
+			c.Urbanization = Rural
+		}
+		// Rural communes crossed by a high-speed line are their own
+		// group; the corridor half-width is ~4 km (ULI error scale).
+		if c.Urbanization == Rural && c.DistToTGV <= 4 {
+			c.Urbanization = RuralTGV
+		}
+		// 4G: dense areas, city surroundings and corridors; 3G elsewhere.
+		switch {
+		case density >= semiThresh, c.DistToCity <= 25, c.DistToTGV <= 4:
+			c.Coverage = Tech4G
+		default:
+			c.Coverage = Tech3G
+		}
+	}
+}
+
+// CommunesByUrbanization groups commune indices per class.
+func (c *Country) CommunesByUrbanization() map[Urbanization][]int {
+	out := make(map[Urbanization][]int, NumUrbanization)
+	for i := range c.Communes {
+		u := c.Communes[i].Urbanization
+		out[u] = append(out[u], i)
+	}
+	return out
+}
+
+// TotalSubscribers returns the operator's nationwide user base.
+func (c *Country) TotalSubscribers() int {
+	var total int
+	for i := range c.Communes {
+		total += c.Communes[i].Subscribers
+	}
+	return total
+}
+
+// NearestCommune returns the index of the commune whose centre is
+// closest to p (used to map base stations / ULI fixes onto the
+// tessellation). Linear scan: only the packet-path simulator calls it
+// per-event, at small scale.
+func (c *Country) NearestCommune(p Point) int {
+	best, bestIdx := math.Inf(1), -1
+	for i := range c.Communes {
+		if d := c.Communes[i].Center.Dist(p); d < best {
+			best, bestIdx = d, i
+		}
+	}
+	return bestIdx
+}

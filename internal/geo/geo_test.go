@@ -1,0 +1,264 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if d := a.Dist(b); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := a.Dist(a); d != 0 {
+		t.Errorf("self Dist = %v", d)
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	l := Polyline{{0, 0}, {3, 4}, {3, 10}}
+	if got := l.Length(); got != 11 {
+		t.Errorf("Length = %v, want 11", got)
+	}
+	if got := (Polyline{}).Length(); got != 0 {
+		t.Errorf("empty Length = %v", got)
+	}
+}
+
+func TestPolylineDistTo(t *testing.T) {
+	l := Polyline{{0, 0}, {10, 0}}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 3}, 3},  // above the middle
+		{Point{-4, 0}, 4}, // beyond endpoint a
+		{Point{13, 4}, 5}, // beyond endpoint b
+		{Point{7, 0}, 0},  // on the segment
+	}
+	for _, c := range cases {
+		if got := l.DistTo(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DistTo(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf((Polyline{}).DistTo(Point{1, 1}), 1) {
+		t.Error("empty polyline distance should be +Inf")
+	}
+	single := Polyline{{2, 2}}
+	if got := single.DistTo(Point{2, 5}); got != 3 {
+		t.Errorf("single-point polyline DistTo = %v", got)
+	}
+}
+
+func TestDistToSegmentDegenerate(t *testing.T) {
+	// Zero-length segment behaves as a point.
+	if got := distToSegment(Point{0, 4}, Point{0, 0}, Point{0, 0}); got != 4 {
+		t.Errorf("degenerate segment dist = %v", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(SmallConfig())
+	b := Generate(SmallConfig())
+	if len(a.Communes) != len(b.Communes) {
+		t.Fatal("nondeterministic commune count")
+	}
+	for i := range a.Communes {
+		if a.Communes[i].Population != b.Communes[i].Population ||
+			a.Communes[i].Center != b.Communes[i].Center {
+			t.Fatalf("commune %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateScaleInvariants(t *testing.T) {
+	c := Generate(SmallConfig())
+	cfg := SmallConfig()
+	if len(c.Communes) != cfg.NumCommunes {
+		t.Errorf("communes = %d, want %d", len(c.Communes), cfg.NumCommunes)
+	}
+	if len(c.Cities) != cfg.NumCities {
+		t.Errorf("cities = %d, want %d", len(c.Cities), cfg.NumCities)
+	}
+	// Total population within 25% of the target (rounding + floors).
+	var pop int
+	for i := range c.Communes {
+		pop += c.Communes[i].Population
+	}
+	if math.Abs(float64(pop-cfg.Population)) > 0.25*float64(cfg.Population) {
+		t.Errorf("population = %d, want ≈ %d", pop, cfg.Population)
+	}
+	// Subscribers follow the operator share.
+	subs := c.TotalSubscribers()
+	if subs <= 0 || subs > pop {
+		t.Errorf("subscribers = %d, population %d", subs, pop)
+	}
+	share := float64(subs) / float64(pop)
+	if share < cfg.OperatorShare-0.1 || share > cfg.OperatorShare+0.1 {
+		t.Errorf("operator share = %v, want ≈ %v", share, cfg.OperatorShare)
+	}
+}
+
+func TestGenerateCityRankSize(t *testing.T) {
+	c := Generate(SmallConfig())
+	for i := 1; i < len(c.Cities); i++ {
+		if c.Cities[i].Population > c.Cities[i-1].Population {
+			t.Errorf("city %d larger than city %d", i, i-1)
+		}
+	}
+	if c.Cities[0].Name != "Paris" {
+		t.Errorf("largest city = %q", c.Cities[0].Name)
+	}
+	// Rank-size: largest city at least 3x the 6th.
+	if len(c.Cities) >= 6 && c.Cities[0].Population < 3*c.Cities[5].Population {
+		t.Errorf("rank-size law too flat: %d vs %d", c.Cities[0].Population, c.Cities[5].Population)
+	}
+}
+
+func TestGenerateAllClassesPresent(t *testing.T) {
+	for _, cfg := range []Config{
+		SmallConfig(),
+		{NumCommunes: 4000, NumCities: 12, Population: 20_000_000, OperatorShare: 0.47, Seed: 3},
+	} {
+		c := Generate(cfg)
+		groups := c.CommunesByUrbanization()
+		for _, u := range []Urbanization{Urban, SemiUrban, Rural, RuralTGV} {
+			if len(groups[u]) == 0 {
+				t.Errorf("cfg %d communes: no communes in class %v", cfg.NumCommunes, u)
+			}
+		}
+		// Rural should dominate the commune count (as in France).
+		if len(groups[Rural]) < len(groups[Urban]) {
+			t.Error("rural communes should outnumber urban ones")
+		}
+	}
+}
+
+func TestUrbanizationConsistency(t *testing.T) {
+	c := Generate(SmallConfig())
+	meanDensity := map[Urbanization]float64{}
+	count := map[Urbanization]int{}
+	for i := range c.Communes {
+		com := &c.Communes[i]
+		density := float64(com.Population) / com.AreaKm2
+		meanDensity[com.Urbanization] += density
+		count[com.Urbanization]++
+		if com.Urbanization == RuralTGV && com.DistToTGV > 4 {
+			t.Errorf("commune %d TGV class but %v km from line", i, com.DistToTGV)
+		}
+		// TGV communes always have 4G (corridor coverage).
+		if com.Urbanization == RuralTGV && com.Coverage != Tech4G {
+			t.Errorf("commune %d on TGV without 4G", i)
+		}
+	}
+	for u := range meanDensity {
+		meanDensity[u] /= float64(count[u])
+	}
+	// Density must strictly decrease urban -> semi-urban -> rural.
+	if !(meanDensity[Urban] > meanDensity[SemiUrban] && meanDensity[SemiUrban] > meanDensity[Rural]) {
+		t.Errorf("density ordering violated: %v", meanDensity)
+	}
+	if meanDensity[Urban] < 3*meanDensity[Rural] {
+		t.Errorf("urban/rural density contrast too weak: %v vs %v",
+			meanDensity[Urban], meanDensity[Rural])
+	}
+}
+
+func TestCoverageStructure(t *testing.T) {
+	c := Generate(DefaultConfig())
+	groups := c.CommunesByUrbanization()
+	frac4G := func(idxs []int) float64 {
+		if len(idxs) == 0 {
+			return 0
+		}
+		n := 0
+		for _, i := range idxs {
+			if c.Communes[i].Coverage == Tech4G {
+				n++
+			}
+		}
+		return float64(n) / float64(len(idxs))
+	}
+	urban := frac4G(groups[Urban])
+	rural := frac4G(groups[Rural])
+	if urban < 0.99 {
+		t.Errorf("urban 4G fraction = %v, want ~1", urban)
+	}
+	if rural > 0.6 {
+		t.Errorf("rural 4G fraction = %v, want clearly below urban", rural)
+	}
+	if urban-rural < 0.3 {
+		t.Errorf("4G gap urban-rural = %v, want >= 0.3", urban-rural)
+	}
+}
+
+func TestNearestCommune(t *testing.T) {
+	c := Generate(SmallConfig())
+	for _, i := range []int{0, 17, len(c.Communes) - 1} {
+		got := c.NearestCommune(c.Communes[i].Center)
+		if got != i {
+			// Jitter can make two centres close; allow equal distance.
+			d1 := c.Communes[got].Center.Dist(c.Communes[i].Center)
+			if d1 > 1e-9 {
+				t.Errorf("NearestCommune(center of %d) = %d (%.3f km away)", i, got, d1)
+			}
+		}
+	}
+}
+
+func TestStringLabels(t *testing.T) {
+	if Urban.String() != "Urban" || RuralTGV.String() != "TGV" {
+		t.Error("urbanization labels wrong")
+	}
+	if Urbanization(99).String() == "" {
+		t.Error("unknown urbanization label empty")
+	}
+	if Tech3G.String() != "3G" || Tech4G.String() != "4G" {
+		t.Error("tech labels wrong")
+	}
+}
+
+func TestTGVLinesCrossCountry(t *testing.T) {
+	c := Generate(SmallConfig())
+	if len(c.TGVLines) == 0 {
+		t.Fatal("no TGV lines")
+	}
+	for i, l := range c.TGVLines {
+		if l.Length() < 10 {
+			t.Errorf("line %d suspiciously short: %v km", i, l.Length())
+		}
+	}
+}
+
+func TestDistTriangleProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		mod := func(v float64) float64 { return math.Mod(v, 1e6) }
+		a := Point{mod(ax), mod(ay)}
+		b := Point{mod(bx), mod(by)}
+		c := Point{mod(cx), mod(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	def := DefaultConfig()
+	if cfg.NumCommunes != def.NumCommunes || cfg.OperatorShare != def.OperatorShare {
+		t.Errorf("withDefaults = %+v", cfg)
+	}
+	// Invalid share falls back.
+	cfg = Config{OperatorShare: 1.5}.withDefaults()
+	if cfg.OperatorShare != def.OperatorShare {
+		t.Errorf("invalid share kept: %v", cfg.OperatorShare)
+	}
+}

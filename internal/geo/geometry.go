@@ -1,0 +1,74 @@
+// Package geo models the spatial substrate of the study: a synthetic
+// country tessellated into communes (the ~36,000 French administrative
+// regions the paper aggregates traffic over), with major cities,
+// high-speed rail (TGV) corridors, INSEE-style urbanization classes and
+// a 3G/4G radio coverage model.
+//
+// The real commune polygons are irrelevant to the paper's statistics —
+// what matters is the joint distribution of population density,
+// distance to cities/corridors and radio technology. The generator
+// reproduces those relationships on a jittered lattice whose cell area
+// matches the real average commune surface (~16 km²).
+package geo
+
+import "math"
+
+// Point is a planar position in kilometres.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points in km.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Polyline is an ordered sequence of points (a rail corridor).
+type Polyline []Point
+
+// Length returns the total polyline length in km.
+func (l Polyline) Length() float64 {
+	var total float64
+	for i := 1; i < len(l); i++ {
+		total += l[i-1].Dist(l[i])
+	}
+	return total
+}
+
+// DistTo returns the minimum distance from p to any segment of the
+// polyline, +Inf for an empty line.
+func (l Polyline) DistTo(p Point) float64 {
+	if len(l) == 0 {
+		return math.Inf(1)
+	}
+	if len(l) == 1 {
+		return l[0].Dist(p)
+	}
+	best := math.Inf(1)
+	for i := 1; i < len(l); i++ {
+		if d := distToSegment(p, l[i-1], l[i]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// distToSegment returns the distance from p to the segment [a, b].
+func distToSegment(p, a, b Point) float64 {
+	abx := b.X - a.X
+	aby := b.Y - a.Y
+	len2 := abx*abx + aby*aby
+	if len2 == 0 {
+		return p.Dist(a)
+	}
+	t := ((p.X-a.X)*abx + (p.Y-a.Y)*aby) / len2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	proj := Point{X: a.X + t*abx, Y: a.Y + t*aby}
+	return p.Dist(proj)
+}

@@ -1,0 +1,102 @@
+// Package gtpsim simulates the mobile network of Fig. 1 at packet
+// granularity: subscribers attach through 3G PDP Contexts (GTPv1-C)
+// or 4G EPS Bearers (GTPv2-C), exchange tunnelled user traffic
+// (GTPv1-U) with service endpoints, hand over between cells, and
+// detach. Every event is emitted as a fully encoded frame exactly as
+// a passive probe on the Gn or S5/S8 interface would capture it.
+//
+// The simulator substitutes for the live operator network the paper
+// measures: at small scale the probe pipeline (internal/probe) decodes
+// these frames back into per-service per-commune aggregates, which the
+// tests then compare against the generating distributions.
+package gtpsim
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/geo"
+)
+
+// Cell is one radio cell of the synthetic network.
+type Cell struct {
+	ID      uint32
+	Commune int // index into Country.Communes
+	// AreaCode is the Routing/Tracking Area the cell belongs to.
+	AreaCode uint16
+	Pos      geo.Point
+}
+
+// CellRegistry maps cell identities to communes — the operator-side
+// knowledge the paper uses to aggregate ULI fixes at commune level.
+type CellRegistry struct {
+	Cells []Cell
+	byID  map[uint32]int
+}
+
+// BuildCells constructs the radio plan: every commune hosts at least
+// one cell, denser communes host more (one per ~15k subscribers, up
+// to 12), placed with a small jitter around the commune centre.
+// AreaCodes group blocks of neighbouring communes, mimicking
+// RA/TA layouts.
+func BuildCells(country *geo.Country, seed uint64) *CellRegistry {
+	rng := rand.New(rand.NewPCG(seed, 0x63656c6c)) // "cell"
+	reg := &CellRegistry{byID: make(map[uint32]int)}
+	var id uint32 = 1
+	for ci := range country.Communes {
+		c := &country.Communes[ci]
+		n := 1 + c.Subscribers/15000
+		if n > 12 {
+			n = 12
+		}
+		for k := 0; k < n; k++ {
+			pos := geo.Point{
+				X: c.Center.X + (rng.Float64()-0.5)*3,
+				Y: c.Center.Y + (rng.Float64()-0.5)*3,
+			}
+			cell := Cell{
+				ID:       id,
+				Commune:  ci,
+				AreaCode: uint16(ci / 64),
+				Pos:      pos,
+			}
+			reg.byID[id] = len(reg.Cells)
+			reg.Cells = append(reg.Cells, cell)
+			id++
+		}
+	}
+	return reg
+}
+
+// CommuneOf resolves a cell identity to its commune index.
+func (r *CellRegistry) CommuneOf(cellID uint32) (int, bool) {
+	idx, ok := r.byID[cellID]
+	if !ok {
+		return 0, false
+	}
+	return r.Cells[idx].Commune, true
+}
+
+// ByID returns the cell with the given identity.
+func (r *CellRegistry) ByID(cellID uint32) (*Cell, bool) {
+	idx, ok := r.byID[cellID]
+	if !ok {
+		return nil, false
+	}
+	return &r.Cells[idx], true
+}
+
+// Nearest returns the cell closest to p. Linear scan — the simulator
+// runs at test scale where this is cheap; a production RAN database
+// would use a spatial index.
+func (r *CellRegistry) Nearest(p geo.Point) *Cell {
+	var best *Cell
+	bestDist := 0.0
+	for i := range r.Cells {
+		d := r.Cells[i].Pos.Dist(p)
+		if best == nil || d < bestDist {
+			best = &r.Cells[i]
+			bestDist = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,407 @@
+package gtpsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"repro/internal/dpi"
+	"repro/internal/geo"
+	"repro/internal/pkt"
+	"repro/internal/services"
+	"repro/internal/timeseries"
+)
+
+// Gateway addresses of the simulated core. The probe distinguishes
+// uplink from downlink frames by which gateway sends them, exactly as
+// a real Gn/S5 tap does.
+var (
+	// AccessGW is the SGSN/S-GW side (radio access network facing).
+	AccessGW = [4]byte{172, 16, 0, 1}
+	// CoreGW is the GGSN/P-GW side (internet facing).
+	CoreGW = [4]byte{172, 16, 0, 2}
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// Sessions is the number of IP sessions to simulate.
+	Sessions int
+	// Start and Duration bound the observation window (defaults: the
+	// study week at 15-minute resolution).
+	Start    time.Time
+	Duration time.Duration
+	// UnclassifiableShare routes this fraction of sessions to
+	// unfingerprinted endpoints (no SNI, unknown prefix), reproducing
+	// the paper's 12% unclassified traffic.
+	UnclassifiableShare float64
+	// HandoverProb is the chance a session performs a mid-life
+	// handover that relocates its ULI to a neighbouring cell.
+	HandoverProb float64
+	// ULISigmaKm is the Gaussian scale of the localization error on
+	// reported positions. 2.55 km makes the *median* 2D error ≈ 3 km,
+	// the figure the paper cites for ULI accuracy.
+	ULISigmaKm float64
+	// MeanSessionKB is the mean downlink volume per session.
+	MeanSessionKB float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns test-scale defaults.
+func DefaultConfig() Config {
+	return Config{
+		Sessions:            2000,
+		Start:               timeseries.StudyStart,
+		Duration:            timeseries.Week,
+		UnclassifiableShare: 0.12,
+		HandoverProb:        0.15,
+		ULISigmaKm:          2.55,
+		MeanSessionKB:       30,
+		Seed:                1,
+	}
+}
+
+// Frame is one captured packet with its observation timestamp.
+type Frame struct {
+	Time time.Time
+	Data []byte
+}
+
+// Stats summarizes ground truth of a run, used by tests to validate
+// the probe against the generator.
+type Stats struct {
+	Frames          int
+	Sessions        int
+	BytesDL         float64
+	BytesUL         float64
+	UnknownBytes    float64 // bytes of unclassifiable sessions (DL+UL)
+	SvcBytesDL      map[string]float64
+	SvcBytesUL      map[string]float64
+	CommuneBytesDL  map[int]float64 // keyed by *true* commune
+	Handovers       int
+	ULIErrorsKm     []float64 // displacement of every reported fix
+	MisattributedKm float64
+}
+
+// MedianULIError returns the median localization error of the run.
+func (s *Stats) MedianULIError() float64 {
+	if len(s.ULIErrorsKm) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.ULIErrorsKm...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}
+
+// Simulator drives the session workload.
+type Simulator struct {
+	Country *geo.Country
+	Catalog []services.Service
+	Cells   *CellRegistry
+	cfg     Config
+
+	rng        *rand.Rand
+	nextTEID   uint32
+	nextSubIP  uint32
+	svcCumul   []float64 // cumulative combined share for service draw
+	comCumul   []float64 // cumulative subscriber share for commune draw
+	profiles   []*timeseries.Series
+	profCumul  [][]float64 // per-service cumulative profile for start times
+	ulOverDL   []float64   // per-service UL/DL byte ratio
+	seqCounter uint32
+}
+
+// New builds a simulator over the given country and catalogue.
+func New(country *geo.Country, catalog []services.Service, cfg Config) (*Simulator, error) {
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("gtpsim: non-positive session count %d", cfg.Sessions)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("gtpsim: non-positive duration %v", cfg.Duration)
+	}
+	if cfg.UnclassifiableShare < 0 || cfg.UnclassifiableShare > 0.9 {
+		return nil, fmt.Errorf("gtpsim: unclassifiable share %v outside [0, 0.9]", cfg.UnclassifiableShare)
+	}
+	s := &Simulator{
+		Country:  country,
+		Catalog:  catalog,
+		Cells:    BuildCells(country, cfg.Seed),
+		cfg:      cfg,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x73696d)), // "sim"
+		nextTEID: 100,
+	}
+	// Service draw: combined DL volume share.
+	var cum float64
+	for i := range catalog {
+		cum += catalog[i].DLShare
+		s.svcCumul = append(s.svcCumul, cum)
+		prof := services.WeeklyProfile(&catalog[i], 15*time.Minute, services.DL)
+		s.profiles = append(s.profiles, prof)
+		pc := make([]float64, prof.Len())
+		var c float64
+		for j, v := range prof.Values {
+			c += v
+			pc[j] = c
+		}
+		s.profCumul = append(s.profCumul, pc)
+		ratio := catalog[i].ULShare * services.ULToDLRatio / catalog[i].DLShare
+		s.ulOverDL = append(s.ulOverDL, ratio)
+	}
+	// Commune draw: subscriber-weighted.
+	cum = 0
+	for i := range country.Communes {
+		cum += float64(country.Communes[i].Subscribers)
+		s.comCumul = append(s.comCumul, cum)
+	}
+	return s, nil
+}
+
+func (s *Simulator) teid() uint32 {
+	s.nextTEID++
+	return s.nextTEID
+}
+
+func (s *Simulator) seq() uint32 {
+	s.seqCounter++
+	return s.seqCounter
+}
+
+// drawIndex picks an index from a cumulative weight table.
+func (s *Simulator) drawIndex(cumul []float64) int {
+	x := s.rng.Float64() * cumul[len(cumul)-1]
+	return sort.SearchFloat64s(cumul, x)
+}
+
+// Run simulates all sessions and returns the captured frames sorted by
+// time, together with the ground-truth statistics.
+func (s *Simulator) Run() ([]Frame, *Stats) {
+	stats := &Stats{
+		SvcBytesDL:     map[string]float64{},
+		SvcBytesUL:     map[string]float64{},
+		CommuneBytesDL: map[int]float64{},
+	}
+	var frames []Frame
+	for i := 0; i < s.cfg.Sessions; i++ {
+		frames = append(frames, s.session(stats)...)
+	}
+	sort.Slice(frames, func(a, b int) bool { return frames[a].Time.Before(frames[b].Time) })
+	stats.Frames = len(frames)
+	stats.Sessions = s.cfg.Sessions
+	return frames, stats
+}
+
+// session generates one full session lifecycle.
+func (s *Simulator) session(stats *Stats) []Frame {
+	communeIdx := s.drawIndex(s.comCumul)
+	commune := &s.Country.Communes[communeIdx]
+	svcIdx := s.drawIndex(s.svcCumul)
+	svc := &s.Catalog[svcIdx]
+
+	unclassifiable := s.rng.Float64() < s.cfg.UnclassifiableShare
+
+	// Start time from the service's weekly profile.
+	pc := s.profCumul[svcIdx]
+	binIdx := s.drawIndex(pc)
+	prof := s.profiles[svcIdx]
+	start := prof.TimeAt(binIdx).Add(time.Duration(s.rng.Float64() * float64(prof.Step)))
+	sessionLife := time.Duration(1+s.rng.IntN(25)) * time.Minute
+
+	// True and reported positions: the ULI error model.
+	truePos := geo.Point{
+		X: commune.Center.X + (s.rng.Float64()-0.5)*3,
+		Y: commune.Center.Y + (s.rng.Float64()-0.5)*3,
+	}
+	reported := geo.Point{
+		X: truePos.X + s.rng.NormFloat64()*s.cfg.ULISigmaKm,
+		Y: truePos.Y + s.rng.NormFloat64()*s.cfg.ULISigmaKm,
+	}
+	cell := s.Cells.Nearest(reported)
+	stats.ULIErrorsKm = append(stats.ULIErrorsKm, truePos.Dist(cell.Pos))
+
+	is4G := commune.Coverage == geo.Tech4G
+	ctrlTEID := s.teid()
+	dataTEID := s.teid()
+	subID := uint64(s.rng.Uint64())
+
+	ueIP := s.ueIP()
+	serverIP := s.serverIP(svcIdx, unclassifiable)
+
+	var frames []Frame
+	uli := pkt.ULI{AreaCode: cell.AreaCode, CellID: cell.ID}
+	frames = append(frames, s.controlFrames(start, is4G, false, ctrlTEID, dataTEID, subID, uli)...)
+
+	// Traffic: DL-heavy with the per-service UL/DL ratio.
+	dlBytes := s.cfg.MeanSessionKB * 1024 * math.Exp(s.rng.NormFloat64()*0.8-0.32)
+	ulBytes := dlBytes * s.ulOverDL[svcIdx]
+	if unclassifiable {
+		stats.UnknownBytes += dlBytes + ulBytes
+	} else {
+		stats.SvcBytesDL[svc.Name] += dlBytes
+		stats.SvcBytesUL[svc.Name] += ulBytes
+	}
+	stats.BytesDL += dlBytes
+	stats.BytesUL += ulBytes
+	stats.CommuneBytesDL[communeIdx] += dlBytes
+
+	// Optional handover mid-session.
+	handoverAt := time.Time{}
+	if s.rng.Float64() < s.cfg.HandoverProb {
+		handoverAt = start.Add(sessionLife / 2)
+		stats.Handovers++
+	}
+
+	frames = append(frames, s.dataFrames(start, sessionLife, svcIdx, unclassifiable,
+		dataTEID, ueIP, serverIP, dlBytes, ulBytes)...)
+
+	if !handoverAt.IsZero() {
+		// Move to another cell ~5 km away; may cross commune borders.
+		newPos := geo.Point{X: truePos.X + 5, Y: truePos.Y}
+		newCell := s.Cells.Nearest(newPos)
+		frames = append(frames, s.controlFrames(handoverAt, is4G, true, ctrlTEID, dataTEID, subID,
+			pkt.ULI{AreaCode: newCell.AreaCode, CellID: newCell.ID})...)
+	}
+
+	frames = append(frames, s.deleteFrames(start.Add(sessionLife), is4G, ctrlTEID)...)
+	return frames
+}
+
+func (s *Simulator) ueIP() [4]byte {
+	s.nextSubIP++
+	v := s.nextSubIP
+	return [4]byte{10, byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+func (s *Simulator) serverIP(svcIdx int, unclassifiable bool) [4]byte {
+	if unclassifiable {
+		return [4]byte{dpi.UnknownPrefix[0], dpi.UnknownPrefix[1], byte(s.rng.IntN(256)), byte(1 + s.rng.IntN(254))}
+	}
+	p := dpi.PrefixFor(svcIdx)
+	return [4]byte{p[0], p[1], byte(s.rng.IntN(256)), byte(1 + s.rng.IntN(254))}
+}
+
+// controlFrames emits a Create (or Modify/Update, when modify is true)
+// exchange carrying the ULI.
+func (s *Simulator) controlFrames(at time.Time, is4G, modify bool, ctrlTEID, dataTEID uint32, subID uint64, uli pkt.ULI) []Frame {
+	var req, resp []byte
+	if is4G {
+		m := &pkt.GTPv2C{
+			MessageType: pkt.GTPv2MsgCreateSessionRequest,
+			TEID:        ctrlTEID, Sequence: s.seq(),
+			DataTEID: dataTEID, HasDataTEID: true,
+			SubscriberID: subID, HasSubscriber: true,
+			Location: uli, HasULI: true,
+		}
+		if modify {
+			m.MessageType = pkt.GTPv2MsgModifyBearerRequest
+		}
+		req = m.SerializeTo(nil, nil)
+		r := &pkt.GTPv2C{MessageType: m.MessageType + 1, TEID: ctrlTEID, Sequence: m.Sequence}
+		resp = r.SerializeTo(nil, nil)
+	} else {
+		m := &pkt.GTPv1C{
+			MessageType: pkt.GTPv1MsgCreatePDPRequest,
+			TEID:        ctrlTEID, Sequence: uint16(s.seq()),
+			DataTEID: dataTEID, HasDataTEID: true,
+			SubscriberID: subID, HasSubscriber: true,
+			Location: uli, HasULI: true,
+		}
+		if modify {
+			m.MessageType = pkt.GTPv1MsgUpdatePDPRequest
+		}
+		req = m.SerializeTo(nil, nil)
+		r := &pkt.GTPv1C{MessageType: m.MessageType + 1, TEID: ctrlTEID, Sequence: m.Sequence}
+		resp = r.SerializeTo(nil, nil)
+	}
+	return []Frame{
+		{Time: at, Data: s.wrap(AccessGW, CoreGW, pkt.PortGTPC, req)},
+		{Time: at.Add(20 * time.Millisecond), Data: s.wrap(CoreGW, AccessGW, pkt.PortGTPC, resp)},
+	}
+}
+
+func (s *Simulator) deleteFrames(at time.Time, is4G bool, ctrlTEID uint32) []Frame {
+	var req []byte
+	if is4G {
+		m := &pkt.GTPv2C{MessageType: pkt.GTPv2MsgDeleteSessionRequest, TEID: ctrlTEID, Sequence: s.seq()}
+		req = m.SerializeTo(nil, nil)
+	} else {
+		m := &pkt.GTPv1C{MessageType: pkt.GTPv1MsgDeletePDPRequest, TEID: ctrlTEID, Sequence: uint16(s.seq())}
+		req = m.SerializeTo(nil, nil)
+	}
+	return []Frame{{Time: at, Data: s.wrap(AccessGW, CoreGW, pkt.PortGTPC, req)}}
+}
+
+// dataFrames emits the tunnelled user traffic of a session. The first
+// uplink packet carries the TLS ClientHello with the service SNI
+// (except for unclassifiable sessions).
+func (s *Simulator) dataFrames(start time.Time, life time.Duration, svcIdx int, unclassifiable bool,
+	dataTEID uint32, ueIP, serverIP [4]byte, dlBytes, ulBytes float64) []Frame {
+
+	const mss = 1340
+	uePort := uint16(40000 + s.rng.IntN(20000))
+	serverPort := uint16(443)
+	if !unclassifiable && s.Catalog[svcIdx].Name == "MMS" {
+		serverPort = dpi.MMSPort
+	}
+
+	var frames []Frame
+	emit := func(at time.Time, srcIP, dstIP [4]byte, srcPort, dstPort uint16, payload []byte, uplink bool) {
+		tcp := &pkt.TCP{SrcPort: srcPort, DstPort: dstPort, Flags: pkt.TCPAck, Window: 65535}
+		tcp.SetChecksumIPs(srcIP, dstIP)
+		seg := tcp.SerializeTo(nil, payload)
+		inner := (&pkt.IPv4{TTL: 60, Protocol: pkt.IPProtoTCP, SrcIP: srcIP, DstIP: dstIP}).SerializeTo(nil, seg)
+		gtpu := &pkt.GTPv1U{MessageType: pkt.GTPMsgGPDU, TEID: dataTEID}
+		tun := gtpu.SerializeTo(nil, inner)
+		outerSrc, outerDst := AccessGW, CoreGW
+		if !uplink {
+			outerSrc, outerDst = CoreGW, AccessGW
+		}
+		frames = append(frames, Frame{Time: at, Data: s.wrap(outerSrc, outerDst, pkt.PortGTPU, tun)})
+	}
+
+	// First uplink packet: the TLS handshake opener.
+	var hello []byte
+	if unclassifiable {
+		hello = []byte{0x16, 0x03, 0x01, 0x00, 0x02, 0xff, 0xff} // opaque, SNI-free
+	} else {
+		hello = dpi.BuildClientHello(dpi.ServiceHost(s.Catalog[svcIdx].Name))
+	}
+	emit(start.Add(50*time.Millisecond), ueIP, serverIP, uePort, serverPort, hello, true)
+
+	nDL := int(dlBytes/mss) + 1
+	for i := 0; i < nDL; i++ {
+		size := mss
+		if rem := int(dlBytes) - i*mss; rem < mss {
+			size = rem
+		}
+		if size <= 0 {
+			break
+		}
+		at := start.Add(time.Duration(float64(life) * float64(i+1) / float64(nDL+1)))
+		emit(at, serverIP, ueIP, serverPort, uePort, make([]byte, size), false)
+	}
+	// Uplink data rides in full segments (posts, uploads, ACK piggyback
+	// is ignored): one packet per MSS, so small uplink volumes become a
+	// single adequately sized packet rather than a spray of tiny ones.
+	ulRemaining := int(ulBytes) - len(hello)
+	nUL := ulRemaining/mss + 1
+	for i := 0; i < nUL && ulRemaining > 0; i++ {
+		size := mss
+		if ulRemaining < mss {
+			size = ulRemaining
+		}
+		at := start.Add(time.Duration(float64(life) * float64(i+1) / float64(nUL+1))).Add(3 * time.Millisecond)
+		emit(at, ueIP, serverIP, uePort, serverPort, make([]byte, size), true)
+		ulRemaining -= size
+	}
+	return frames
+}
+
+// wrap encapsulates a GTP message in UDP/IP between the gateways.
+func (s *Simulator) wrap(src, dst [4]byte, dstPort uint16, gtp []byte) []byte {
+	udp := &pkt.UDP{SrcPort: uint16(32000 + s.rng.IntN(1000)), DstPort: dstPort}
+	seg := udp.SerializeTo(nil, gtp)
+	ip := &pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoUDP, SrcIP: src, DstIP: dst}
+	return ip.SerializeTo(nil, seg)
+}

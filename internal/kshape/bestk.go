@@ -1,0 +1,138 @@
+package kshape
+
+import (
+	"fmt"
+	"math"
+)
+
+// BestKResult is the outcome of a silhouette-guided model selection.
+type BestKResult struct {
+	K          int
+	Silhouette float64
+	Result     *Result
+	// ByK lists the silhouette of every candidate k (NaN when the
+	// clustering degenerated), for Fig. 5-style inspection.
+	ByK map[int]float64
+}
+
+// SelectK runs k-Shape for every k in [kMin, kMax] and returns the
+// clustering with the best mean silhouette under the shape-based
+// distance. When no k clearly wins — silhouettes decreasing in k with
+// the maximum at kMin, the paper's Fig. 5 situation — the caller
+// should treat the selection as evidence *against* a natural grouping
+// rather than as a model choice; Decisive reports that distinction.
+func SelectK(series [][]float64, kMin, kMax int, opts Options) (*BestKResult, error) {
+	if kMin < 2 || kMax < kMin || kMax >= len(series) {
+		return nil, fmt.Errorf("kshape: SelectK range [%d, %d] invalid for %d series", kMin, kMax, len(series))
+	}
+	best := &BestKResult{K: 0, Silhouette: math.Inf(-1), ByK: map[int]float64{}}
+	for k := kMin; k <= kMax; k++ {
+		res, err := Cluster(series, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		sil, err := silhouetteOf(series, res, k, opts)
+		if err != nil {
+			best.ByK[k] = math.NaN()
+			continue
+		}
+		best.ByK[k] = sil
+		if sil > best.Silhouette {
+			best.K, best.Silhouette, best.Result = k, sil, res
+		}
+	}
+	if best.Result == nil {
+		return nil, fmt.Errorf("kshape: every k in [%d, %d] degenerated", kMin, kMax)
+	}
+	return best, nil
+}
+
+// Decisive reports whether the selected k actually dominates: its
+// silhouette must beat the runner-up by margin. The Fig. 5 pattern
+// (monotone decay from kMin) is not decisive.
+func (r *BestKResult) Decisive(margin float64) bool {
+	runnerUp := math.Inf(-1)
+	for k, s := range r.ByK {
+		if k != r.K && !math.IsNaN(s) && s > runnerUp {
+			runnerUp = s
+		}
+	}
+	return r.Silhouette-runnerUp >= margin
+}
+
+// silhouetteOf computes the mean silhouette of a k-Shape result using
+// the same normalization the clustering used.
+func silhouetteOf(series [][]float64, res *Result, k int, opts Options) (float64, error) {
+	data := series
+	if opts.ZNormalize {
+		data = make([][]float64, len(series))
+		for i, s := range series {
+			data[i] = zNorm(s)
+		}
+	}
+	// Inline mean-silhouette with SBD (avoids a dependency cycle with
+	// the cvi package, which imports nothing from kshape but is used
+	// together with it by callers).
+	n := len(data)
+	counts := make([]int, k)
+	for _, a := range res.Assign {
+		counts[a]++
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		own := res.Assign[i]
+		if counts[own] == 1 {
+			continue
+		}
+		sums := make([]float64, k)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d, _ := SBD(data[i], data[j])
+			sums[res.Assign[j]] += d
+		}
+		a := sums[own] / float64(counts[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if denom := math.Max(a, b); denom > 0 {
+			total += (b - a) / denom
+		}
+	}
+	return total / float64(n), nil
+}
+
+// zNorm is a local z-normalization (duplicated from timeseries to keep
+// this file free of imports beyond the stdlib).
+func zNorm(x []float64) []float64 {
+	out := make([]float64, len(x))
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	if len(x) == 0 {
+		return out
+	}
+	mean /= float64(len(x))
+	var variance float64
+	for _, v := range x {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(len(x))
+	std := math.Sqrt(variance)
+	if std == 0 {
+		return out
+	}
+	for i, v := range x {
+		out[i] = (v - mean) / std
+	}
+	return out
+}

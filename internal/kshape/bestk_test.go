@@ -1,0 +1,82 @@
+package kshape
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSelectKFindsTrueK(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	series, _ := makeShapeFamilies(rng, 3, 6, 96, 4)
+	best, err := SelectK(series, 2, 6, Options{Seed: 5, ZNormalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.K != 3 {
+		t.Errorf("SelectK chose k=%d (silhouettes %v), want 3", best.K, best.ByK)
+	}
+	if best.Silhouette < 0.5 {
+		t.Errorf("best silhouette = %v, want strong structure", best.Silhouette)
+	}
+	if !best.Decisive(0.05) {
+		t.Errorf("3 clear families should be decisive: %v", best.ByK)
+	}
+	if len(best.Result.Assign) != len(series) {
+		t.Error("result missing assignments")
+	}
+}
+
+func TestSelectKIndecisiveOnUnstructuredData(t *testing.T) {
+	// 20 unrelated random walks: no natural k (the paper's situation).
+	rng := rand.New(rand.NewPCG(31, 32))
+	series := make([][]float64, 20)
+	for i := range series {
+		series[i] = make([]float64, 96)
+		v := 0.0
+		for j := range series[i] {
+			v += rng.NormFloat64()
+			series[i][j] = v
+		}
+	}
+	best, err := SelectK(series, 2, 10, Options{Seed: 1, ZNormalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Decisive(0.15) {
+		t.Errorf("random walks should not produce a decisive k: best %d with %v",
+			best.K, best.ByK)
+	}
+}
+
+func TestSelectKValidation(t *testing.T) {
+	series := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	if _, err := SelectK(series, 1, 2, Options{}); err == nil {
+		t.Error("kMin < 2: want error")
+	}
+	if _, err := SelectK(series, 2, 5, Options{}); err == nil {
+		t.Error("kMax >= n: want error")
+	}
+	if _, err := SelectK(series, 3, 2, Options{}); err == nil {
+		t.Error("kMax < kMin: want error")
+	}
+}
+
+func TestSelectKByKComplete(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	series, _ := makeShapeFamilies(rng, 2, 5, 64, 3)
+	best, err := SelectK(series, 2, 5, Options{Seed: 2, ZNormalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= 5; k++ {
+		if _, ok := best.ByK[k]; !ok {
+			t.Errorf("ByK missing k=%d", k)
+		}
+	}
+	for k, s := range best.ByK {
+		if !math.IsNaN(s) && (s < -1 || s > 1) {
+			t.Errorf("silhouette out of range at k=%d: %v", k, s)
+		}
+	}
+}

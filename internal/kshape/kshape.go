@@ -1,0 +1,235 @@
+package kshape
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/mat"
+	"repro/internal/timeseries"
+)
+
+// Options configures a clustering run.
+type Options struct {
+	// MaxIter bounds the assignment/refinement loop (default 100).
+	MaxIter int
+	// Seed makes the random initial assignment reproducible.
+	Seed uint64
+	// ZNormalize applies z-normalization to every input series before
+	// clustering (the canonical k-Shape preprocessing). Enabled by the
+	// high-level pipeline; disable only for pre-normalized input.
+	ZNormalize bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	return o
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Assign maps each input series to its cluster in [0, K).
+	Assign []int
+	// Centroids holds one extracted shape per cluster, z-normalized.
+	Centroids [][]float64
+	// Iterations is the number of refinement rounds executed.
+	Iterations int
+	// Inertia is the sum of SBD distances of members to their centroid
+	// (lower is tighter).
+	Inertia float64
+}
+
+// Cluster runs k-Shape over the series set. All series must share the
+// same positive length. It returns an error for k < 1, k > len(series)
+// or inconsistent lengths.
+func Cluster(series [][]float64, k int, opts Options) (*Result, error) {
+	if err := validate(series, k); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	n := len(series)
+	m := len(series[0])
+
+	data := series
+	if opts.ZNormalize {
+		data = make([][]float64, n)
+		for i, s := range series {
+			data[i] = timeseries.ZNormalize(s)
+		}
+	}
+
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x6b736861)) // "ksha"
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = rng.IntN(k)
+	}
+	centroids := make([][]float64, k)
+	for c := range centroids {
+		centroids[c] = make([]float64, m)
+	}
+
+	var iter int
+	for iter = 0; iter < opts.MaxIter; iter++ {
+		// Refinement: extract the shape of every cluster.
+		for c := 0; c < k; c++ {
+			centroids[c] = extractShape(data, assign, c, centroids[c])
+		}
+		// Assignment: move each series to the closest shape.
+		changed := false
+		for i, s := range data {
+			best, bestDist := assign[i], 2.1 // SBD upper bound is 2
+			for c := 0; c < k; c++ {
+				d, _ := SBD(centroids[c], s)
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if best != assign[i] {
+				assign[i] = best
+				changed = true
+			}
+		}
+		fixEmptyClusters(data, assign, centroids, k, rng)
+		if !changed {
+			iter++
+			break
+		}
+	}
+
+	res := &Result{Assign: assign, Centroids: centroids, Iterations: iter}
+	for i, s := range data {
+		d, _ := SBD(centroids[assign[i]], s)
+		res.Inertia += d
+	}
+	return res, nil
+}
+
+func validate(series [][]float64, k int) error {
+	if len(series) == 0 {
+		return errors.New("kshape: no input series")
+	}
+	if k < 1 || k > len(series) {
+		return fmt.Errorf("kshape: k=%d outside [1, %d]", k, len(series))
+	}
+	m := len(series[0])
+	if m == 0 {
+		return errors.New("kshape: zero-length series")
+	}
+	for i, s := range series {
+		if len(s) != m {
+			return fmt.Errorf("kshape: series %d has length %d, want %d", i, len(s), m)
+		}
+	}
+	return nil
+}
+
+// extractShape computes the new centroid of cluster c: the dominant
+// eigenvector of Qᵀ·(XᵀX)·Q where X stacks the cluster members aligned
+// to the previous centroid and Q = I - (1/m)·1 centers the columns.
+func extractShape(data [][]float64, assign []int, c int, prev []float64) []float64 {
+	m := len(prev)
+	var members [][]float64
+	for i, a := range assign {
+		if a == c {
+			members = append(members, AlignTo(prev, data[i]))
+		}
+	}
+	if len(members) == 0 {
+		return make([]float64, m)
+	}
+	// S = XᵀX (m×m), built directly to avoid materializing X twice.
+	s := mat.NewDense(m, m)
+	for _, row := range members {
+		zr := timeseries.ZNormalize(row)
+		for a := 0; a < m; a++ {
+			va := zr[a]
+			if va == 0 {
+				continue
+			}
+			out := s.Data[a*m : (a+1)*m]
+			for b := 0; b < m; b++ {
+				out[b] += va * zr[b]
+			}
+		}
+	}
+	// M = Qᵀ·S·Q with Q = I - (1/m)·ones. Expanding, M = S - 1·rᵀ - r·1ᵀ + g·1·1ᵀ
+	// where r is the column-mean vector of S and g the grand mean.
+	colMean := make([]float64, m)
+	var grand float64
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			colMean[b] += s.At(a, b)
+		}
+	}
+	for b := 0; b < m; b++ {
+		colMean[b] /= float64(m)
+		grand += colMean[b]
+	}
+	grand /= float64(m)
+	mm := mat.NewDense(m, m)
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			mm.Set(a, b, s.At(a, b)-colMean[a]-colMean[b]+grand)
+		}
+	}
+	// Dominant eigenvector; M is PSD so power iteration is safe.
+	_, vec, err := mat.PowerIteration(mm, prev, 200, 1e-10)
+	if err != nil {
+		return make([]float64, m)
+	}
+	// The eigenvector's sign is arbitrary: pick the orientation closer
+	// to the cluster members.
+	centroid := timeseries.ZNormalize(vec)
+	flipped := make([]float64, m)
+	for i, v := range centroid {
+		flipped[i] = -v
+	}
+	var dPlus, dMinus float64
+	for _, row := range members {
+		dp, _ := SBD(centroid, row)
+		dm, _ := SBD(flipped, row)
+		dPlus += dp
+		dMinus += dm
+	}
+	if dMinus < dPlus {
+		return flipped
+	}
+	return centroid
+}
+
+// fixEmptyClusters reassigns one random member into any empty cluster
+// so the algorithm keeps exactly k groups (standard k-Shape practice).
+func fixEmptyClusters(data [][]float64, assign []int, centroids [][]float64, k int, rng *rand.Rand) {
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			continue
+		}
+		// Steal a member from the largest cluster.
+		largest := 0
+		for j := range counts {
+			if counts[j] > counts[largest] {
+				largest = j
+			}
+		}
+		if counts[largest] <= 1 {
+			continue
+		}
+		candidates := make([]int, 0, counts[largest])
+		for i, a := range assign {
+			if a == largest {
+				candidates = append(candidates, i)
+			}
+		}
+		pick := candidates[rng.IntN(len(candidates))]
+		assign[pick] = c
+		counts[largest]--
+		counts[c]++
+		copy(centroids[c], data[pick])
+	}
+}

@@ -1,0 +1,279 @@
+package mat
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseAtSet(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Errorf("zero value not preserved: %v", m.At(0, 0))
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(0, 3) did not panic")
+		}
+	}()
+	NewDense(0, 3)
+}
+
+func TestMulKnown(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := &Dense{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	c := Mul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if math.Abs(c.Data[i]-v) > 1e-12 {
+			t.Errorf("Mul[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul with mismatched dims did not panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	at := Transpose(a)
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("Transpose dims = %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Errorf("Transpose(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 3, Data: []float64{1, 0, 2, 0, 3, 0}}
+	got := a.MulVec([]float64{1, 2, 3})
+	if got[0] != 7 || got[1] != 6 {
+		t.Errorf("MulVec = %v, want [7 6]", got)
+	}
+}
+
+func TestEigenSym2x2Analytic(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+	a := &Dense{Rows: 2, Cols: 2, Data: []float64{2, 1, 1, 2}}
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// First eigenvector is ±(1,1)/√2.
+	v0 := []float64{vecs.At(0, 0), vecs.At(1, 0)}
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 1e-9 || math.Abs(v0[0]-v0[1]) > 1e-9 {
+		t.Errorf("dominant eigenvector = %v", v0)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewDense(3, 3)
+	a.Set(0, 0, -1)
+	a.Set(1, 1, 5)
+	a.Set(2, 2, 2)
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 2, -1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestEigenSymErrors(t *testing.T) {
+	if _, _, err := EigenSym(NewDense(2, 3)); err == nil {
+		t.Error("EigenSym on non-square matrix: want error")
+	}
+	a := NewDense(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	if _, _, err := EigenSym(a); err == nil {
+		t.Error("EigenSym on non-symmetric matrix: want error")
+	}
+}
+
+// randomSymmetric builds a random symmetric matrix with a controlled
+// spectrum for property tests.
+func randomSymmetric(rng *rand.Rand, n int) *Dense {
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestEigenSymReconstructionProperty(t *testing.T) {
+	// A·v_i == λ_i·v_i for every eigenpair, and Σλ_i == trace(A).
+	f := func(seed uint64, sizeRaw uint8) bool {
+		n := int(sizeRaw%6) + 2 // 2..7
+		rng := rand.New(rand.NewPCG(seed, 5))
+		a := randomSymmetric(rng, n)
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += vals[i]
+		}
+		if math.Abs(trace-sum) > 1e-8*(1+math.Abs(trace)) {
+			return false
+		}
+		for col := 0; col < n; col++ {
+			v := make([]float64, n)
+			for row := 0; row < n; row++ {
+				v[row] = vecs.At(row, col)
+			}
+			av := a.MulVec(v)
+			for row := 0; row < n; row++ {
+				if math.Abs(av[row]-vals[col]*v[row]) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigenSymOrthonormalVectorsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		n := rng.IntN(5) + 2
+		a := randomSymmetric(rng, n)
+		_, vecs, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			vi := make([]float64, n)
+			for r := 0; r < n; r++ {
+				vi[r] = vecs.At(r, i)
+			}
+			for j := i; j < n; j++ {
+				vj := make([]float64, n)
+				for r := 0; r < n; r++ {
+					vj[r] = vecs.At(r, j)
+				}
+				dot := Dot(vi, vj)
+				want := 0.0
+				if i == j {
+					want = 1.0
+				}
+				if math.Abs(dot-want) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerIterationMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 17))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.IntN(8) + 2
+		a := randomSymmetric(rng, n)
+		// Power iteration converges to the eigenvalue of largest
+		// magnitude; shift the spectrum to make it positive definite so
+		// largest magnitude == largest value.
+		shift := 0.0
+		vals0, _, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals0 {
+			if -v > shift {
+				shift = -v
+			}
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+shift+1)
+		}
+		wantVals, _, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Skip near-degenerate dominant pairs where power iteration is slow.
+		if wantVals[0]-wantVals[1] < 1e-3 {
+			continue
+		}
+		got, vec, err := PowerIteration(a, nil, 3000, 1e-14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-wantVals[0]) > 1e-6*(1+math.Abs(wantVals[0])) {
+			t.Errorf("trial %d: PowerIteration λ = %v, Jacobi λ = %v", trial, got, wantVals[0])
+		}
+		av := a.MulVec(vec)
+		for i := range av {
+			if math.Abs(av[i]-got*vec[i]) > 1e-5 {
+				t.Errorf("trial %d: residual too large at %d", trial, i)
+				break
+			}
+		}
+	}
+}
+
+func TestPowerIterationZeroMatrix(t *testing.T) {
+	a := NewDense(3, 3)
+	val, vec, err := PowerIteration(a, nil, 100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 0 {
+		t.Errorf("zero matrix dominant eigenvalue = %v, want 0", val)
+	}
+	if len(vec) != 3 {
+		t.Errorf("vector length = %d", len(vec))
+	}
+}
+
+func TestNormalizeAndHelpers(t *testing.T) {
+	v := Normalize([]float64{3, 4})
+	if math.Abs(Norm2(v)-1) > 1e-12 {
+		t.Errorf("Normalize norm = %v", Norm2(v))
+	}
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("Normalize zero vector changed: %v", z)
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("Dot incorrect")
+	}
+}

@@ -1,0 +1,171 @@
+package peaks
+
+import (
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// TopicalTime enumerates the seven recurring moments of the week at
+// which the paper finds all mobile-service activity peaks concentrate
+// (Fig. 6): weekend midday and evening, plus five working-day slots.
+type TopicalTime int
+
+const (
+	// WeekendMidday is around 1pm on Saturday or Sunday.
+	WeekendMidday TopicalTime = iota
+	// WeekendEvening is around 9pm on Saturday or Sunday.
+	WeekendEvening
+	// MorningCommute is around 8am on a working day.
+	MorningCommute
+	// MorningBreak is around 10am on a working day (the paper links it
+	// to the pause between classes for student-heavy services).
+	MorningBreak
+	// Midday is around 1pm on a working day.
+	Midday
+	// AfternoonCommute is around 6pm on a working day.
+	AfternoonCommute
+	// Evening is around 9pm on a working day.
+	Evening
+	// NoTopicalTime marks a peak outside every topical window.
+	NoTopicalTime
+)
+
+// NumTopicalTimes is the count of real topical times (excluding
+// NoTopicalTime).
+const NumTopicalTimes = 7
+
+// String returns the paper's label for the topical time.
+func (tt TopicalTime) String() string {
+	switch tt {
+	case WeekendMidday:
+		return "Weekend midday"
+	case WeekendEvening:
+		return "Weekend evening"
+	case MorningCommute:
+		return "Morning commuting"
+	case MorningBreak:
+		return "Morning break"
+	case Midday:
+		return "Midday"
+	case AfternoonCommute:
+		return "Afternoon commuting"
+	case Evening:
+		return "Evening"
+	default:
+		return "None"
+	}
+}
+
+// topicalWindow describes the tolerance window of one topical time, in
+// fractional hours of the day.
+type topicalWindow struct {
+	tt       TopicalTime
+	weekend  bool
+	from, to float64 // [from, to) in hours
+}
+
+// The windows partition the plausible peak hours; centers follow the
+// paper (8am, 10am, 1pm, 6pm, 9pm weekdays; 1pm, 9pm weekends).
+var topicalWindows = []topicalWindow{
+	{WeekendMidday, true, 11, 15.5},
+	{WeekendEvening, true, 19, 23.5},
+	{MorningCommute, false, 6.5, 9},
+	{MorningBreak, false, 9, 11.5},
+	{Midday, false, 11.5, 15.5},
+	{AfternoonCommute, false, 16.5, 19.5},
+	{Evening, false, 19.5, 23.5},
+}
+
+// AssignTopical maps an instant to its topical time, or NoTopicalTime
+// when the instant lies outside every window (e.g. 4am).
+func AssignTopical(t time.Time) TopicalTime {
+	weekend := timeseries.IsWeekend(t)
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	for _, w := range topicalWindows {
+		if w.weekend == weekend && hour >= w.from && hour < w.to {
+			return w.tt
+		}
+	}
+	return NoTopicalTime
+}
+
+// Calendar is the per-service peak fingerprint of Fig. 6: which topical
+// times show at least one activity peak, and the strongest intensity
+// observed in each.
+type Calendar struct {
+	// Present marks topical times with at least one detected peak.
+	Present [NumTopicalTimes]bool
+	// Intensity is the maximum Peak.Intensity() observed per topical
+	// time (0 when absent, as Fig. 7 plots ratios per slot).
+	Intensity [NumTopicalTimes]float64
+}
+
+// BuildCalendar detects peaks in the series with the given parameters
+// and folds them into the topical-time calendar. Peaks falling outside
+// every topical window are counted in the returned outside value — the
+// paper reports this is empirically zero for its 20 services, a
+// property the integration tests assert on synthetic data.
+func BuildCalendar(s *timeseries.Series, p Params) (Calendar, int, error) {
+	var cal Calendar
+	pks, err := DetectPeaks(s.Values, p)
+	if err != nil {
+		return cal, 0, err
+	}
+	outside := 0
+	for _, pk := range pks {
+		// Single-sample flags and sub-3% excursions are measurement
+		// noise, not activity peaks: a real usage surge is sustained
+		// over multiple samples (>= 30 minutes at the default
+		// resolution) and lifts traffic by tens of percent (Fig. 7's
+		// smallest intensities are ≈ 5%).
+		if pk.Duration() < 2 || pk.Intensity() < 0.03 {
+			continue
+		}
+		// A peak belongs to the topical time of its apex: the detector
+		// flags the rising front a few samples early, but the moment of
+		// maximum activity is what Fig. 6's calendar records.
+		tt := AssignTopical(s.TimeAt(pk.MaxIdx))
+		if tt == NoTopicalTime {
+			tt = AssignTopical(s.TimeAt(pk.Start))
+		}
+		if tt == NoTopicalTime {
+			mid := (pk.Start + pk.End) / 2
+			tt = AssignTopical(s.TimeAt(mid))
+		}
+		if tt == NoTopicalTime {
+			outside++
+			continue
+		}
+		cal.Present[tt] = true
+		if in := pk.Intensity(); in > cal.Intensity[tt] {
+			cal.Intensity[tt] = in
+		}
+	}
+	return cal, outside, nil
+}
+
+// Count returns how many topical times are present in the calendar.
+func (c Calendar) Count() int {
+	n := 0
+	for _, p := range c.Present {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// Distance returns the Hamming distance between two calendars — the
+// number of topical times where one service peaks and the other does
+// not. Fig. 6's qualitative claim is that most service pairs are at
+// distance >= 1 even within a category.
+func (c Calendar) Distance(other Calendar) int {
+	d := 0
+	for i := range c.Present {
+		if c.Present[i] != other.Present[i] {
+			d++
+		}
+	}
+	return d
+}

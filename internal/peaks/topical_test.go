@@ -1,0 +1,154 @@
+package peaks
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// saturday returns the study Saturday at the given fractional hour.
+func saturday(hour float64) time.Time {
+	return timeseries.StudyStart.Add(time.Duration(hour * float64(time.Hour)))
+}
+
+// monday returns the study Monday at the given fractional hour.
+func monday(hour float64) time.Time {
+	return timeseries.StudyStart.Add(48 * time.Hour).Add(time.Duration(hour * float64(time.Hour)))
+}
+
+func TestAssignTopical(t *testing.T) {
+	cases := []struct {
+		at   time.Time
+		want TopicalTime
+	}{
+		{saturday(13), WeekendMidday},
+		{saturday(21), WeekendEvening},
+		{saturday(8), NoTopicalTime}, // no weekend morning-commute slot
+		{monday(8), MorningCommute},
+		{monday(10), MorningBreak},
+		{monday(13), Midday},
+		{monday(18), AfternoonCommute},
+		{monday(21), Evening},
+		{monday(3), NoTopicalTime},
+		{monday(15.6), NoTopicalTime},
+	}
+	for _, c := range cases {
+		if got := AssignTopical(c.at); got != c.want {
+			t.Errorf("AssignTopical(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestTopicalWindowsDisjointPerDayType(t *testing.T) {
+	// Every minute of the week maps to at most one topical time by
+	// construction; verify windows of the same day type do not overlap.
+	for i, a := range topicalWindows {
+		for _, b := range topicalWindows[i+1:] {
+			if a.weekend != b.weekend {
+				continue
+			}
+			if a.from < b.to && b.from < a.to {
+				t.Errorf("windows overlap: %v and %v", a.tt, b.tt)
+			}
+		}
+	}
+}
+
+func TestTopicalStrings(t *testing.T) {
+	want := map[TopicalTime]string{
+		WeekendMidday:    "Weekend midday",
+		WeekendEvening:   "Weekend evening",
+		MorningCommute:   "Morning commuting",
+		MorningBreak:     "Morning break",
+		Midday:           "Midday",
+		AfternoonCommute: "Afternoon commuting",
+		Evening:          "Evening",
+		NoTopicalTime:    "None",
+	}
+	for tt, s := range want {
+		if tt.String() != s {
+			t.Errorf("String(%d) = %q, want %q", tt, tt.String(), s)
+		}
+	}
+}
+
+func TestBuildCalendarDetectsInjectedPeaks(t *testing.T) {
+	// Build a weekly series with a smooth diurnal baseline plus sharp
+	// peaks at Monday 13:00 and Monday 21:00; the calendar must mark
+	// Midday and Evening (and may mark nothing else on weekdays).
+	s := timeseries.NewWeek(timeseries.DefaultStep)
+	for i := range s.Values {
+		h := float64(s.TimeAt(i).Hour())
+		s.Values[i] = 100 + 20*diurnal(h)
+	}
+	// Triangular pulse: real activity peaks rise to an apex, they are
+	// not rectangular plateaus (a flat interval has zero max/min
+	// intensity and is discarded as noise).
+	inject := func(at time.Time, amp float64) {
+		idx := s.IndexOf(at)
+		for k := -2; k <= 2; k++ {
+			if idx+k >= 0 && idx+k < s.Len() {
+				s.Values[idx+k] += amp * (1 - float64(abs(k))/3)
+			}
+		}
+	}
+	inject(monday(13), 300)
+	inject(monday(21), 250)
+
+	cal, _, err := BuildCalendar(s, PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cal.Present[Midday] {
+		t.Error("Midday peak not in calendar")
+	}
+	if !cal.Present[Evening] {
+		t.Error("Evening peak not in calendar")
+	}
+	if cal.Present[WeekendMidday] || cal.Present[WeekendEvening] {
+		t.Error("weekend slots spuriously present")
+	}
+	if cal.Intensity[Midday] <= 0 {
+		t.Errorf("Midday intensity = %v", cal.Intensity[Midday])
+	}
+}
+
+func abs(k int) int {
+	if k < 0 {
+		return -k
+	}
+	return k
+}
+
+func diurnal(h float64) float64 {
+	// crude day curve: low at night, high during the day
+	if h < 7 {
+		return 0
+	}
+	return (h - 7) / 16
+}
+
+func TestCalendarCountAndDistance(t *testing.T) {
+	var a, b Calendar
+	a.Present[Midday] = true
+	a.Present[Evening] = true
+	b.Present[Midday] = true
+	b.Present[MorningBreak] = true
+	if a.Count() != 2 || b.Count() != 2 {
+		t.Errorf("counts = %d, %d", a.Count(), b.Count())
+	}
+	if d := a.Distance(b); d != 2 {
+		t.Errorf("distance = %d, want 2", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+}
+
+func TestBuildCalendarErrorPropagation(t *testing.T) {
+	s := timeseries.New(timeseries.StudyStart, time.Hour, 4)
+	if _, _, err := BuildCalendar(s, PaperParams()); err == nil {
+		t.Error("short series: want error")
+	}
+}

@@ -1,0 +1,80 @@
+package peaks
+
+import (
+	"fmt"
+
+	"repro/internal/timeseries"
+)
+
+// TuneResult records the quality of one detector parameterization over
+// a series collection — the machinery behind the paper's statement
+// that threshold/lag/influence were set "upon an extensive tuning
+// process".
+type TuneResult struct {
+	Params Params
+	// Topical counts detected peaks that fall inside a topical window.
+	Topical int
+	// Outside counts detected peaks outside every window (false alarms
+	// under the paper's model that all real peaks are topical).
+	Outside int
+	// Series is the number of series the parameters were scored on.
+	Series int
+}
+
+// Score orders tune results: topical peaks reward, outside peaks
+// penalize heavily (a detector that fires anywhere is useless for the
+// Fig. 6 calendar).
+func (r TuneResult) Score() int { return r.Topical - 5*r.Outside }
+
+// Tune evaluates every candidate parameterization on the given weekly
+// series and returns all results plus the best one. Candidates that
+// fail validation for the series length are skipped; an error is
+// returned only if no candidate is usable.
+func Tune(series []*timeseries.Series, candidates []Params) ([]TuneResult, TuneResult, error) {
+	if len(series) == 0 || len(candidates) == 0 {
+		return nil, TuneResult{}, fmt.Errorf("peaks: Tune needs series and candidates")
+	}
+	var results []TuneResult
+	for _, p := range candidates {
+		res := TuneResult{Params: p}
+		usable := true
+		for _, s := range series {
+			cal, outside, err := BuildCalendar(s, p)
+			if err != nil {
+				usable = false
+				break
+			}
+			res.Outside += outside
+			res.Topical += cal.Count()
+			res.Series++
+		}
+		if usable {
+			results = append(results, res)
+		}
+	}
+	if len(results) == 0 {
+		return nil, TuneResult{}, fmt.Errorf("peaks: no usable candidate for series of length %d", series[0].Len())
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Score() > best.Score() {
+			best = r
+		}
+	}
+	return results, best, nil
+}
+
+// DefaultGrid returns the candidate grid around the paper's chosen
+// parameters: thresholds 2-4 z-scores, lags 1-3 hours (at 15-minute
+// sampling) and influences 0.2-0.6.
+func DefaultGrid() []Params {
+	var grid []Params
+	for _, th := range []float64{2, 2.5, 3, 3.5, 4} {
+		for _, lag := range []int{4, 8, 12} {
+			for _, inf := range []float64{0.2, 0.4, 0.6} {
+				grid = append(grid, Params{Lag: lag, Threshold: th, Influence: inf})
+			}
+		}
+	}
+	return grid
+}

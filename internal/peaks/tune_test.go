@@ -1,0 +1,96 @@
+package peaks
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// tuneSeries builds a clean weekly series with peaks at known topical
+// times (Monday midday and evening).
+func tuneSeries() *timeseries.Series {
+	s := timeseries.NewWeek(timeseries.DefaultStep)
+	for i := range s.Values {
+		t := s.TimeAt(i)
+		h := float64(t.Hour()) + float64(t.Minute())/60
+		base := 1.0
+		if h < 6 {
+			base = 0.2
+		}
+		v := base
+		if !timeseries.IsWeekend(t) {
+			for _, c := range []struct{ center, amp float64 }{{13, 0.8}, {21, 0.5}} {
+				d := h - c.center
+				v += c.amp * math.Exp(-0.5*(d/0.4)*(d/0.4))
+			}
+		}
+		s.Values[i] = v * 100
+	}
+	return s
+}
+
+func TestTuneFindsWorkingParams(t *testing.T) {
+	series := []*timeseries.Series{tuneSeries()}
+	results, best, err := Tune(series, DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(DefaultGrid()) {
+		t.Errorf("results = %d, want %d", len(results), len(DefaultGrid()))
+	}
+	if best.Topical == 0 {
+		t.Fatalf("best params %+v found no topical peaks", best.Params)
+	}
+	if best.Outside > 0 {
+		t.Errorf("best params %+v produce %d outside peaks", best.Params, best.Outside)
+	}
+	// The paper's parameters must be competitive with the grid optimum.
+	var paperRes *TuneResult
+	for i := range results {
+		if results[i].Params == PaperParams() {
+			paperRes = &results[i]
+		}
+	}
+	if paperRes == nil {
+		t.Fatal("paper params not in the grid")
+	}
+	if paperRes.Score() < best.Score()-2 {
+		t.Errorf("paper params score %d far below grid best %d",
+			paperRes.Score(), best.Score())
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	if _, _, err := Tune(nil, DefaultGrid()); err == nil {
+		t.Error("no series: want error")
+	}
+	if _, _, err := Tune([]*timeseries.Series{tuneSeries()}, nil); err == nil {
+		t.Error("no candidates: want error")
+	}
+	// Series shorter than every lag: no usable candidate.
+	short := timeseries.New(timeseries.StudyStart, time.Hour, 3)
+	if _, _, err := Tune([]*timeseries.Series{short}, DefaultGrid()); err == nil {
+		t.Error("short series: want error")
+	}
+}
+
+func TestTuneScore(t *testing.T) {
+	r := TuneResult{Topical: 10, Outside: 2}
+	if r.Score() != 0 {
+		t.Errorf("Score = %d, want 0 (10 - 5*2)", r.Score())
+	}
+}
+
+func TestDefaultGridCoversPaperParams(t *testing.T) {
+	found := false
+	for _, p := range DefaultGrid() {
+		if p == PaperParams() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("DefaultGrid must include the paper's parameters")
+	}
+}

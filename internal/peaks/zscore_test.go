@@ -1,0 +1,241 @@
+package peaks
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// gistSignal is the reference input from the smoothed z-score gist the
+// paper cites; the expected output below was computed with the original
+// R/Python implementation (lag=30 is too long here, so we use the
+// widely published lag=5 variant of the example's head).
+func TestDetectFlatSignalNoPeaks(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = 10
+	}
+	res, err := Detect(values, Params{Lag: 8, Threshold: 3, Influence: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Signals {
+		if s != 0 {
+			t.Errorf("flat signal flagged at %d", i)
+		}
+	}
+}
+
+func TestDetectSpike(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = 100 + rng.NormFloat64()
+	}
+	// A clear spike well above the noise floor.
+	for i := 120; i < 125; i++ {
+		values[i] = 150
+	}
+	pks, err := DetectPeaks(values, PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, pk := range pks {
+		if pk.Start >= 118 && pk.Start <= 122 {
+			found = true
+			if pk.Max < 149 {
+				t.Errorf("peak max = %v", pk.Max)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("spike at 120 not detected; peaks = %+v", pks)
+	}
+}
+
+func TestDetectNegativeDip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = 100 + rng.NormFloat64()
+	}
+	for i := 60; i < 64; i++ {
+		values[i] = 40
+	}
+	res, err := Detect(values, PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNeg := false
+	for i := 60; i < 64; i++ {
+		if res.Signals[i] == -1 {
+			sawNeg = true
+		}
+	}
+	if !sawNeg {
+		t.Error("dip not flagged as -1")
+	}
+	// Dips must not appear as positive peaks.
+	pks, _ := ExtractPeaks(values, res)
+	for _, pk := range pks {
+		if pk.Start >= 58 && pk.Start < 64 {
+			t.Errorf("dip misclassified as peak: %+v", pk)
+		}
+	}
+}
+
+func TestInfluenceControlsBaselineDrag(t *testing.T) {
+	// With influence=1 a long plateau becomes the new baseline and the
+	// plateau's tail stops being flagged. With influence=0 the baseline
+	// is frozen and the whole plateau stays flagged.
+	values := make([]float64, 120)
+	for i := range values {
+		values[i] = 10
+	}
+	// tiny noise so std > 0
+	rng := rand.New(rand.NewPCG(9, 10))
+	for i := range values {
+		values[i] += rng.NormFloat64() * 0.1
+	}
+	for i := 40; i < 80; i++ {
+		values[i] = 30
+	}
+	frozen, err := Detect(values, Params{Lag: 8, Threshold: 3, Influence: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follow, err := Detect(values, Params{Lag: 8, Threshold: 3, Influence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenCount, followCount := 0, 0
+	for i := 40; i < 80; i++ {
+		if frozen.Signals[i] == 1 {
+			frozenCount++
+		}
+		if follow.Signals[i] == 1 {
+			followCount++
+		}
+	}
+	if frozenCount <= followCount {
+		t.Errorf("influence=0 flagged %d, influence=1 flagged %d; frozen should flag more",
+			frozenCount, followCount)
+	}
+}
+
+func TestDetectParamValidation(t *testing.T) {
+	values := make([]float64, 20)
+	cases := []Params{
+		{Lag: 1, Threshold: 3, Influence: 0.5},
+		{Lag: 25, Threshold: 3, Influence: 0.5},
+		{Lag: 5, Threshold: 0, Influence: 0.5},
+		{Lag: 5, Threshold: 3, Influence: -0.1},
+		{Lag: 5, Threshold: 3, Influence: 1.1},
+	}
+	for i, p := range cases {
+		if _, err := Detect(values, p); err == nil {
+			t.Errorf("case %d (%+v): want error", i, p)
+		}
+	}
+}
+
+func TestSignalsOnlyAfterLagProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		n := rng.IntN(150) + 30
+		lag := rng.IntN(10) + 2
+		if lag >= n {
+			lag = n - 1
+		}
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.NormFloat64() * 10
+		}
+		res, err := Detect(values, Params{Lag: lag, Threshold: 2.5, Influence: 0.3})
+		if err != nil {
+			return true
+		}
+		for i := 0; i < lag; i++ {
+			if res.Signals[i] != 0 {
+				return false
+			}
+		}
+		return len(res.Signals) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractPeaksGrouping(t *testing.T) {
+	values := []float64{0, 0, 5, 6, 7, 0, 0, 9, 0}
+	res := &Result{Signals: []int{0, 0, 1, 1, 1, 0, 0, 1, 0}}
+	res.AvgFilter = make([]float64, len(values))
+	res.StdFilter = make([]float64, len(values))
+	pks, err := ExtractPeaks(values, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pks) != 2 {
+		t.Fatalf("peaks = %+v", pks)
+	}
+	if pks[0].Start != 2 || pks[0].End != 5 || pks[0].Max != 7 || pks[0].Min != 5 {
+		t.Errorf("first peak = %+v", pks[0])
+	}
+	if pks[0].Duration() != 3 {
+		t.Errorf("duration = %d", pks[0].Duration())
+	}
+	if pks[1].Start != 7 || pks[1].End != 8 {
+		t.Errorf("second peak = %+v", pks[1])
+	}
+}
+
+func TestExtractPeaksErrors(t *testing.T) {
+	if _, err := ExtractPeaks([]float64{1, 2}, nil); err == nil {
+		t.Error("nil result: want error")
+	}
+	if _, err := ExtractPeaks([]float64{1, 2}, &Result{Signals: []int{0}}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestPeakIntensity(t *testing.T) {
+	pk := Peak{Max: 30, Min: 20}
+	if math.Abs(pk.Intensity()-0.5) > 1e-12 {
+		t.Errorf("Intensity = %v, want 0.5", pk.Intensity())
+	}
+	zero := Peak{Max: 5, Min: 0}
+	if !math.IsInf(zero.Intensity(), 1) {
+		t.Error("zero-min peak should have infinite intensity")
+	}
+}
+
+func TestThresholdDetectBaseline(t *testing.T) {
+	values := []float64{10, 10, 10, 10, 100, 10, 10, 10, 10, 10}
+	res := ThresholdDetect(values, 2)
+	if res.Signals[4] != 1 {
+		t.Error("spike not flagged by threshold baseline")
+	}
+	count := 0
+	for _, s := range res.Signals {
+		if s != 0 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("baseline flagged %d samples, want 1", count)
+	}
+}
+
+func TestPaperParams(t *testing.T) {
+	p := PaperParams()
+	if p.Lag != 8 || p.Threshold != 3 || p.Influence != 0.4 {
+		t.Errorf("PaperParams = %+v", p)
+	}
+	// Lag must equal 2 hours at the 15-minute default resolution.
+	if p.Lag*15 != 120 {
+		t.Error("lag does not span 2 hours at 15-minute sampling")
+	}
+}

@@ -1,0 +1,89 @@
+package pkt
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanicsOnRandomBytes is the probe's survival property:
+// a passive tap sees arbitrary garbage (corruption, truncation, alien
+// protocols) and must reject it with an error, never a panic.
+func TestParserNeverPanicsOnRandomBytes(t *testing.T) {
+	var p Parser
+	decoded := make([]LayerType, 0, 8)
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %x: %v", data, r)
+			}
+		}()
+		decoded, _ = p.Decode(data, decoded)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanicsOnMutatedFrames flips bytes of valid frames —
+// the nastier corpus, since prefixes parse correctly.
+func TestParserNeverPanicsOnMutatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 100))
+	base := buildUserPlaneFrame(t, []byte("payload bytes here"))
+	ctrl := func() []byte {
+		g := &GTPv2C{MessageType: GTPv2MsgCreateSessionRequest, TEID: 1, Sequence: 2,
+			DataTEID: 3, HasDataTEID: true,
+			Location: ULI{AreaCode: 4, CellID: 5}, HasULI: true}
+		seg := (&UDP{SrcPort: 1000, DstPort: PortGTPC}).SerializeTo(nil, g.SerializeTo(nil, nil))
+		return mkIP(sgwIP, pgwIP, IPProtoUDP).SerializeTo(nil, seg)
+	}()
+
+	var p Parser
+	decoded := make([]LayerType, 0, 8)
+	for trial := 0; trial < 3000; trial++ {
+		src := base
+		if trial%2 == 1 {
+			src = ctrl
+		}
+		frame := append([]byte(nil), src...)
+		// 1-4 random byte mutations.
+		for m := 0; m <= rng.IntN(4); m++ {
+			frame[rng.IntN(len(frame))] ^= byte(1 + rng.IntN(255))
+		}
+		// Occasional truncation.
+		if rng.IntN(4) == 0 {
+			frame = frame[:rng.IntN(len(frame))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutated frame (trial %d): %v", trial, r)
+				}
+			}()
+			decoded, _ = p.Decode(frame, decoded)
+		}()
+	}
+}
+
+// TestLayerDecodersNeverPanic exercises each decoder directly with
+// arbitrary input.
+func TestLayerDecodersNeverPanic(t *testing.T) {
+	decoders := []DecodingLayer{&IPv4{}, &UDP{}, &TCP{}, &GTPv1U{}, &GTPv1C{}, &GTPv2C{}}
+	f := func(data []byte) bool {
+		for _, d := range decoders {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%v panicked: %v", d.LayerType(), r)
+					}
+				}()
+				_ = d.DecodeFromBytes(data)
+			}()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

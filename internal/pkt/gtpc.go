@@ -1,0 +1,314 @@
+package pkt
+
+import "fmt"
+
+// ULI is the User Location Information carried in GTP-C signalling:
+// the paper geo-references every IP session by inspecting it in PDP
+// Contexts (3G) and EPS Bearers (4G). We carry the two fields the
+// geo-referencing needs: the Routing/Tracking Area and the cell
+// identity, which the probe maps to a commune through the operator's
+// cell registry.
+type ULI struct {
+	// AreaCode is the Routing Area (3G) or Tracking Area (4G) code.
+	AreaCode uint16
+	// CellID is the Cell Global Identity (3G CGI) or E-UTRAN Cell
+	// Identity (4G ECGI).
+	CellID uint32
+}
+
+// GTPv1-C message types (3GPP TS 29.060) used by the session machine.
+const (
+	GTPv1MsgCreatePDPRequest  = 16
+	GTPv1MsgCreatePDPResponse = 17
+	GTPv1MsgUpdatePDPRequest  = 18
+	GTPv1MsgUpdatePDPResponse = 19
+	GTPv1MsgDeletePDPRequest  = 20
+	GTPv1MsgDeletePDPResponse = 21
+)
+
+// GTPv1-C information element types (TV/TLV as per TS 29.060).
+const (
+	gtpv1IETEIDData = 16  // TV, 4 bytes: TEID for the data plane
+	gtpv1IEULI      = 152 // TLV: user location information
+	gtpv1IEIMSIHash = 200 // TLV, private extension: anonymized subscriber id
+)
+
+// GTPv1C is a GTP version 1 control message carrying a minimal IE set:
+// the data-plane TEID, the anonymized subscriber identifier and the
+// ULI. It models the Gn-interface PDP Context signalling of the 3G
+// side of Fig. 1.
+type GTPv1C struct {
+	MessageType uint8
+	TEID        uint32 // header TEID (control)
+	Sequence    uint16
+
+	// IEs (presence flags set on decode).
+	DataTEID      uint32
+	HasDataTEID   bool
+	SubscriberID  uint64
+	HasSubscriber bool
+	Location      ULI
+	HasULI        bool
+
+	payload []byte
+}
+
+// LayerType implements DecodingLayer.
+func (g *GTPv1C) LayerType() LayerType { return LayerTypeGTPv1C }
+
+// LayerPayload implements DecodingLayer.
+func (g *GTPv1C) LayerPayload() []byte { return g.payload }
+
+// NextLayerType implements DecodingLayer.
+func (g *GTPv1C) NextLayerType() LayerType { return LayerTypeNone }
+
+// DecodeFromBytes implements DecodingLayer.
+func (g *GTPv1C) DecodeFromBytes(data []byte) error {
+	if len(data) < 12 {
+		return errTooShort(LayerTypeGTPv1C, 12, len(data))
+	}
+	flags := data[0]
+	if flags>>5 != 1 {
+		return &DecodeError{LayerTypeGTPv1C, "version is not 1"}
+	}
+	g.MessageType = data[1]
+	length := be16(data[2:])
+	g.TEID = be32(data[4:])
+	g.Sequence = be16(data[8:])
+	end := 8 + int(length)
+	if end > len(data) {
+		return &DecodeError{LayerTypeGTPv1C, "length beyond captured data"}
+	}
+	if end < 12 {
+		return &DecodeError{LayerTypeGTPv1C, "length below mandatory header"}
+	}
+	g.HasDataTEID, g.HasSubscriber, g.HasULI = false, false, false
+	ies := data[12:end]
+	for len(ies) > 0 {
+		t := ies[0]
+		if t < 128 {
+			// TV format: fixed length per type.
+			switch t {
+			case gtpv1IETEIDData:
+				if len(ies) < 5 {
+					return &DecodeError{LayerTypeGTPv1C, "truncated TEID IE"}
+				}
+				g.DataTEID = be32(ies[1:])
+				g.HasDataTEID = true
+				ies = ies[5:]
+			default:
+				return &DecodeError{LayerTypeGTPv1C, fmt.Sprintf("unknown TV IE %d", t)}
+			}
+			continue
+		}
+		// TLV format.
+		if len(ies) < 3 {
+			return &DecodeError{LayerTypeGTPv1C, "truncated TLV IE header"}
+		}
+		l := int(be16(ies[1:]))
+		if len(ies) < 3+l {
+			return &DecodeError{LayerTypeGTPv1C, "truncated TLV IE body"}
+		}
+		body := ies[3 : 3+l]
+		switch t {
+		case gtpv1IEULI:
+			if l != 6 {
+				return &DecodeError{LayerTypeGTPv1C, "ULI IE length must be 6"}
+			}
+			g.Location.AreaCode = be16(body)
+			g.Location.CellID = be32(body[2:])
+			g.HasULI = true
+		case gtpv1IEIMSIHash:
+			if l != 8 {
+				return &DecodeError{LayerTypeGTPv1C, "subscriber IE length must be 8"}
+			}
+			g.SubscriberID = uint64(be32(body))<<32 | uint64(be32(body[4:]))
+			g.HasSubscriber = true
+		default:
+			// Unknown TLVs are skipped, as a real parser must.
+		}
+		ies = ies[3+l:]
+	}
+	g.payload = nil
+	return nil
+}
+
+// SerializeTo implements SerializableLayer (payload is ignored: GTP-C
+// messages are self-contained).
+func (g *GTPv1C) SerializeTo(buf []byte, _ []byte) []byte {
+	var ies []byte
+	if g.HasDataTEID {
+		ies = append(ies, gtpv1IETEIDData)
+		var b [4]byte
+		put32(b[:], g.DataTEID)
+		ies = append(ies, b[:]...)
+	}
+	if g.HasSubscriber {
+		ies = append(ies, gtpv1IEIMSIHash, 0, 8)
+		var b [8]byte
+		put32(b[:], uint32(g.SubscriberID>>32))
+		put32(b[4:], uint32(g.SubscriberID))
+		ies = append(ies, b[:]...)
+	}
+	if g.HasULI {
+		ies = append(ies, gtpv1IEULI, 0, 6)
+		var b [6]byte
+		put16(b[:], g.Location.AreaCode)
+		put32(b[2:], g.Location.CellID)
+		ies = append(ies, b[:]...)
+	}
+	hdr := make([]byte, 12)
+	hdr[0] = 1<<5 | 0x10 | 0x02 // version 1, PT, S
+	hdr[1] = g.MessageType
+	put16(hdr[2:], uint16(4+len(ies)))
+	put32(hdr[4:], g.TEID)
+	put16(hdr[8:], g.Sequence)
+	buf = append(buf, hdr...)
+	return append(buf, ies...)
+}
+
+// GTPv2-C message types (3GPP TS 29.274) for EPS Bearer signalling on
+// the S5/S8 interface (4G side of Fig. 1).
+const (
+	GTPv2MsgCreateSessionRequest  = 32
+	GTPv2MsgCreateSessionResponse = 33
+	GTPv2MsgModifyBearerRequest   = 34
+	GTPv2MsgModifyBearerResponse  = 35
+	GTPv2MsgDeleteSessionRequest  = 36
+	GTPv2MsgDeleteSessionResponse = 37
+)
+
+// GTPv2-C information element types.
+const (
+	gtpv2IEULI      = 86
+	gtpv2IEFTEID    = 87
+	gtpv2IEIMSIHash = 201 // private extension: anonymized subscriber id
+)
+
+// GTPv2C is a GTP version 2 control message with the minimal IE set
+// used by the probe: F-TEID (data plane tunnel), subscriber hash, ULI.
+type GTPv2C struct {
+	MessageType uint8
+	TEID        uint32
+	Sequence    uint32 // 24 bits on the wire
+
+	DataTEID      uint32
+	HasDataTEID   bool
+	SubscriberID  uint64
+	HasSubscriber bool
+	Location      ULI
+	HasULI        bool
+
+	payload []byte
+}
+
+// LayerType implements DecodingLayer.
+func (g *GTPv2C) LayerType() LayerType { return LayerTypeGTPv2C }
+
+// LayerPayload implements DecodingLayer.
+func (g *GTPv2C) LayerPayload() []byte { return g.payload }
+
+// NextLayerType implements DecodingLayer.
+func (g *GTPv2C) NextLayerType() LayerType { return LayerTypeNone }
+
+// DecodeFromBytes implements DecodingLayer.
+func (g *GTPv2C) DecodeFromBytes(data []byte) error {
+	if len(data) < 12 {
+		return errTooShort(LayerTypeGTPv2C, 12, len(data))
+	}
+	flags := data[0]
+	if flags>>5 != 2 {
+		return &DecodeError{LayerTypeGTPv2C, "version is not 2"}
+	}
+	if flags&0x08 == 0 {
+		return &DecodeError{LayerTypeGTPv2C, "TEID flag not set"}
+	}
+	g.MessageType = data[1]
+	length := be16(data[2:])
+	g.TEID = be32(data[4:])
+	g.Sequence = be32(data[8:]) >> 8
+	end := 4 + int(length)
+	if end > len(data) {
+		return &DecodeError{LayerTypeGTPv2C, "length beyond captured data"}
+	}
+	if end < 12 {
+		return &DecodeError{LayerTypeGTPv2C, "length below mandatory header"}
+	}
+	g.HasDataTEID, g.HasSubscriber, g.HasULI = false, false, false
+	ies := data[12:end]
+	for len(ies) > 0 {
+		if len(ies) < 4 {
+			return &DecodeError{LayerTypeGTPv2C, "truncated IE header"}
+		}
+		t := ies[0]
+		l := int(be16(ies[1:]))
+		// ies[3] is instance, ignored
+		if len(ies) < 4+l {
+			return &DecodeError{LayerTypeGTPv2C, "truncated IE body"}
+		}
+		body := ies[4 : 4+l]
+		switch t {
+		case gtpv2IEULI:
+			if l != 6 {
+				return &DecodeError{LayerTypeGTPv2C, "ULI IE length must be 6"}
+			}
+			g.Location.AreaCode = be16(body)
+			g.Location.CellID = be32(body[2:])
+			g.HasULI = true
+		case gtpv2IEFTEID:
+			if l != 4 {
+				return &DecodeError{LayerTypeGTPv2C, "F-TEID IE length must be 4"}
+			}
+			g.DataTEID = be32(body)
+			g.HasDataTEID = true
+		case gtpv2IEIMSIHash:
+			if l != 8 {
+				return &DecodeError{LayerTypeGTPv2C, "subscriber IE length must be 8"}
+			}
+			g.SubscriberID = uint64(be32(body))<<32 | uint64(be32(body[4:]))
+			g.HasSubscriber = true
+		default:
+			// skip unknown IEs
+		}
+		ies = ies[4+l:]
+	}
+	g.payload = nil
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (g *GTPv2C) SerializeTo(buf []byte, _ []byte) []byte {
+	var ies []byte
+	appendIE := func(t uint8, body []byte) {
+		var h [4]byte
+		h[0] = t
+		put16(h[1:], uint16(len(body)))
+		ies = append(ies, h[:]...)
+		ies = append(ies, body...)
+	}
+	if g.HasDataTEID {
+		var b [4]byte
+		put32(b[:], g.DataTEID)
+		appendIE(gtpv2IEFTEID, b[:])
+	}
+	if g.HasSubscriber {
+		var b [8]byte
+		put32(b[:], uint32(g.SubscriberID>>32))
+		put32(b[4:], uint32(g.SubscriberID))
+		appendIE(gtpv2IEIMSIHash, b[:])
+	}
+	if g.HasULI {
+		var b [6]byte
+		put16(b[:], g.Location.AreaCode)
+		put32(b[2:], g.Location.CellID)
+		appendIE(gtpv2IEULI, b[:])
+	}
+	hdr := make([]byte, 12)
+	hdr[0] = 2<<5 | 0x08
+	hdr[1] = g.MessageType
+	put16(hdr[2:], uint16(8+len(ies)))
+	put32(hdr[4:], g.TEID)
+	put32(hdr[8:], g.Sequence<<8)
+	buf = append(buf, hdr...)
+	return append(buf, ies...)
+}

@@ -1,0 +1,156 @@
+package pkt
+
+// IPv4 is the Internet Protocol version 4 header (RFC 791). Options
+// are preserved as raw bytes.
+type IPv4 struct {
+	Version  uint8
+	IHL      uint8 // header length in 32-bit words
+	TOS      uint8
+	Length   uint16 // total length including header
+	ID       uint16
+	Flags    uint8  // 3 bits
+	FragOff  uint16 // 13 bits
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	SrcIP    [4]byte
+	DstIP    [4]byte
+	Options  []byte
+
+	payload []byte
+}
+
+// LayerType implements DecodingLayer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// LayerPayload implements DecodingLayer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// NextLayerType implements DecodingLayer.
+func (ip *IPv4) NextLayerType() LayerType {
+	switch ip.Protocol {
+	case IPProtoTCP:
+		return LayerTypeTCP
+	case IPProtoUDP:
+		return LayerTypeUDP
+	default:
+		return LayerTypePayload
+	}
+}
+
+// DecodeFromBytes implements DecodingLayer. It validates the header
+// length, total length and checksum.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return errTooShort(LayerTypeIPv4, 20, len(data))
+	}
+	ip.Version = data[0] >> 4
+	if ip.Version != 4 {
+		return &DecodeError{LayerTypeIPv4, "version is not 4"}
+	}
+	ip.IHL = data[0] & 0x0f
+	hdrLen := int(ip.IHL) * 4
+	if hdrLen < 20 {
+		return &DecodeError{LayerTypeIPv4, "header length below 20 bytes"}
+	}
+	if len(data) < hdrLen {
+		return errTooShort(LayerTypeIPv4, hdrLen, len(data))
+	}
+	ip.TOS = data[1]
+	ip.Length = be16(data[2:])
+	if int(ip.Length) < hdrLen {
+		return &DecodeError{LayerTypeIPv4, "total length below header length"}
+	}
+	if int(ip.Length) > len(data) {
+		return &DecodeError{LayerTypeIPv4, "total length beyond captured data"}
+	}
+	ip.ID = be16(data[4:])
+	ip.Flags = data[6] >> 5
+	ip.FragOff = be16(data[6:]) & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = be16(data[10:])
+	copy(ip.SrcIP[:], data[12:16])
+	copy(ip.DstIP[:], data[16:20])
+	ip.Options = data[20:hdrLen]
+	if Checksum(data[:hdrLen]) != 0 {
+		return &DecodeError{LayerTypeIPv4, "header checksum mismatch"}
+	}
+	ip.payload = data[hdrLen:ip.Length]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer: it writes the header with
+// recomputed Length and Checksum, then the payload.
+func (ip *IPv4) SerializeTo(buf []byte, payload []byte) []byte {
+	hdrLen := 20 + len(ip.Options)
+	if hdrLen%4 != 0 {
+		// Pad options to a 32-bit boundary.
+		pad := 4 - hdrLen%4
+		ip.Options = append(ip.Options, make([]byte, pad)...)
+		hdrLen += pad
+	}
+	total := hdrLen + len(payload)
+	start := len(buf)
+	hdr := make([]byte, hdrLen)
+	hdr[0] = 4<<4 | uint8(hdrLen/4)
+	hdr[1] = ip.TOS
+	put16(hdr[2:], uint16(total))
+	put16(hdr[4:], ip.ID)
+	put16(hdr[6:], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	hdr[8] = ip.TTL
+	hdr[9] = ip.Protocol
+	// checksum zero for now
+	copy(hdr[12:16], ip.SrcIP[:])
+	copy(hdr[16:20], ip.DstIP[:])
+	copy(hdr[20:], ip.Options)
+	cs := Checksum(hdr)
+	put16(hdr[10:], cs)
+	buf = append(buf, hdr...)
+	buf = append(buf, payload...)
+	_ = start
+	return buf
+}
+
+// Checksum computes the RFC 1071 Internet checksum of data: the 16-bit
+// one's-complement of the one's-complement sum. A buffer containing a
+// correct checksum field sums to zero.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderChecksum computes the TCP/UDP pseudo-header sum.
+func pseudoHeaderChecksum(src, dst [4]byte, proto uint8, length int) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+func checksumWithPseudo(pseudo uint32, data []byte) uint16 {
+	sum := pseudo
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,171 @@
+package pkt
+
+import "fmt"
+
+// Parser is the DecodingLayerParser-style fast path: it owns one
+// instance of every layer and decodes a frame into them without
+// allocating, appending the encountered layer types to a caller-owned
+// slice. A Parser is not safe for concurrent use; probes keep one per
+// goroutine.
+type Parser struct {
+	// The layer instances, valid after Decode for every type listed in
+	// the decoded slice.
+	OuterIP IPv4
+	UDP     UDP
+	TCP     TCP
+	GTPU    GTPv1U
+	GTPv1C  GTPv1C
+	GTPv2C  GTPv2C
+	// InnerIP/InnerTCP/InnerUDP hold the subscriber packet found inside
+	// a GTP-U tunnel.
+	InnerIP  IPv4
+	InnerTCP TCP
+	InnerUDP UDP
+	// Payload is the innermost undecoded data.
+	Payload []byte
+}
+
+// Decode parses data starting at the outer IPv4 layer, following
+// NextLayerType until no further decoder applies. It appends the layer
+// types it decoded to decoded (resetting it first) and returns it.
+// Inner (tunnelled) layers are reported with the same LayerType
+// constants; their position after LayerTypeGTPv1U disambiguates.
+func (p *Parser) Decode(data []byte, decoded []LayerType) ([]LayerType, error) {
+	decoded = decoded[:0]
+	p.Payload = nil
+
+	if err := p.OuterIP.DecodeFromBytes(data); err != nil {
+		return decoded, err
+	}
+	decoded = append(decoded, LayerTypeIPv4)
+	next := p.OuterIP.NextLayerType()
+	rest := p.OuterIP.LayerPayload()
+
+	inTunnel := false
+	for {
+		switch next {
+		case LayerTypeUDP:
+			u := &p.UDP
+			if inTunnel {
+				u = &p.InnerUDP
+			}
+			if err := u.DecodeFromBytes(rest); err != nil {
+				return decoded, err
+			}
+			decoded = append(decoded, LayerTypeUDP)
+			if inTunnel {
+				// Never demultiplex GTP inside a tunnel: user traffic on
+				// port 2152 must not recurse.
+				next = LayerTypePayload
+			} else {
+				next = u.NextLayerType()
+			}
+			rest = u.LayerPayload()
+		case LayerTypeTCP:
+			t := &p.TCP
+			if inTunnel {
+				t = &p.InnerTCP
+			}
+			if err := t.DecodeFromBytes(rest); err != nil {
+				return decoded, err
+			}
+			decoded = append(decoded, LayerTypeTCP)
+			next = LayerTypePayload
+			rest = t.LayerPayload()
+		case LayerTypeGTPv1U:
+			if err := p.GTPU.DecodeFromBytes(rest); err != nil {
+				return decoded, err
+			}
+			decoded = append(decoded, LayerTypeGTPv1U)
+			next = p.GTPU.NextLayerType()
+			rest = p.GTPU.LayerPayload()
+			if next == LayerTypeIPv4 {
+				inTunnel = true
+				if err := p.InnerIP.DecodeFromBytes(rest); err != nil {
+					return decoded, err
+				}
+				decoded = append(decoded, LayerTypeIPv4)
+				next = p.InnerIP.NextLayerType()
+				rest = p.InnerIP.LayerPayload()
+			}
+		case LayerTypeGTPv1C:
+			if err := p.GTPv1C.DecodeFromBytes(rest); err != nil {
+				return decoded, err
+			}
+			decoded = append(decoded, LayerTypeGTPv1C)
+			return decoded, nil
+		case LayerTypeGTPv2C:
+			if err := p.GTPv2C.DecodeFromBytes(rest); err != nil {
+				return decoded, err
+			}
+			decoded = append(decoded, LayerTypeGTPv2C)
+			return decoded, nil
+		case LayerTypePayload:
+			p.Payload = rest
+			if len(rest) > 0 {
+				decoded = append(decoded, LayerTypePayload)
+			}
+			return decoded, nil
+		case LayerTypeNone:
+			return decoded, nil
+		default:
+			return decoded, fmt.Errorf("pkt: no decoder for %v", next)
+		}
+	}
+}
+
+// Endpoint identifies one side of a flow (gopacket's Endpoint idiom,
+// restricted to IPv4 + port).
+type Endpoint struct {
+	IP   [4]byte
+	Port uint16
+}
+
+// String formats the endpoint as ip:port.
+func (e Endpoint) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d", e.IP[0], e.IP[1], e.IP[2], e.IP[3], e.Port)
+}
+
+// Flow is a bidirectional transport flow key: the 5-tuple with
+// endpoints ordered canonically so both directions map to the same
+// key.
+type Flow struct {
+	A, B     Endpoint
+	Protocol uint8
+}
+
+// FlowFromPacket builds the canonical flow of a decoded subscriber
+// packet. reverse reports whether (src, dst) were swapped to
+// canonical order — i.e. whether the packet travels B→A.
+func FlowFromPacket(ip *IPv4, srcPort, dstPort uint16) (f Flow, reverse bool) {
+	src := Endpoint{IP: ip.SrcIP, Port: srcPort}
+	dst := Endpoint{IP: ip.DstIP, Port: dstPort}
+	f.Protocol = ip.Protocol
+	if endpointLess(src, dst) {
+		f.A, f.B = src, dst
+		return f, false
+	}
+	f.A, f.B = dst, src
+	return f, true
+}
+
+func endpointLess(a, b Endpoint) bool {
+	for i := 0; i < 4; i++ {
+		if a.IP[i] != b.IP[i] {
+			return a.IP[i] < b.IP[i]
+		}
+	}
+	return a.Port < b.Port
+}
+
+// String formats the flow.
+func (f Flow) String() string {
+	proto := "?"
+	switch f.Protocol {
+	case IPProtoTCP:
+		proto = "tcp"
+	case IPProtoUDP:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %v <-> %v", proto, f.A, f.B)
+}

@@ -1,0 +1,432 @@
+package pkt
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func mkIP(src, dst [4]byte, proto uint8) *IPv4 {
+	return &IPv4{TTL: 64, Protocol: proto, SrcIP: src, DstIP: dst, ID: 42}
+}
+
+var (
+	ueIP     = [4]byte{10, 20, 30, 40}
+	serverIP = [4]byte{93, 184, 216, 34}
+	sgwIP    = [4]byte{172, 16, 0, 1}
+	pgwIP    = [4]byte{172, 16, 0, 2}
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	payload := []byte("hello world")
+	ip := mkIP(ueIP, serverIP, IPProtoUDP)
+	wire := ip.SerializeTo(nil, payload)
+
+	var dec IPv4
+	if err := dec.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if dec.SrcIP != ueIP || dec.DstIP != serverIP {
+		t.Errorf("addresses mangled: %v -> %v", dec.SrcIP, dec.DstIP)
+	}
+	if dec.Protocol != IPProtoUDP || dec.TTL != 64 || dec.ID != 42 {
+		t.Errorf("fields mangled: %+v", dec)
+	}
+	if !bytes.Equal(dec.LayerPayload(), payload) {
+		t.Errorf("payload mangled: %q", dec.LayerPayload())
+	}
+}
+
+func TestIPv4ChecksumValidation(t *testing.T) {
+	wire := mkIP(ueIP, serverIP, IPProtoTCP).SerializeTo(nil, []byte("x"))
+	wire[12] ^= 0xff // corrupt source IP
+	var dec IPv4
+	if err := dec.DecodeFromBytes(wire); err == nil {
+		t.Error("corrupted header accepted")
+	}
+}
+
+func TestIPv4Truncated(t *testing.T) {
+	wire := mkIP(ueIP, serverIP, IPProtoTCP).SerializeTo(nil, make([]byte, 100))
+	for _, cut := range []int{0, 10, 19} {
+		var dec IPv4
+		if err := dec.DecodeFromBytes(wire[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Total length beyond capture.
+	var dec IPv4
+	if err := dec.DecodeFromBytes(wire[:40]); err == nil {
+		t.Error("short capture accepted")
+	}
+}
+
+func TestIPv4BadVersion(t *testing.T) {
+	wire := mkIP(ueIP, serverIP, IPProtoTCP).SerializeTo(nil, nil)
+	wire[0] = 6<<4 | 5
+	var dec IPv4
+	if err := dec.DecodeFromBytes(wire); err == nil {
+		t.Error("IPv6 version accepted by IPv4 decoder")
+	}
+}
+
+func TestUDPRoundTripWithChecksum(t *testing.T) {
+	u := &UDP{SrcPort: 40000, DstPort: 53}
+	u.SetChecksumIPs(ueIP, serverIP)
+	seg := u.SerializeTo(nil, []byte("dns query"))
+
+	var dec UDP
+	if err := dec.DecodeFromBytes(seg); err != nil {
+		t.Fatal(err)
+	}
+	if dec.SrcPort != 40000 || dec.DstPort != 53 {
+		t.Errorf("ports mangled: %+v", dec)
+	}
+	ip := mkIP(ueIP, serverIP, IPProtoUDP)
+	if !dec.VerifyChecksum(ip) {
+		t.Error("valid UDP checksum rejected")
+	}
+	seg[9] ^= 0x55 // corrupt payload
+	var dec2 UDP
+	if err := dec2.DecodeFromBytes(seg); err != nil {
+		t.Fatal(err)
+	}
+	if dec2.VerifyChecksum(ip) {
+		t.Error("corrupted UDP payload passed checksum")
+	}
+}
+
+func TestUDPZeroChecksumPasses(t *testing.T) {
+	u := &UDP{SrcPort: 1, DstPort: 2}
+	seg := u.SerializeTo(nil, []byte("no checksum"))
+	var dec UDP
+	if err := dec.DecodeFromBytes(seg); err != nil {
+		t.Fatal(err)
+	}
+	if !dec.VerifyChecksum(mkIP(ueIP, serverIP, IPProtoUDP)) {
+		t.Error("zero checksum must pass")
+	}
+}
+
+func TestTCPRoundTripWithChecksum(t *testing.T) {
+	tc := &TCP{
+		SrcPort: 443, DstPort: 55000,
+		Seq: 0x01020304, Ack: 0x0a0b0c0d,
+		Flags: TCPAck | TCPPsh, Window: 65535,
+	}
+	tc.SetChecksumIPs(serverIP, ueIP)
+	seg := tc.SerializeTo(nil, []byte("tls record"))
+
+	var dec TCP
+	if err := dec.DecodeFromBytes(seg); err != nil {
+		t.Fatal(err)
+	}
+	if dec.SrcPort != 443 || dec.Seq != 0x01020304 || dec.Flags != TCPAck|TCPPsh {
+		t.Errorf("fields mangled: %+v", dec)
+	}
+	ip := mkIP(serverIP, ueIP, IPProtoTCP)
+	if !dec.VerifyChecksum(ip) {
+		t.Error("valid TCP checksum rejected")
+	}
+	if !bytes.Equal(dec.LayerPayload(), []byte("tls record")) {
+		t.Error("payload mangled")
+	}
+}
+
+func TestGTPv1URoundTrip(t *testing.T) {
+	inner := mkIP(ueIP, serverIP, IPProtoTCP).SerializeTo(nil, []byte("data"))
+	g := &GTPv1U{MessageType: GTPMsgGPDU, TEID: 0xdeadbeef, HasSeq: true, Sequence: 7}
+	wire := g.SerializeTo(nil, inner)
+
+	var dec GTPv1U
+	if err := dec.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if dec.TEID != 0xdeadbeef || !dec.HasSeq || dec.Sequence != 7 {
+		t.Errorf("fields mangled: %+v", dec)
+	}
+	if dec.NextLayerType() != LayerTypeIPv4 {
+		t.Errorf("next layer = %v", dec.NextLayerType())
+	}
+	if !bytes.Equal(dec.LayerPayload(), inner) {
+		t.Error("tunnelled packet mangled")
+	}
+}
+
+func TestGTPv1UNoSeq(t *testing.T) {
+	g := &GTPv1U{MessageType: GTPMsgGPDU, TEID: 1}
+	wire := g.SerializeTo(nil, []byte("abc"))
+	var dec GTPv1U
+	if err := dec.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if dec.HasSeq {
+		t.Error("sequence flag spuriously set")
+	}
+	if !bytes.Equal(dec.LayerPayload(), []byte("abc")) {
+		t.Error("payload mangled")
+	}
+}
+
+func TestGTPv1CRoundTrip(t *testing.T) {
+	g := &GTPv1C{
+		MessageType: GTPv1MsgCreatePDPRequest,
+		TEID:        0x1111,
+		Sequence:    99,
+		DataTEID:    0x2222, HasDataTEID: true,
+		SubscriberID: 0xfeedfacecafebeef, HasSubscriber: true,
+		Location: ULI{AreaCode: 1234, CellID: 567890}, HasULI: true,
+	}
+	wire := g.SerializeTo(nil, nil)
+	var dec GTPv1C
+	if err := dec.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if dec.MessageType != GTPv1MsgCreatePDPRequest || dec.TEID != 0x1111 || dec.Sequence != 99 {
+		t.Errorf("header mangled: %+v", dec)
+	}
+	if !dec.HasDataTEID || dec.DataTEID != 0x2222 {
+		t.Errorf("data TEID mangled: %+v", dec)
+	}
+	if !dec.HasSubscriber || dec.SubscriberID != 0xfeedfacecafebeef {
+		t.Errorf("subscriber mangled: %+v", dec)
+	}
+	if !dec.HasULI || dec.Location.AreaCode != 1234 || dec.Location.CellID != 567890 {
+		t.Errorf("ULI mangled: %+v", dec)
+	}
+}
+
+func TestGTPv2CRoundTrip(t *testing.T) {
+	g := &GTPv2C{
+		MessageType: GTPv2MsgCreateSessionRequest,
+		TEID:        0xabcd,
+		Sequence:    0x123456,
+		DataTEID:    0x9999, HasDataTEID: true,
+		SubscriberID: 42, HasSubscriber: true,
+		Location: ULI{AreaCode: 77, CellID: 0x00ffeedd}, HasULI: true,
+	}
+	wire := g.SerializeTo(nil, nil)
+	var dec GTPv2C
+	if err := dec.DecodeFromBytes(wire); err != nil {
+		t.Fatal(err)
+	}
+	if dec.MessageType != GTPv2MsgCreateSessionRequest || dec.TEID != 0xabcd || dec.Sequence != 0x123456 {
+		t.Errorf("header mangled: %+v", dec)
+	}
+	if !dec.HasULI || dec.Location.CellID != 0x00ffeedd || dec.Location.AreaCode != 77 {
+		t.Errorf("ULI mangled: %+v", dec)
+	}
+	if !dec.HasSubscriber || dec.SubscriberID != 42 {
+		t.Errorf("subscriber mangled: %+v", dec)
+	}
+}
+
+func TestGTPCorruptionRejected(t *testing.T) {
+	g := &GTPv2C{MessageType: GTPv2MsgCreateSessionRequest, TEID: 1,
+		Location: ULI{AreaCode: 1, CellID: 2}, HasULI: true}
+	wire := g.SerializeTo(nil, nil)
+	// Truncate inside the IE region.
+	var dec GTPv2C
+	if err := dec.DecodeFromBytes(wire[:len(wire)-3]); err == nil {
+		t.Error("truncated GTPv2-C accepted")
+	}
+	// Wrong version.
+	wire[0] = 1<<5 | 0x08
+	if err := dec.DecodeFromBytes(wire); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+// buildUserPlaneFrame assembles a full Gn/S5 user-plane frame:
+// outer IP(SGW→PGW) / UDP 2152 / GTP-U / inner IP(UE→server) / TCP.
+func buildUserPlaneFrame(t *testing.T, appPayload []byte) []byte {
+	t.Helper()
+	innerTCP := &TCP{SrcPort: 53211, DstPort: 443, Flags: TCPAck, Window: 1000}
+	innerTCP.SetChecksumIPs(ueIP, serverIP)
+	tcpSeg := innerTCP.SerializeTo(nil, appPayload)
+	innerIP := mkIP(ueIP, serverIP, IPProtoTCP)
+	innerPkt := innerIP.SerializeTo(nil, tcpSeg)
+
+	gtpu := &GTPv1U{MessageType: GTPMsgGPDU, TEID: 0x42}
+	tun := gtpu.SerializeTo(nil, innerPkt)
+
+	udp := &UDP{SrcPort: 30000, DstPort: PortGTPU}
+	seg := udp.SerializeTo(nil, tun)
+
+	outer := mkIP(sgwIP, pgwIP, IPProtoUDP)
+	return outer.SerializeTo(nil, seg)
+}
+
+func TestParserFullUserPlaneStack(t *testing.T) {
+	frame := buildUserPlaneFrame(t, []byte("GET /"))
+	var p Parser
+	decoded, err := p.Decode(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []LayerType{LayerTypeIPv4, LayerTypeUDP, LayerTypeGTPv1U, LayerTypeIPv4, LayerTypeTCP, LayerTypePayload}
+	if len(decoded) != len(want) {
+		t.Fatalf("decoded %v, want %v", decoded, want)
+	}
+	for i := range want {
+		if decoded[i] != want[i] {
+			t.Fatalf("decoded %v, want %v", decoded, want)
+		}
+	}
+	if p.GTPU.TEID != 0x42 {
+		t.Errorf("TEID = %x", p.GTPU.TEID)
+	}
+	if p.InnerIP.SrcIP != ueIP || p.InnerTCP.DstPort != 443 {
+		t.Error("inner layers mangled")
+	}
+	if !bytes.Equal(p.Payload, []byte("GET /")) {
+		t.Errorf("payload = %q", p.Payload)
+	}
+}
+
+func TestParserControlPlaneStack(t *testing.T) {
+	g := &GTPv2C{MessageType: GTPv2MsgCreateSessionRequest, TEID: 5, Sequence: 1,
+		Location: ULI{AreaCode: 9, CellID: 1001}, HasULI: true,
+		SubscriberID: 7, HasSubscriber: true}
+	msg := g.SerializeTo(nil, nil)
+	udp := &UDP{SrcPort: 31000, DstPort: PortGTPC}
+	seg := udp.SerializeTo(nil, msg)
+	frame := mkIP(sgwIP, pgwIP, IPProtoUDP).SerializeTo(nil, seg)
+
+	var p Parser
+	decoded, err := p.Decode(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded[len(decoded)-1] != LayerTypeGTPv2C {
+		t.Fatalf("decoded %v", decoded)
+	}
+	if p.GTPv2C.Location.CellID != 1001 || p.GTPv2C.SubscriberID != 7 {
+		t.Errorf("control fields mangled: %+v", p.GTPv2C)
+	}
+}
+
+func TestParserGTPv1CStack(t *testing.T) {
+	g := &GTPv1C{MessageType: GTPv1MsgCreatePDPRequest, TEID: 5, Sequence: 1,
+		Location: ULI{AreaCode: 9, CellID: 2002}, HasULI: true}
+	msg := g.SerializeTo(nil, nil)
+	udp := &UDP{SrcPort: 31000, DstPort: PortGTPC}
+	seg := udp.SerializeTo(nil, msg)
+	frame := mkIP(sgwIP, pgwIP, IPProtoUDP).SerializeTo(nil, seg)
+
+	var p Parser
+	decoded, err := p.Decode(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded[len(decoded)-1] != LayerTypeGTPv1C {
+		t.Fatalf("decoded %v", decoded)
+	}
+	if p.GTPv1C.Location.CellID != 2002 {
+		t.Errorf("ULI mangled: %+v", p.GTPv1C)
+	}
+}
+
+func TestParserRejectsGarbage(t *testing.T) {
+	var p Parser
+	if _, err := p.Decode([]byte{1, 2, 3}, nil); err == nil {
+		t.Error("garbage accepted")
+	}
+	frame := buildUserPlaneFrame(t, []byte("x"))
+	// Corrupt the GTP header region.
+	frame[30] = 0xff
+	if _, err := p.Decode(frame, nil); err == nil {
+		// Depending on the byte this may decode differently; corrupt the
+		// version nibble specifically.
+		frame2 := buildUserPlaneFrame(t, []byte("x"))
+		frame2[28] = 0x00 // GTP flags: version 0
+		if _, err := p.Decode(frame2, nil); err == nil {
+			t.Error("corrupted GTP accepted")
+		}
+	}
+}
+
+func TestFlowCanonicalization(t *testing.T) {
+	ipAB := mkIP(ueIP, serverIP, IPProtoTCP)
+	ipBA := mkIP(serverIP, ueIP, IPProtoTCP)
+	fAB, revAB := FlowFromPacket(ipAB, 1000, 443)
+	fBA, revBA := FlowFromPacket(ipBA, 443, 1000)
+	if fAB != fBA {
+		t.Errorf("directions map to different flows: %v vs %v", fAB, fBA)
+	}
+	if revAB == revBA {
+		t.Error("reverse flags must differ between directions")
+	}
+}
+
+func TestEndpointAndFlowStrings(t *testing.T) {
+	e := Endpoint{IP: [4]byte{1, 2, 3, 4}, Port: 80}
+	if e.String() != "1.2.3.4:80" {
+		t.Errorf("endpoint string = %q", e.String())
+	}
+	f, _ := FlowFromPacket(mkIP(ueIP, serverIP, IPProtoTCP), 1, 2)
+	if f.String() == "" {
+		t.Error("flow string empty")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example-style check: checksum of a buffer with its
+	// checksum field included must be zero.
+	data := []byte{0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+		0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7}
+	cs := Checksum(data)
+	put16(data[10:], cs)
+	if Checksum(data) != 0 {
+		t.Errorf("self-check failed: %x", Checksum(data))
+	}
+	if cs != 0xb861 {
+		t.Errorf("checksum = %04x, want b861 (classic example)", cs)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Any payload survives the full encapsulation round trip.
+	f := func(seed uint64, n uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		payload := make([]byte, int(n)%600)
+		for i := range payload {
+			payload[i] = byte(rng.IntN(256))
+		}
+		innerTCP := &TCP{SrcPort: 1234, DstPort: 443}
+		innerTCP.SetChecksumIPs(ueIP, serverIP)
+		seg := innerTCP.SerializeTo(nil, payload)
+		inner := mkIP(ueIP, serverIP, IPProtoTCP).SerializeTo(nil, seg)
+		gtpu := &GTPv1U{MessageType: GTPMsgGPDU, TEID: uint32(seed)}
+		tun := gtpu.SerializeTo(nil, inner)
+		udp := &UDP{SrcPort: 30000, DstPort: PortGTPU}
+		frame := mkIP(sgwIP, pgwIP, IPProtoUDP).SerializeTo(nil, udp.SerializeTo(nil, tun))
+
+		var p Parser
+		if _, err := p.Decode(frame, nil); err != nil {
+			return false
+		}
+		return bytes.Equal(p.Payload, payload) &&
+			p.GTPU.TEID == uint32(seed) &&
+			p.InnerTCP.VerifyChecksum(&p.InnerIP)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParserUserPlane(b *testing.B) {
+	frame := buildUserPlaneFrame(&testing.T{}, make([]byte, 1200))
+	var p Parser
+	decoded := make([]LayerType, 0, 8)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		var err error
+		decoded, err = p.Decode(frame, decoded)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package probe implements the passive measurement pipeline of the
+// paper's Section 2: a tap on the Gn / S5-S8 interfaces that inspects
+// GTP-C to track User Location Information per tunnel, decodes GTP-U
+// to account user-plane traffic, classifies flows with DPI, and
+// aggregates bytes per (service, direction, commune, time bin).
+//
+// The probe never sees the simulator's ground truth — only raw frames.
+// The integration tests close the loop by comparing its report against
+// the generating distributions.
+package probe
+
+import (
+	"time"
+
+	"repro/internal/dpi"
+	"repro/internal/gtpsim"
+	"repro/internal/pkt"
+	"repro/internal/services"
+	"repro/internal/timeseries"
+)
+
+// Direction aliases keep the report indexable with services constants.
+const (
+	DL = services.DL
+	UL = services.UL
+)
+
+// Config configures a probe instance.
+type Config struct {
+	// AccessGW and CoreGW identify the interface sides: frames from
+	// AccessGW to CoreGW are uplink, the reverse downlink.
+	AccessGW, CoreGW [4]byte
+	// Start and Step define the time binning of the measured series.
+	Start time.Time
+	Step  time.Duration
+	Bins  int
+}
+
+// DefaultConfig bins the study week at 15-minute resolution.
+func DefaultConfig() Config {
+	return Config{
+		AccessGW: gtpsim.AccessGW,
+		CoreGW:   gtpsim.CoreGW,
+		Start:    timeseries.StudyStart,
+		Step:     timeseries.DefaultStep,
+		Bins:     int(timeseries.Week / timeseries.DefaultStep),
+	}
+}
+
+// Report is the probe's measurement output.
+type Report struct {
+	// TotalBytes and ClassifiedBytes per direction.
+	TotalBytes      [services.NumDirections]float64
+	ClassifiedBytes [services.NumDirections]float64
+	// SvcBytes accumulates volume per classified service.
+	SvcBytes [services.NumDirections]map[string]float64
+	// SvcCommuneBytes accumulates volume per service per commune.
+	SvcCommuneBytes [services.NumDirections]map[string]map[int]float64
+	// SvcSeries holds the measured national time series per service.
+	SvcSeries [services.NumDirections]map[string]*timeseries.Series
+	// Error and anomaly counters.
+	DecodeErrors     int
+	UnknownTEID      int
+	UnknownCell      int
+	ControlMessages  int
+	UserPlanePackets int
+}
+
+// ClassificationRate returns the fraction of user-plane bytes the DPI
+// attributed to a service (the paper reports 88%).
+func (r *Report) ClassificationRate() float64 {
+	total := r.TotalBytes[DL] + r.TotalBytes[UL]
+	if total == 0 {
+		return 0
+	}
+	return (r.ClassifiedBytes[DL] + r.ClassifiedBytes[UL]) / total
+}
+
+// Probe is the stateful frame consumer.
+type Probe struct {
+	cfg      Config
+	registry *gtpsim.CellRegistry
+	flows    *dpi.FlowCache
+	parser   pkt.Parser
+	decoded  []pkt.LayerType
+
+	// teidCommune maps a data-plane TEID to the commune of its latest
+	// ULI fix — the geo-referencing state the paper's probes keep.
+	teidCommune map[uint32]int
+	report      *Report
+}
+
+// New builds a probe. The cell registry stands in for the operator's
+// cell-to-commune database.
+func New(cfg Config, registry *gtpsim.CellRegistry, classifier *dpi.Classifier) *Probe {
+	rep := &Report{}
+	for d := 0; d < services.NumDirections; d++ {
+		rep.SvcBytes[d] = map[string]float64{}
+		rep.SvcCommuneBytes[d] = map[string]map[int]float64{}
+		rep.SvcSeries[d] = map[string]*timeseries.Series{}
+	}
+	return &Probe{
+		cfg:         cfg,
+		registry:    registry,
+		flows:       dpi.NewFlowCache(classifier),
+		teidCommune: map[uint32]int{},
+		report:      rep,
+	}
+}
+
+// Report returns the accumulated measurements.
+func (p *Probe) Report() *Report { return p.report }
+
+// HandleFrame consumes one captured frame.
+func (p *Probe) HandleFrame(at time.Time, frame []byte) {
+	var err error
+	p.decoded, err = p.parser.Decode(frame, p.decoded)
+	if err != nil {
+		p.report.DecodeErrors++
+		return
+	}
+	last := p.decoded[len(p.decoded)-1]
+	switch last {
+	case pkt.LayerTypeGTPv1C:
+		p.handleControl(p.parser.GTPv1C.MessageType == pkt.GTPv1MsgCreatePDPRequest ||
+			p.parser.GTPv1C.MessageType == pkt.GTPv1MsgUpdatePDPRequest,
+			p.parser.GTPv1C.HasDataTEID, p.parser.GTPv1C.DataTEID,
+			p.parser.GTPv1C.HasULI, p.parser.GTPv1C.Location)
+	case pkt.LayerTypeGTPv2C:
+		p.handleControl(p.parser.GTPv2C.MessageType == pkt.GTPv2MsgCreateSessionRequest ||
+			p.parser.GTPv2C.MessageType == pkt.GTPv2MsgModifyBearerRequest,
+			p.parser.GTPv2C.HasDataTEID, p.parser.GTPv2C.DataTEID,
+			p.parser.GTPv2C.HasULI, p.parser.GTPv2C.Location)
+	default:
+		p.maybeUserPlane(at)
+	}
+}
+
+func (p *Probe) handleControl(locationBearing, hasTEID bool, dataTEID uint32, hasULI bool, uli pkt.ULI) {
+	p.report.ControlMessages++
+	if !locationBearing || !hasULI {
+		return
+	}
+	commune, ok := p.registry.CommuneOf(uli.CellID)
+	if !ok {
+		p.report.UnknownCell++
+		return
+	}
+	if hasTEID {
+		p.teidCommune[dataTEID] = commune
+		return
+	}
+	// Modify/Update without an explicit F-TEID re-uses the known one;
+	// our simulator always includes it on location updates, so nothing
+	// to do here.
+}
+
+// maybeUserPlane accounts a GTP-U G-PDU.
+func (p *Probe) maybeUserPlane(at time.Time) {
+	sawGTPU := false
+	sawInnerIP := false
+	for i, lt := range p.decoded {
+		if lt == pkt.LayerTypeGTPv1U {
+			sawGTPU = true
+			// An inner IPv4 right after GTP-U marks a G-PDU.
+			if i+1 < len(p.decoded) && p.decoded[i+1] == pkt.LayerTypeIPv4 {
+				sawInnerIP = true
+			}
+		}
+	}
+	if !sawGTPU || !sawInnerIP {
+		return
+	}
+	p.report.UserPlanePackets++
+
+	// Direction from the outer gateway addresses.
+	var dir services.Direction
+	switch {
+	case p.parser.OuterIP.SrcIP == p.cfg.AccessGW && p.parser.OuterIP.DstIP == p.cfg.CoreGW:
+		dir = UL
+	case p.parser.OuterIP.SrcIP == p.cfg.CoreGW && p.parser.OuterIP.DstIP == p.cfg.AccessGW:
+		dir = DL
+	default:
+		// Unknown interface direction; skip.
+		return
+	}
+
+	inner := &p.parser.InnerIP
+	bytes := float64(inner.Length)
+	p.report.TotalBytes[dir] += bytes
+
+	commune, ok := p.teidCommune[p.parser.GTPU.TEID]
+	if !ok {
+		p.report.UnknownTEID++
+		return
+	}
+
+	// Transport ports for the flow key and DPI.
+	var srcPort, dstPort uint16
+	var payload []byte
+	for i, lt := range p.decoded {
+		if lt != pkt.LayerTypeTCP && lt != pkt.LayerTypeUDP {
+			continue
+		}
+		// only the inner transport follows the inner IP
+		if i < 2 {
+			continue
+		}
+		if lt == pkt.LayerTypeTCP {
+			srcPort, dstPort = p.parser.InnerTCP.SrcPort, p.parser.InnerTCP.DstPort
+			payload = p.parser.InnerTCP.LayerPayload()
+		} else {
+			srcPort, dstPort = p.parser.InnerUDP.SrcPort, p.parser.InnerUDP.DstPort
+			payload = p.parser.InnerUDP.LayerPayload()
+		}
+	}
+
+	// The server side is the non-UE endpoint: uplink destinations and
+	// downlink sources.
+	serverIP := inner.DstIP
+	serverPort := dstPort
+	if dir == DL {
+		serverIP = inner.SrcIP
+		serverPort = srcPort
+	}
+
+	flow, _ := pkt.FlowFromPacket(inner, srcPort, dstPort)
+	res := p.flows.Classify(flow, serverIP, serverPort, payload)
+	if res.Service == "" {
+		return
+	}
+	p.report.ClassifiedBytes[dir] += bytes
+	p.report.SvcBytes[dir][res.Service] += bytes
+
+	perCommune := p.report.SvcCommuneBytes[dir][res.Service]
+	if perCommune == nil {
+		perCommune = map[int]float64{}
+		p.report.SvcCommuneBytes[dir][res.Service] = perCommune
+	}
+	perCommune[commune] += bytes
+
+	series := p.report.SvcSeries[dir][res.Service]
+	if series == nil {
+		series = timeseries.New(p.cfg.Start, p.cfg.Step, p.cfg.Bins)
+		p.report.SvcSeries[dir][res.Service] = series
+	}
+	if idx := series.IndexOf(at); idx >= 0 {
+		series.Values[idx] += bytes
+	}
+}

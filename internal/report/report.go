@@ -1,0 +1,362 @@
+// Package report renders the reproduction's figures as plain-text
+// artifacts: aligned tables, horizontal bar charts, line plots, CDF
+// curves and shaded heat maps. Every experiment runner produces its
+// paper figure through these primitives so results are inspectable in
+// a terminal and diffable in CI.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// shades maps intensity 0..1 to a character ramp for heat maps.
+var shades = []rune(" .:-=+*#%@")
+
+// Table renders rows with aligned columns. headers may be nil.
+func Table(headers []string, rows [][]string) string {
+	var all [][]string
+	if headers != nil {
+		all = append(all, headers)
+	}
+	all = append(all, rows...)
+	if len(all) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range all {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	if headers != nil {
+		writeRow(headers)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteString("\n")
+	}
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar is one entry of a horizontal bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Tag is an optional annotation rendered after the bar (e.g. the
+	// category of a service in Fig. 3).
+	Tag string
+}
+
+// BarChart renders horizontal bars scaled to width characters.
+func BarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(bars) == 0 {
+		return b.String()
+	}
+	maxVal, maxLabel := 0.0, 0
+	for _, bar := range bars {
+		if bar.Value > maxVal {
+			maxVal = bar.Value
+		}
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	for _, bar := range bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(bar.Value / maxVal * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s %8.3g", maxLabel, bar.Label, width, strings.Repeat("█", n), bar.Value)
+		if bar.Tag != "" {
+			fmt.Fprintf(&b, "  [%s]", bar.Tag)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// LinePlot renders a series as an ASCII plot with the given dimensions.
+// markers flags samples to annotate with '|' on a separate rail (the
+// Fig. 4 peak fronts).
+func LinePlot(title string, values []float64, width, height int, markers []bool) string {
+	if len(values) == 0 {
+		return title + "\n(empty)\n"
+	}
+	if width <= 0 {
+		width = 96
+	}
+	if height <= 0 {
+		height = 12
+	}
+	// Downsample to width columns by taking column maxima (peaks must
+	// survive the rendering).
+	cols := make([]float64, width)
+	marks := make([]bool, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(values) / width
+		hi := (c + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := math.Inf(-1)
+		for i := lo; i < hi && i < len(values); i++ {
+			if values[i] > m {
+				m = values[i]
+			}
+			if markers != nil && i < len(markers) && markers[i] {
+				marks[c] = true
+			}
+		}
+		cols[c] = m
+	}
+	minV, maxV := cols[0], cols[0]
+	for _, v := range cols {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	span := maxV - minV
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		level := int((v - minV) / span * float64(height-1))
+		for r := 0; r <= level; r++ {
+			row := height - 1 - r
+			ch := '░'
+			if r == level {
+				ch = '█'
+			}
+			grid[row][c] = ch
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s  (min %.3g, max %.3g)\n", title, minV, maxV)
+	}
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	if markers != nil {
+		rail := []rune(strings.Repeat(" ", width))
+		for c, m := range marks {
+			if m {
+				rail[c] = '|'
+			}
+		}
+		b.WriteString(string(rail))
+		b.WriteString("  <- detected peaks\n")
+	}
+	return b.String()
+}
+
+// CDFPlot renders (x, P<=x) points as a monotone ASCII curve with a
+// log-10 x axis when logX is set (the Fig. 8 per-subscriber volumes
+// span several orders of magnitude).
+func CDFPlot(title string, xs, ps []float64, width, height int, logX bool) string {
+	if len(xs) == 0 || len(xs) != len(ps) {
+		return title + "\n(empty)\n"
+	}
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 12
+	}
+	tx := func(x float64) float64 {
+		if logX {
+			if x <= 0 {
+				return math.Inf(-1)
+			}
+			return math.Log10(x)
+		}
+		return x
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		v := tx(x)
+		if math.IsInf(v, -1) {
+			continue
+		}
+		if v < minX {
+			minX = v
+		}
+		if v > maxX {
+			maxX = v
+		}
+	}
+	if minX >= maxX {
+		maxX = minX + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		v := tx(xs[i])
+		if math.IsInf(v, -1) {
+			continue
+		}
+		c := int((v - minX) / (maxX - minX) * float64(width-1))
+		r := height - 1 - int(ps[i]*float64(height-1))
+		if c >= 0 && c < width && r >= 0 && r < height {
+			grid[r][c] = '●'
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteString("\n")
+	}
+	for r, row := range grid {
+		label := "      "
+		if r == 0 {
+			label = "1.0  |"
+		} else if r == height-1 {
+			label = "0.0  |"
+		} else {
+			label = "     |"
+		}
+		b.WriteString(label)
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	if logX {
+		fmt.Fprintf(&b, "      x: 10^%.1f .. 10^%.1f\n", minX, maxX)
+	} else {
+		fmt.Fprintf(&b, "      x: %.3g .. %.3g\n", minX, maxX)
+	}
+	return b.String()
+}
+
+// HeatMap renders a value grid (row-major, rows top to bottom) with the
+// shade ramp; NaNs render as spaces. Values are normalized by the grid
+// maximum; when logScale is set, shading follows log10(value/max).
+func HeatMap(title string, grid [][]float64, logScale bool) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteString("\n")
+	}
+	maxV := 0.0
+	for _, row := range grid {
+		for _, v := range row {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	for _, row := range grid {
+		line := make([]rune, len(row))
+		for i, v := range row {
+			line[i] = shadeOf(v, maxV, logScale)
+		}
+		b.WriteString(string(line))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func shadeOf(v, maxV float64, logScale bool) rune {
+	if math.IsNaN(v) || maxV == 0 {
+		return ' '
+	}
+	frac := v / maxV
+	if logScale {
+		if v <= 0 {
+			return shades[0]
+		}
+		// 4 decades of dynamic range.
+		frac = 1 + math.Log10(v/maxV)/4
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	idx := int(frac * float64(len(shades)-1))
+	return shades[idx]
+}
+
+// Matrix renders a labelled square matrix with one shade per cell — the
+// Fig. 10 pairwise-r² view.
+func Matrix(title string, names []string, m [][]float64) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteString("\n")
+	}
+	short := make([]string, len(names))
+	for i, n := range names {
+		s := strings.ReplaceAll(n, " ", "")
+		if len(s) > 4 {
+			s = s[:4]
+		}
+		short[i] = s
+	}
+	b.WriteString("      ")
+	for _, s := range short {
+		fmt.Fprintf(&b, "%-5s", s)
+	}
+	b.WriteString("\n")
+	for i, row := range m {
+		fmt.Fprintf(&b, "%-6s", short[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, "%.2f ", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Bytes formats a byte volume in human units.
+func Bytes(v float64) string {
+	units := []string{"B", "KB", "MB", "GB", "TB", "PB"}
+	i := 0
+	for v >= 1024 && i < len(units)-1 {
+		v /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.2f %s", v, units[i])
+}

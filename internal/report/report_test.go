@@ -1,0 +1,165 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	// Columns align: "value" column starts at the same offset.
+	idx0 := strings.Index(lines[2], "1")
+	idx1 := strings.Index(lines[3], "22")
+	if idx0 != idx1 {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	out := Table(nil, [][]string{{"x", "y"}})
+	if strings.Contains(out, "---") {
+		t.Error("separator without headers")
+	}
+	if Table(nil, nil) != "" {
+		t.Error("empty table should render empty")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", []Bar{
+		{Label: "big", Value: 10, Tag: "cat"},
+		{Label: "small", Value: 1},
+	}, 20)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "[cat]") {
+		t.Errorf("missing elements:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	bigBars := strings.Count(lines[1], "█")
+	smallBars := strings.Count(lines[2], "█")
+	if bigBars != 20 || smallBars != 2 {
+		t.Errorf("bar lengths = %d, %d", bigBars, smallBars)
+	}
+	if BarChart("", nil, 10) != "" {
+		t.Error("empty chart should render empty")
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = math.Sin(float64(i) / 5)
+	}
+	markers := make([]bool, 100)
+	markers[50] = true
+	out := LinePlot("wave", values, 50, 8, markers)
+	if !strings.Contains(out, "wave") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("no plot body")
+	}
+	if !strings.Contains(out, "|") || !strings.Contains(out, "detected peaks") {
+		t.Error("marker rail missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // title + 8 rows + rail
+		t.Errorf("line count = %d", len(lines))
+	}
+}
+
+func TestLinePlotEdgeCases(t *testing.T) {
+	if !strings.Contains(LinePlot("t", nil, 10, 5, nil), "empty") {
+		t.Error("empty input not flagged")
+	}
+	// Constant series must not divide by zero.
+	out := LinePlot("const", []float64{5, 5, 5}, 10, 4, nil)
+	if !strings.Contains(out, "█") {
+		t.Error("constant series rendered nothing")
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000, 10000}
+	ps := []float64{0.1, 0.3, 0.5, 0.8, 1.0}
+	out := CDFPlot("cdf", xs, ps, 40, 8, true)
+	if !strings.Contains(out, "cdf") || !strings.Contains(out, "●") {
+		t.Errorf("missing plot elements:\n%s", out)
+	}
+	if !strings.Contains(out, "10^") {
+		t.Error("log axis annotation missing")
+	}
+	linear := CDFPlot("lin", []float64{0, 1}, []float64{0.5, 1}, 20, 5, false)
+	if strings.Contains(linear, "10^") {
+		t.Error("linear axis mislabelled")
+	}
+	if !strings.Contains(CDFPlot("e", nil, nil, 10, 5, false), "empty") {
+		t.Error("empty CDF not flagged")
+	}
+}
+
+func TestHeatMap(t *testing.T) {
+	grid := [][]float64{
+		{0, 0.5, 1.0},
+		{math.NaN(), 0.1, 0.9},
+	}
+	out := HeatMap("map", grid, false)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Max value renders darkest, NaN renders as space.
+	if !strings.ContainsRune(lines[1], '@') {
+		t.Errorf("max shade missing: %q", lines[1])
+	}
+	if lines[2][0] != ' ' {
+		t.Errorf("NaN not blank: %q", lines[2])
+	}
+}
+
+func TestHeatMapLogScale(t *testing.T) {
+	grid := [][]float64{{1, 10, 100, 1000, 10000}}
+	out := HeatMap("", grid, true)
+	row := strings.TrimRight(strings.Split(out, "\n")[0], "\n")
+	// Shades must increase monotonically along the decades.
+	prev := -1
+	for _, ch := range row {
+		idx := strings.IndexRune(string(shades), ch)
+		if idx < prev {
+			t.Errorf("log shading not monotone: %q", row)
+		}
+		prev = idx
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	out := Matrix("m", []string{"Alpha Service", "Bet"}, [][]float64{{1, 0.5}, {0.5, 1}})
+	if !strings.Contains(out, "Alph") || !strings.Contains(out, "0.50") {
+		t.Errorf("matrix render:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.463) != "46.3%" {
+		t.Errorf("Pct = %q", Pct(0.463))
+	}
+	if Bytes(1536) != "1.50 KB" {
+		t.Errorf("Bytes = %q", Bytes(1536))
+	}
+	if Bytes(3.2e15) != "2.84 PB" {
+		t.Errorf("Bytes = %q", Bytes(3.2e15))
+	}
+	if !strings.HasSuffix(Bytes(12), " B") {
+		t.Errorf("Bytes small = %q", Bytes(12))
+	}
+}

@@ -1,0 +1,351 @@
+package services
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/peaks"
+	"repro/internal/timeseries"
+)
+
+func TestCatalogSize(t *testing.T) {
+	c := Catalog()
+	if len(c) != 20 {
+		t.Fatalf("catalogue has %d services, want 20", len(c))
+	}
+	seen := map[string]bool{}
+	for i := range c {
+		if c[i].Name == "" {
+			t.Errorf("service %d has empty name", i)
+		}
+		if seen[c[i].Name] {
+			t.Errorf("duplicate service %q", c[i].Name)
+		}
+		seen[c[i].Name] = true
+	}
+}
+
+func TestCatalogSharesSane(t *testing.T) {
+	c := Catalog()
+	dl := TotalDLShare(c)
+	ul := TotalULShare(c)
+	// Section 3: the selection covers "over 60%" of the overall traffic.
+	if dl < 0.60 || dl > 0.70 {
+		t.Errorf("total DL share = %v, want ≈ 0.62", dl)
+	}
+	if ul < 0.60 || ul > 0.70 {
+		t.Errorf("total UL share = %v, want ≈ 0.63", ul)
+	}
+	for i := range c {
+		if c[i].DLShare <= 0 || c[i].ULShare <= 0 {
+			t.Errorf("%s has non-positive share", c[i].Name)
+		}
+	}
+}
+
+func TestVideoIs46PercentOfDownlink(t *testing.T) {
+	c := Catalog()
+	var video float64
+	for i := range c {
+		if c[i].Category == Video {
+			video += c[i].DLShare
+		}
+	}
+	if math.Abs(video-0.46) > 0.005 {
+		t.Errorf("video DL share = %v, want 0.46", video)
+	}
+}
+
+func TestDownlinkRankingOrder(t *testing.T) {
+	// Fig. 3 (top): YouTube dominates, iTunes second.
+	c := Catalog()
+	for i := 1; i < len(c); i++ {
+		if c[i].DLShare > c[i-1].DLShare {
+			t.Errorf("catalogue not DL-ranked at %s > %s", c[i].Name, c[i-1].Name)
+		}
+	}
+	if c[0].Name != "YouTube" || c[1].Name != "iTunes" {
+		t.Errorf("top-2 DL = %s, %s", c[0].Name, c[1].Name)
+	}
+}
+
+func TestUplinkTop3SocialMessaging(t *testing.T) {
+	// Fig. 3 (bottom): social networks and messaging occupy the top
+	// three uplink positions; SnapChat leads.
+	c := Catalog()
+	type ranked struct {
+		name  string
+		cat   Category
+		share float64
+	}
+	rs := make([]ranked, len(c))
+	for i := range c {
+		rs[i] = ranked{c[i].Name, c[i].Category, c[i].ULShare}
+	}
+	for i := 0; i < 3; i++ {
+		best := i
+		for j := i + 1; j < len(rs); j++ {
+			if rs[j].share > rs[best].share {
+				best = j
+			}
+		}
+		rs[i], rs[best] = rs[best], rs[i]
+	}
+	if rs[0].name != "SnapChat" {
+		t.Errorf("top UL service = %s, want SnapChat", rs[0].name)
+	}
+	for i := 0; i < 3; i++ {
+		if rs[i].cat != Social && rs[i].cat != Messaging {
+			t.Errorf("UL rank %d is %s (%v), want social or messaging", i+1, rs[i].name, rs[i].cat)
+		}
+	}
+}
+
+func TestPeakPatternsAllDistinct(t *testing.T) {
+	// Fig. 6's core claim: no two services share the same set of peak
+	// topical times.
+	c := Catalog()
+	masks := map[int]string{}
+	for i := range c {
+		mask := 0
+		for tt := 0; tt < peaks.NumTopicalTimes; tt++ {
+			if c[i].PeakAmp[tt] > 0 {
+				mask |= 1 << tt
+			}
+		}
+		if prev, dup := masks[mask]; dup {
+			t.Errorf("%s and %s share the same peak pattern %07b", prev, c[i].Name, mask)
+		}
+		masks[mask] = c[i].Name
+	}
+}
+
+func TestAlmostAllServicesPeakAtMidday(t *testing.T) {
+	c := Catalog()
+	missing := 0
+	for i := range c {
+		if !c[i].HasPeak(peaks.Midday) {
+			missing++
+		}
+	}
+	// "almost all services show increased usage on midday of working
+	// days": allow at most 1 exception (Netflix).
+	if missing > 1 {
+		t.Errorf("%d services lack a Midday peak", missing)
+	}
+}
+
+func TestMorningBreakIsStudentServices(t *testing.T) {
+	// The paper speculates morning-break peaks identify services
+	// popular among students: SnapChat, Instagram, Facebook, Twitter.
+	c := Catalog()
+	wantSet := map[string]bool{
+		"SnapChat": true, "Instagram": true, "Facebook": true, "Twitter": true,
+		// their embedded video feeds inherit the habit
+		"Facebook Video": true, "Instagram video": true,
+	}
+	for i := range c {
+		has := c[i].HasPeak(peaks.MorningBreak)
+		if has && !wantSet[c[i].Name] {
+			t.Errorf("%s has a morning-break peak but is not a student service", c[i].Name)
+		}
+	}
+	for _, name := range []string{"SnapChat", "Instagram", "Facebook", "Twitter"} {
+		if s := ByName(c, name); s == nil || !s.HasPeak(peaks.MorningBreak) {
+			t.Errorf("%s should have a morning-break peak", name)
+		}
+	}
+}
+
+func TestOutliersConfigured(t *testing.T) {
+	c := Catalog()
+	netflix := ByName(c, "Netflix")
+	if netflix == nil || !netflix.Requires4G {
+		t.Error("Netflix must require 4G")
+	}
+	if netflix.UrbanShift <= 0.2 {
+		t.Errorf("Netflix urban shift = %v, want strongly urban", netflix.UrbanShift)
+	}
+	icloud := ByName(c, "iCloud")
+	if icloud == nil || !icloud.UniformSpatial {
+		t.Error("iCloud must be spatially uniform")
+	}
+	for i := range c {
+		if c[i].Name != "Netflix" && c[i].Requires4G {
+			t.Errorf("%s unexpectedly requires 4G", c[i].Name)
+		}
+		if c[i].Name != "iCloud" && c[i].UniformSpatial {
+			t.Errorf("%s unexpectedly uniform", c[i].Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c := Catalog()
+	if s := ByName(c, "Twitter"); s == nil || s.Category != Social {
+		t.Error("ByName(Twitter) wrong")
+	}
+	if s := ByName(c, "NoSuchService"); s != nil {
+		t.Error("ByName should return nil for unknown")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for _, cat := range []Category{Video, Audio, Social, Messaging, Cloud, Store, Gaming, Web, AdultCat} {
+		if cat.String() == "" {
+			t.Errorf("category %d has empty label", cat)
+		}
+	}
+	if Category(99).String() == "" {
+		t.Error("unknown category empty label")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if DL.String() != "downlink" || UL.String() != "uplink" {
+		t.Error("direction labels wrong")
+	}
+}
+
+func TestPeakCountAndHasPeak(t *testing.T) {
+	c := Catalog()
+	nf := ByName(c, "Netflix")
+	if nf.PeakCount() != 2 {
+		t.Errorf("Netflix peak count = %d, want 2", nf.PeakCount())
+	}
+	if nf.HasPeak(peaks.Midday) {
+		t.Error("Netflix should not peak at weekday midday")
+	}
+	if nf.HasPeak(peaks.TopicalTime(-1)) || nf.HasPeak(peaks.TopicalTime(99)) {
+		t.Error("out-of-range topical time should report no peak")
+	}
+}
+
+func TestWeeklyProfileUnitMean(t *testing.T) {
+	c := Catalog()
+	for i := range c {
+		p := WeeklyProfile(&c[i], timeseries.DefaultStep, DL)
+		if p.Len() != 672 {
+			t.Fatalf("%s profile has %d samples", c[i].Name, p.Len())
+		}
+		if math.Abs(p.Mean()-1) > 1e-9 {
+			t.Errorf("%s profile mean = %v, want 1", c[i].Name, p.Mean())
+		}
+		for j, v := range p.Values {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("%s profile invalid at %d: %v", c[i].Name, j, v)
+			}
+		}
+	}
+}
+
+func TestWeeklyProfileNightVsDay(t *testing.T) {
+	c := Catalog()
+	fb := ByName(c, "Facebook")
+	p := WeeklyProfile(fb, timeseries.DefaultStep, DL)
+	// Tuesday 4am should be far below Tuesday 2pm.
+	night := p.Values[p.IndexOf(timeseries.StudyStart.Add(3*24*time.Hour+4*time.Hour))]
+	day := p.Values[p.IndexOf(timeseries.StudyStart.Add(3*24*time.Hour+14*time.Hour))]
+	if night >= day/2 {
+		t.Errorf("night %v vs day %v: no diurnal contrast", night, day)
+	}
+}
+
+func TestWeeklyProfilePeaksDetectable(t *testing.T) {
+	// The calibration contract: applying the paper's own detector to
+	// the clean profile must recover peaks only at the configured
+	// topical times (Fig. 6 finds zero peaks outside the seven slots).
+	c := Catalog()
+	for i := range c {
+		svc := &c[i]
+		p := WeeklyProfile(svc, timeseries.DefaultStep, DL)
+		cal, outside, err := peaks.BuildCalendar(p, peaks.PaperParams())
+		if err != nil {
+			t.Fatalf("%s: %v", svc.Name, err)
+		}
+		if outside > 0 {
+			t.Errorf("%s: %d peaks outside topical windows", svc.Name, outside)
+		}
+		for tt := 0; tt < peaks.NumTopicalTimes; tt++ {
+			if cal.Present[tt] && svc.PeakAmp[tt] == 0 {
+				t.Errorf("%s: spurious peak at %v", svc.Name, peaks.TopicalTime(tt))
+			}
+		}
+		// Every configured bump must be found: detected calendars must
+		// equal configured patterns exactly, so Fig. 6's uniqueness of
+		// *configured* patterns carries over to the *measured* ones.
+		for tt := 0; tt < peaks.NumTopicalTimes; tt++ {
+			if svc.PeakAmp[tt] > 0 && !cal.Present[tt] {
+				t.Errorf("%s: configured %.2f peak at %v not detected",
+					svc.Name, svc.PeakAmp[tt], peaks.TopicalTime(tt))
+			}
+		}
+	}
+}
+
+func TestULProfileDampedButAligned(t *testing.T) {
+	c := Catalog()
+	fb := ByName(c, "Facebook")
+	dl := WeeklyProfile(fb, timeseries.DefaultStep, DL)
+	ul := WeeklyProfile(fb, timeseries.DefaultStep, UL)
+	// Same rhythm: high correlation.
+	var num, d1, d2 float64
+	for i := range dl.Values {
+		a := dl.Values[i] - 1
+		b := ul.Values[i] - 1
+		num += a * b
+		d1 += a * a
+		d2 += b * b
+	}
+	r := num / math.Sqrt(d1*d2)
+	if r < 0.99 {
+		t.Errorf("DL/UL profile correlation = %v", r)
+	}
+	// Damped extremes: UL max below DL max.
+	dlMax, _ := dl.Max()
+	ulMax, _ := ul.Max()
+	if ulMax >= dlMax {
+		t.Errorf("UL max %v not damped vs DL max %v", ulMax, dlMax)
+	}
+}
+
+func TestTailCatalog(t *testing.T) {
+	c := Catalog()
+	tail := TailCatalog(500, c)
+	if len(tail) != 480 {
+		t.Fatalf("tail size = %d, want 480", len(tail))
+	}
+	var dl, ul float64
+	for _, s := range tail {
+		if s.DLShare < 0 || s.ULShare < 0 {
+			t.Fatalf("negative share in tail: %+v", s)
+		}
+		dl += s.DLShare
+		ul += s.ULShare
+	}
+	if math.Abs(dl+TotalDLShare(c)-1) > 1e-9 {
+		t.Errorf("DL shares sum to %v, want 1", dl+TotalDLShare(c))
+	}
+	if math.Abs(ul+TotalULShare(c)-1) > 1e-9 {
+		t.Errorf("UL shares sum to %v, want 1", ul+TotalULShare(c))
+	}
+	// Tail must decay monotonically and collapse at the bottom half.
+	for i := 1; i < len(tail); i++ {
+		if tail[i].DLShare > tail[i-1].DLShare {
+			t.Errorf("tail not decreasing at %d", i)
+		}
+	}
+	if tail[len(tail)-1].DLShare > tail[0].DLShare*1e-4 {
+		t.Error("tail bottom does not collapse")
+	}
+	if TailCatalog(10, c) != nil {
+		t.Error("tail smaller than catalogue should be nil")
+	}
+}
+
+func TestULToDLRatioUnderOneTwentieth(t *testing.T) {
+	if ULToDLRatio >= 1.0/20.0 {
+		t.Errorf("UL:DL ratio %v not under 1/20", ULToDLRatio)
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample. The zero value is not usable; construct with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from the sample x. It returns an
+// error on empty input. The input slice is copied.
+func NewECDF(x []float64) (*ECDF, error) {
+	if len(x) == 0 {
+		return nil, ErrInsufficientData
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns P(X <= v), the fraction of the sample at or below v.
+func (e *ECDF) At(v float64) float64 {
+	// First index with sorted[i] > v.
+	idx := sort.SearchFloat64s(e.sorted, v)
+	for idx < len(e.sorted) && e.sorted[idx] == v {
+		idx++
+	}
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile of the underlying sample.
+func (e *ECDF) Quantile(q float64) float64 { return Quantile(e.sorted, q) }
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Points returns (value, cumulative probability) pairs suitable for
+// plotting the CDF curve, downsampled to at most maxPoints entries.
+func (e *ECDF) Points(maxPoints int) []Point {
+	if maxPoints <= 0 || maxPoints > len(e.sorted) {
+		maxPoints = len(e.sorted)
+	}
+	pts := make([]Point, 0, maxPoints)
+	step := float64(len(e.sorted)) / float64(maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		idx := int(float64(i) * step)
+		if idx >= len(e.sorted) {
+			idx = len(e.sorted) - 1
+		}
+		pts = append(pts, Point{
+			X: e.sorted[idx],
+			Y: float64(idx+1) / float64(len(e.sorted)),
+		})
+	}
+	return pts
+}
+
+// Point is a generic (x, y) pair used for plot series.
+type Point struct {
+	X, Y float64
+}
+
+// LorenzCurve returns the cumulative share of the total carried by the
+// top fraction of ranked (descending) entries: for each requested
+// fraction f in topFractions it reports the share of Sum(x) produced
+// by the ceil(f·n) largest values. This is the statistic behind
+// Fig. 8 (left): "top 1% of communes generate over 50% of traffic".
+func LorenzCurve(x []float64, topFractions []float64) (map[float64]float64, error) {
+	if len(x) == 0 {
+		return nil, ErrInsufficientData
+	}
+	s := append([]float64(nil), x...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	total := Sum(s)
+	out := make(map[float64]float64, len(topFractions))
+	for _, f := range topFractions {
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("stats: LorenzCurve fraction %v out of [0,1]", f)
+		}
+		k := int(f * float64(len(s)))
+		if k == 0 && f > 0 {
+			k = 1
+		}
+		if total == 0 {
+			out[f] = 0
+			continue
+		}
+		var cum float64
+		for i := 0; i < k; i++ {
+			cum += s[i]
+		}
+		out[f] = cum / total
+	}
+	return out, nil
+}
+
+// Histogram counts x into nbins equal-width bins over [min, max].
+// Values outside the range are clamped into the edge bins.
+func Histogram(x []float64, min, max float64, nbins int) ([]int, error) {
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: Histogram with %d bins", nbins)
+	}
+	if max <= min {
+		return nil, fmt.Errorf("stats: Histogram with empty range [%v, %v]", min, max)
+	}
+	counts := make([]int, nbins)
+	width := (max - min) / float64(nbins)
+	for _, v := range x {
+		bin := int((v - min) / width)
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= nbins {
+			bin = nbins - 1
+		}
+		counts[bin]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ v, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.v); !close(got, c.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("NewECDF(nil): want error")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		rng := rand.New(rand.NewPCG(seed, 9))
+		n := rng.IntN(80) + 1
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		e, err := NewECDF(x)
+		if err != nil {
+			return false
+		}
+		pa, pb := e.At(a), e.At(b)
+		return pa >= 0 && pb <= 1 && pa <= pb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e, _ := NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	pts := e.Points(4)
+	if len(pts) != 4 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Errorf("Points not monotone at %d: %+v", i, pts)
+		}
+	}
+	all := e.Points(0)
+	if len(all) != 8 {
+		t.Errorf("Points(0) len = %d, want full sample", len(all))
+	}
+	if !close(all[len(all)-1].Y, 1, 1e-12) {
+		t.Errorf("last point Y = %v, want 1", all[len(all)-1].Y)
+	}
+}
+
+func TestLorenzCurve(t *testing.T) {
+	// 100 entries: one worth 90, the rest worth 10/99 each.
+	x := make([]float64, 100)
+	x[37] = 90
+	for i := range x {
+		if i != 37 {
+			x[i] = 10.0 / 99
+		}
+	}
+	shares, err := LorenzCurve(x, []float64{0.01, 0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(shares[0.01], 0.9, 1e-9) {
+		t.Errorf("top 1%% share = %v, want 0.9", shares[0.01])
+	}
+	if !close(shares[1], 1, 1e-9) {
+		t.Errorf("top 100%% share = %v, want 1", shares[1])
+	}
+	if shares[0.1] <= shares[0.01] {
+		t.Error("Lorenz shares must grow with the fraction")
+	}
+}
+
+func TestLorenzCurveErrors(t *testing.T) {
+	if _, err := LorenzCurve(nil, []float64{0.5}); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := LorenzCurve([]float64{1}, []float64{1.5}); err == nil {
+		t.Error("fraction > 1: want error")
+	}
+}
+
+func TestLorenzAllZero(t *testing.T) {
+	shares, err := LorenzCurve([]float64{0, 0, 0}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0.5] != 0 {
+		t.Errorf("all-zero share = %v", shares[0.5])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, err := Histogram([]float64{0.1, 0.9, 1.5, 2.5, 3.2, -5, 99}, 0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 1, 1, 2} // -5 clamps into bin 0, 99 into bin 3
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("Histogram = %v, want %v", counts, want)
+			break
+		}
+	}
+	if _, err := Histogram(nil, 0, 1, 0); err == nil {
+		t.Error("zero bins: want error")
+	}
+	if _, err := Histogram(nil, 1, 1, 4); err == nil {
+		t.Error("empty range: want error")
+	}
+}

@@ -1,0 +1,46 @@
+package stats
+
+import "sort"
+
+// Spearman returns the Spearman rank correlation coefficient between x
+// and y: the Pearson correlation of their rank transforms, with ties
+// receiving the average of the ranks they span. It is the robustness
+// companion to Pearson for the heavy-tailed per-commune volumes, where
+// a single metropolis can dominate the moment-based estimate.
+func Spearman(x, y []float64) (float64, error) {
+	rx, err := Ranks(x)
+	if err != nil {
+		return 0, err
+	}
+	ry, err := Ranks(y)
+	if err != nil {
+		return 0, err
+	}
+	return Pearson(rx, ry)
+}
+
+// Ranks returns the 1-based fractional ranks of x (ties averaged).
+func Ranks(x []float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, ErrInsufficientData
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	ranks := make([]float64, len(x))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		// Average rank for the tie block [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks, nil
+}

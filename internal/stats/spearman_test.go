@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRanksSimple(t *testing.T) {
+	r, err := Ranks([]float64{30, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("Ranks = %v, want %v", r, want)
+			break
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r, err := Ranks([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("Ranks = %v, want %v", r, want)
+			break
+		}
+	}
+	if _, err := Ranks(nil); err == nil {
+		t.Error("empty: want error")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform gives rho = 1.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v) // nonlinear but monotone
+	}
+	rho, err := Spearman(x, y)
+	if err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Errorf("Spearman = %v, %v; want 1", rho, err)
+	}
+	for i, v := range x {
+		y[i] = -v * v * v
+	}
+	rho, err = Spearman(x, y)
+	if err != nil || math.Abs(rho+1) > 1e-12 {
+		t.Errorf("Spearman decreasing = %v, %v; want -1", rho, err)
+	}
+}
+
+func TestSpearmanOutlierRobustness(t *testing.T) {
+	// One huge outlier wrecks Pearson but barely moves Spearman.
+	rng := rand.New(rand.NewPCG(7, 7))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i) + rng.NormFloat64()*20
+	}
+	x[0], y[0] = 1e9, -1e9
+	p, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.8 {
+		t.Errorf("Spearman = %v, should survive the outlier", s)
+	}
+	if p > 0 {
+		t.Errorf("Pearson = %v, expected to be destroyed by the outlier", p)
+	}
+}
+
+func TestSpearmanBoundedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		n := rng.IntN(60) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		rho, err := Spearman(x, y)
+		if err != nil {
+			return true
+		}
+		return rho >= -1-1e-9 && rho <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package stats provides the descriptive and inferential statistics
+// used throughout the reproduction: moments, Pearson correlation and
+// coefficient of determination, ordinary least squares (including the
+// through-origin slope of Fig. 11), Zipf rank-size fitting (Fig. 2),
+// empirical CDFs (Figs. 8 and 10) and quantiles.
+//
+// Everything is implemented from scratch on float64 slices; NaN inputs
+// are rejected explicitly rather than silently propagated.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData indicates that a statistic was requested on a
+// sample too small to define it.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Sum returns the sum of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Variance returns the population variance of x (dividing by n), or 0
+// when len(x) < 2. The population convention matches z-normalization
+// in the k-Shape pipeline.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// MinMax returns the minimum and maximum of x. It panics on an empty
+// slice, which is always a programming error in this codebase.
+func MinMax(x []float64) (min, max float64) {
+	if len(x) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Pearson returns the Pearson linear correlation coefficient between x
+// and y. It returns an error when the lengths differ, fewer than two
+// points are available, or either sample is constant (undefined
+// correlation).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Pearson length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: Pearson undefined for constant input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// R2 returns the coefficient of determination (squared Pearson
+// correlation) between x and y, the statistic the paper uses for both
+// spatial (Fig. 10) and temporal (Fig. 11 bottom) similarity.
+func R2(x, y []float64) (float64, error) {
+	r, err := Pearson(x, y)
+	if err != nil {
+		return 0, err
+	}
+	return r * r, nil
+}
+
+// OLSResult holds a simple linear regression fit y ≈ Slope·x + Intercept.
+type OLSResult struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // fraction of variance explained
+}
+
+// OLS fits y against x by ordinary least squares. It returns an error
+// for mismatched lengths, fewer than two points, or constant x.
+func OLS(x, y []float64) (OLSResult, error) {
+	if len(x) != len(y) {
+		return OLSResult{}, fmt.Errorf("stats: OLS length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return OLSResult{}, ErrInsufficientData
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return OLSResult{}, errors.New("stats: OLS undefined for constant x")
+	}
+	slope := sxy / sxx
+	res := OLSResult{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		res.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return res, nil
+}
+
+// SlopeThroughOrigin fits y ≈ Slope·x with no intercept, the estimator
+// behind Fig. 11 (top): the per-user demand of one region class
+// regressed on the urban per-user demand. It returns an error when x
+// is all zeros.
+func SlopeThroughOrigin(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: SlopeThroughOrigin length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, ErrInsufficientData
+	}
+	var sxy, sxx float64
+	for i := range x {
+		sxy += x[i] * y[i]
+		sxx += x[i] * x[i]
+	}
+	if sxx == 0 {
+		return 0, errors.New("stats: SlopeThroughOrigin undefined for zero x")
+	}
+	return sxy / sxx, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of x using linear
+// interpolation between order statistics. It panics on empty input or
+// q outside [0, 1].
+func Quantile(x []float64, q float64) float64 {
+	if len(x) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile q=%v out of [0,1]", q))
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5 quantile of x.
+func Median(x []float64) float64 { return Quantile(x, 0.5) }
+
+// Gini returns the Gini concentration coefficient of the non-negative
+// sample x: 0 for perfectly even values, approaching 1 when a single
+// element carries everything. Used to summarize spatial concentration
+// of traffic across communes (Fig. 8).
+func Gini(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrInsufficientData
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if s[0] < 0 {
+		return 0, errors.New("stats: Gini requires non-negative values")
+	}
+	total := Sum(s)
+	if total == 0 {
+		return 0, nil
+	}
+	var cum, lorenzArea float64
+	n := float64(len(s))
+	for _, v := range s {
+		prev := cum
+		cum += v
+		// Trapezoid under the Lorenz curve for this step.
+		lorenzArea += (prev + cum) / (2 * total) / n
+	}
+	return 1 - 2*lorenzArea, nil
+}

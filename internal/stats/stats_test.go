@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSumMeanVariance(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Sum(x); got != 40 {
+		t.Errorf("Sum = %v, want 40", got)
+	}
+	if got := Mean(x); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(x); !close(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(x); !close(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/singleton edge cases wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v, %v)", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(empty) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestPearsonExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10} // y = 2x: r = 1
+	r, err := Pearson(x, y)
+	if err != nil || !close(r, 1, 1e-12) {
+		t.Errorf("Pearson(2x) = %v, %v", r, err)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(x, yneg)
+	if err != nil || !close(r, -1, 1e-12) {
+		t.Errorf("Pearson(-2x) = %v, %v", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point: want error")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x: want error")
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := rng.IntN(50) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r, err := Pearson(x, y)
+		if err != nil {
+			return true // constant draws are legal
+		}
+		return r >= -1-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonInvariantToAffineProperty(t *testing.T) {
+	// r(x, y) == r(a·x+b, y) for a > 0.
+	f := func(seed uint64, aRaw, b float64) bool {
+		if math.IsNaN(aRaw) || math.IsInf(aRaw, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a := math.Abs(math.Mod(aRaw, 50)) + 0.5
+		b = math.Mod(b, 1000)
+		rng := rand.New(rand.NewPCG(seed, 2))
+		n := 20
+		x := make([]float64, n)
+		y := make([]float64, n)
+		xt := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+			xt[i] = a*x[i] + b
+		}
+		r1, err1 := Pearson(x, y)
+		r2, err2 := Pearson(xt, y)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return close(r1, r2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestR2(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{8, 6, 4, 2}
+	r2, err := R2(x, y)
+	if err != nil || !close(r2, 1, 1e-12) {
+		t.Errorf("R2 = %v, %v; want 1", r2, err)
+	}
+}
+
+func TestOLSExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	res, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(res.Slope, 2, 1e-12) || !close(res.Intercept, 1, 1e-12) || !close(res.R2, 1, 1e-12) {
+		t.Errorf("OLS = %+v", res)
+	}
+}
+
+func TestOLSConstantY(t *testing.T) {
+	res, err := OLS([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(res.Slope, 0, 1e-12) || !close(res.Intercept, 5, 1e-12) || res.R2 != 0 {
+		t.Errorf("OLS constant y = %+v", res)
+	}
+}
+
+func TestSlopeThroughOrigin(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{2, 4, 6}
+	s, err := SlopeThroughOrigin(x, y)
+	if err != nil || !close(s, 2, 1e-12) {
+		t.Errorf("SlopeThroughOrigin = %v, %v", s, err)
+	}
+	if _, err := SlopeThroughOrigin([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("zero x: want error")
+	}
+	if _, err := SlopeThroughOrigin(nil, nil); err == nil {
+		t.Error("empty: want error")
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Quantile(x, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(x, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Median(x); !close(got, 2.5, 1e-12) {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantileMonotonicProperty(t *testing.T) {
+	f := func(seed uint64, q1Raw, q2Raw float64) bool {
+		if math.IsNaN(q1Raw) || math.IsNaN(q2Raw) || math.IsInf(q1Raw, 0) || math.IsInf(q2Raw, 0) {
+			return true
+		}
+		q1 := math.Abs(math.Mod(q1Raw, 1))
+		q2 := math.Abs(math.Mod(q2Raw, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := rng.IntN(60) + 1
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+		}
+		return Quantile(x, q1) <= Quantile(x, q2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGini(t *testing.T) {
+	// Perfect equality.
+	g, err := Gini([]float64{5, 5, 5, 5})
+	if err != nil || !close(g, 0, 1e-12) {
+		t.Errorf("Gini equal = %v, %v", g, err)
+	}
+	// Extreme concentration approaches 1 - 1/n.
+	x := make([]float64, 1000)
+	x[0] = 1e9
+	g, err = Gini(x)
+	if err != nil || g < 0.99 {
+		t.Errorf("Gini concentrated = %v, %v", g, err)
+	}
+	if _, err := Gini([]float64{-1, 2}); err == nil {
+		t.Error("negative values: want error")
+	}
+	if g, _ := Gini([]float64{0, 0}); g != 0 {
+		t.Error("all-zero Gini should be 0")
+	}
+}

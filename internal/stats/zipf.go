@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ZipfFit is a rank-size power-law fit volume(rank) ∝ rank^Exponent,
+// estimated by ordinary least squares in log-log space, as in the
+// paper's Fig. 2 where the top half of mobile services follows Zipf's
+// law with exponents -1.69 (downlink) and -1.55 (uplink).
+type ZipfFit struct {
+	Exponent float64 // slope in log-log space (negative for Zipf data)
+	LogScale float64 // intercept: log10(volume) at rank 1
+	R2       float64 // goodness of fit in log-log space
+	N        int     // number of ranks used
+}
+
+// FitZipf sorts volumes descending, keeps the top topN ranks (all
+// positive entries when topN <= 0), and regresses log10(volume) on
+// log10(rank). Zero or negative volumes are skipped since their
+// logarithm is undefined. It returns an error when fewer than two
+// usable ranks remain.
+func FitZipf(volumes []float64, topN int) (ZipfFit, error) {
+	s := append([]float64(nil), volumes...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	if topN <= 0 || topN > len(s) {
+		topN = len(s)
+	}
+	var lx, ly []float64
+	for i := 0; i < topN; i++ {
+		if s[i] <= 0 {
+			break // sorted descending: everything after is non-positive too
+		}
+		lx = append(lx, math.Log10(float64(i+1)))
+		ly = append(ly, math.Log10(s[i]))
+	}
+	if len(lx) < 2 {
+		return ZipfFit{}, errors.New("stats: FitZipf needs at least two positive volumes")
+	}
+	res, err := OLS(lx, ly)
+	if err != nil {
+		return ZipfFit{}, err
+	}
+	return ZipfFit{Exponent: res.Slope, LogScale: res.Intercept, R2: res.R2, N: len(lx)}, nil
+}
+
+// Predict returns the fitted volume at the given 1-based rank.
+func (z ZipfFit) Predict(rank int) float64 {
+	if rank < 1 {
+		return math.NaN()
+	}
+	return math.Pow(10, z.LogScale+z.Exponent*math.Log10(float64(rank)))
+}
+
+// ZipfWeights returns n weights proportional to rank^(-s), normalized
+// to sum to one. It is the generator-side counterpart of FitZipf and
+// panics on n <= 0 or s <= 0.
+func ZipfWeights(n int, s float64) []float64 {
+	if n <= 0 || s <= 0 {
+		panic("stats: ZipfWeights requires n > 0 and s > 0")
+	}
+	w := make([]float64, n)
+	var total float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitZipfRecoversExponent(t *testing.T) {
+	// Generate a perfect Zipf law and recover its exponent.
+	for _, s := range []float64{0.8, 1.55, 1.69, 3.0} {
+		volumes := make([]float64, 200)
+		for i := range volumes {
+			volumes[i] = 1e9 * math.Pow(float64(i+1), -s)
+		}
+		fit, err := FitZipf(volumes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close(fit.Exponent, -s, 1e-9) {
+			t.Errorf("s=%v: exponent = %v", s, fit.Exponent)
+		}
+		if !close(fit.R2, 1, 1e-9) {
+			t.Errorf("s=%v: R2 = %v", s, fit.R2)
+		}
+		if fit.N != 200 {
+			t.Errorf("s=%v: N = %d", s, fit.N)
+		}
+	}
+}
+
+func TestFitZipfTopN(t *testing.T) {
+	// Head follows Zipf(-2); tail collapses (as in the paper's Fig. 2).
+	volumes := make([]float64, 100)
+	for i := 0; i < 50; i++ {
+		volumes[i] = 1e6 * math.Pow(float64(i+1), -2)
+	}
+	for i := 50; i < 100; i++ {
+		volumes[i] = 1e-8 * math.Pow(float64(i+1), -9)
+	}
+	headFit, err := FitZipf(volumes, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(headFit.Exponent, -2, 1e-6) {
+		t.Errorf("head exponent = %v, want -2", headFit.Exponent)
+	}
+	fullFit, err := FitZipf(volumes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullFit.Exponent > headFit.Exponent-0.5 {
+		t.Errorf("full fit should be much steeper: head %v vs full %v",
+			headFit.Exponent, fullFit.Exponent)
+	}
+}
+
+func TestFitZipfPredict(t *testing.T) {
+	volumes := []float64{1000, 250, 111.11}
+	fit, err := FitZipf(volumes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// volumes follow rank^-2 · 1000.
+	if got := fit.Predict(1); !close(got, 1000, 1) {
+		t.Errorf("Predict(1) = %v", got)
+	}
+	if got := fit.Predict(2); !close(got, 250, 1) {
+		t.Errorf("Predict(2) = %v", got)
+	}
+	if !math.IsNaN(fit.Predict(0)) {
+		t.Error("Predict(0) should be NaN")
+	}
+}
+
+func TestFitZipfErrors(t *testing.T) {
+	if _, err := FitZipf([]float64{5}, 0); err == nil {
+		t.Error("one value: want error")
+	}
+	if _, err := FitZipf([]float64{0, 0, 0}, 0); err == nil {
+		t.Error("all zeros: want error")
+	}
+}
+
+func TestFitZipfSkipsNonPositive(t *testing.T) {
+	fit, err := FitZipf([]float64{100, 25, 0, -3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 2 {
+		t.Errorf("N = %d, want 2 (non-positive skipped)", fit.N)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(10, 1.5)
+	if !close(Sum(w), 1, 1e-12) {
+		t.Errorf("weights sum = %v", Sum(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Errorf("weights not strictly decreasing at %d", i)
+		}
+	}
+	if !close(w[0]/w[1], math.Pow(2, 1.5), 1e-9) {
+		t.Errorf("weight ratio = %v", w[0]/w[1])
+	}
+}
+
+func TestZipfWeightsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ZipfWeights(0, 1) did not panic")
+		}
+	}()
+	ZipfWeights(0, 1)
+}
+
+func TestZipfRoundTripProperty(t *testing.T) {
+	// ZipfWeights -> FitZipf recovers the exponent.
+	f := func(seed uint64, sRaw float64) bool {
+		if math.IsNaN(sRaw) || math.IsInf(sRaw, 0) {
+			return true
+		}
+		s := math.Abs(math.Mod(sRaw, 3)) + 0.3
+		rng := rand.New(rand.NewPCG(seed, 4))
+		n := rng.IntN(150) + 20
+		w := ZipfWeights(n, s)
+		fit, err := FitZipf(w, 0)
+		if err != nil {
+			return false
+		}
+		return close(fit.Exponent, -s, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/services"
+	"repro/internal/timeseries"
+)
+
+// ServiceIndex returns the catalogue index of the named service, or an
+// error listing the valid names.
+func (ds *Dataset) ServiceIndex(name string) (int, error) {
+	for i := range ds.Catalog {
+		if ds.Catalog[i].Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("synth: unknown service %q (catalogue has %d services)", name, len(ds.Catalog))
+}
+
+// NationalTotal returns the weekly national volume of the service in
+// the given direction.
+func (ds *Dataset) NationalTotal(dir services.Direction, svc int) float64 {
+	return ds.National[dir][svc].Total()
+}
+
+// AllVolumes returns the weekly volumes of the full service population
+// (named catalogue followed by the tail), the input to the Fig. 2
+// rank-size analysis.
+func (ds *Dataset) AllVolumes(dir services.Direction) []float64 {
+	out := make([]float64, 0, len(ds.Catalog)+len(ds.Tail))
+	for s := range ds.Catalog {
+		out = append(out, ds.NationalTotal(dir, s))
+	}
+	out = append(out, ds.TailVolumes[dir]...)
+	return out
+}
+
+// PerUser returns the per-commune weekly volume per subscriber for one
+// service (the Fig. 8 CDF sample and the Fig. 9/10 map vector).
+func (ds *Dataset) PerUser(dir services.Direction, svc int) []float64 {
+	spatial := ds.Spatial[dir][svc]
+	out := make([]float64, len(spatial))
+	for i, v := range spatial {
+		subs := ds.Country.Communes[i].Subscribers
+		if subs > 0 {
+			out[i] = v / float64(subs)
+		}
+	}
+	return out
+}
+
+// GroupPerUser returns the per-user traffic time series of one service
+// in one urbanization class: the class series divided by the class
+// subscriber count (the Fig. 11 regression input).
+func (ds *Dataset) GroupPerUser(dir services.Direction, svc int, u geo.Urbanization) *timeseries.Series {
+	s := ds.Group[dir][svc][u].Clone()
+	if n := ds.GroupSubscribers[u]; n > 0 {
+		s.Scale(1 / float64(n))
+	}
+	return s
+}
+
+// TotalTraffic returns the nationwide weekly volume across all named
+// and tail services for the direction.
+func (ds *Dataset) TotalTraffic(dir services.Direction) float64 {
+	var t float64
+	for _, v := range ds.AllVolumes(dir) {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,273 @@
+package synth
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/services"
+	"repro/internal/stats"
+)
+
+// small generates the laptop-scale dataset once for the whole test
+// package.
+func small(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := small(t)
+	b := small(t)
+	for dir := services.Direction(0); dir < services.NumDirections; dir++ {
+		for s := range a.Catalog {
+			for i, v := range a.National[dir][s].Values {
+				if b.National[dir][s].Values[i] != v {
+					t.Fatalf("national series differ at dir=%v svc=%d sample=%d", dir, s, i)
+				}
+			}
+			for i, v := range a.Spatial[dir][s] {
+				if b.Spatial[dir][s][i] != v {
+					t.Fatalf("spatial volumes differ at dir=%v svc=%d commune=%d", dir, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsTinyServiceCount(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.TotalServices = 5
+	if _, err := Generate(cfg); err == nil {
+		t.Error("TotalServices < catalogue: want error")
+	}
+}
+
+func TestVolumesMatchShares(t *testing.T) {
+	ds := small(t)
+	cfg := ds.Cfg
+	// National totals must match share × total within noise.
+	for s := range ds.Catalog {
+		want := ds.Catalog[s].DLShare * cfg.TotalDLBytes
+		got := ds.NationalTotal(services.DL, s)
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("%s national DL = %.3g, want %.3g", ds.Catalog[s].Name, got, want)
+		}
+	}
+	// Spatial totals must agree with national totals.
+	for dir := services.Direction(0); dir < services.NumDirections; dir++ {
+		for s := range ds.Catalog {
+			var spatial float64
+			for _, v := range ds.Spatial[dir][s] {
+				spatial += v
+			}
+			national := ds.NationalTotal(dir, s)
+			if math.Abs(spatial-national)/national > 0.03 {
+				t.Errorf("svc %d dir %v: spatial %.3g vs national %.3g",
+					s, dir, spatial, national)
+			}
+		}
+	}
+}
+
+func TestUplinkUnderOneTwentieth(t *testing.T) {
+	ds := small(t)
+	ul := ds.TotalTraffic(services.UL)
+	dl := ds.TotalTraffic(services.DL)
+	if ul >= dl/20 {
+		t.Errorf("UL %.3g not under 1/20 of DL %.3g", ul, dl)
+	}
+}
+
+func TestGroupSeriesPartitionNational(t *testing.T) {
+	ds := small(t)
+	for s := range ds.Catalog {
+		var groups float64
+		for u := 0; u < geo.NumUrbanization; u++ {
+			groups += ds.Group[services.DL][s][u].Total()
+		}
+		national := ds.NationalTotal(services.DL, s)
+		if math.Abs(groups-national)/national > 0.05 {
+			t.Errorf("%s: group sum %.3g vs national %.3g",
+				ds.Catalog[s].Name, groups, national)
+		}
+	}
+}
+
+func TestGroupSubscribersPartition(t *testing.T) {
+	ds := small(t)
+	var sum int
+	for _, n := range ds.GroupSubscribers {
+		sum += n
+	}
+	if sum != ds.Country.TotalSubscribers() {
+		t.Errorf("group subscribers %d != total %d", sum, ds.Country.TotalSubscribers())
+	}
+}
+
+func TestNetflixGatedBy4G(t *testing.T) {
+	ds := small(t)
+	nfIdx, err := ds.ServiceIndex("Netflix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	twIdx, err := ds.ServiceIndex("Twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfPU := ds.PerUser(services.DL, nfIdx)
+	twPU := ds.PerUser(services.DL, twIdx)
+	var nf3G, nf4G, tw3G, tw4G float64
+	var n3, n4 int
+	for i := range ds.Country.Communes {
+		if ds.Country.Communes[i].Coverage == geo.Tech4G {
+			nf4G += nfPU[i]
+			tw4G += twPU[i]
+			n4++
+		} else {
+			nf3G += nfPU[i]
+			tw3G += twPU[i]
+			n3++
+		}
+	}
+	if n3 == 0 || n4 == 0 {
+		t.Skip("small country lacks 3G-only communes")
+	}
+	nfRatio := (nf3G / float64(n3)) / (nf4G / float64(n4))
+	twRatio := (tw3G / float64(n3)) / (tw4G / float64(n4))
+	if nfRatio > twRatio/3 {
+		t.Errorf("Netflix 3G/4G per-user ratio %.3f should be far below Twitter's %.3f",
+			nfRatio, twRatio)
+	}
+}
+
+func TestPerUserPositiveAndSkewed(t *testing.T) {
+	ds := small(t)
+	twIdx, _ := ds.ServiceIndex("Twitter")
+	pu := ds.PerUser(services.DL, twIdx)
+	var pos []float64
+	for _, v := range pu {
+		if v < 0 {
+			t.Fatal("negative per-user volume")
+		}
+		if v > 0 {
+			pos = append(pos, v)
+		}
+	}
+	if len(pos) < len(pu)/2 {
+		t.Errorf("only %d/%d communes have Twitter traffic", len(pos), len(pu))
+	}
+	// Skew: mean well above median.
+	mean := stats.Mean(pos)
+	med := stats.Median(pos)
+	if mean < 1.3*med {
+		t.Errorf("per-user distribution not skewed: mean %.3g vs median %.3g", mean, med)
+	}
+}
+
+func TestAllVolumesRanking(t *testing.T) {
+	ds := small(t)
+	vols := ds.AllVolumes(services.DL)
+	if len(vols) != ds.Cfg.TotalServices {
+		t.Fatalf("AllVolumes returned %d entries, want %d", len(vols), ds.Cfg.TotalServices)
+	}
+	fit, err := stats.FitZipf(vols, len(vols)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The head must be Zipf-like; the small config has far fewer tail
+	// services, which flattens the fit, so the band is generous here.
+	// The paper's exponents are asserted at the full 500-service scale
+	// in the experiments package.
+	if fit.Exponent > -0.9 || fit.Exponent < -2.5 {
+		t.Errorf("head Zipf exponent = %.2f, want in [-2.5, -0.9]", fit.Exponent)
+	}
+}
+
+func TestServiceIndexErrors(t *testing.T) {
+	ds := small(t)
+	if _, err := ds.ServiceIndex("nope"); err == nil {
+		t.Error("unknown service: want error")
+	}
+	idx, err := ds.ServiceIndex("YouTube")
+	if err != nil || idx != 0 {
+		t.Errorf("YouTube index = %d, %v", idx, err)
+	}
+}
+
+func TestTGVGroupProfileDiffers(t *testing.T) {
+	ds := small(t)
+	fbIdx, _ := ds.ServiceIndex("Facebook")
+	urban := ds.Group[services.DL][fbIdx][geo.Urban]
+	rural := ds.Group[services.DL][fbIdx][geo.Rural]
+	tgv := ds.Group[services.DL][fbIdx][geo.RuralTGV]
+
+	r2UrbanRural, err := stats.R2(urban.Values, rural.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2UrbanTGV, err := stats.R2(urban.Values, tgv.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2UrbanRural < 0.7 {
+		t.Errorf("urban-rural temporal r² = %.3f, want high", r2UrbanRural)
+	}
+	if r2UrbanTGV > r2UrbanRural-0.2 {
+		t.Errorf("urban-TGV r² = %.3f should be well below urban-rural %.3f",
+			r2UrbanTGV, r2UrbanRural)
+	}
+}
+
+func TestGroupPerUserScaling(t *testing.T) {
+	ds := small(t)
+	fbIdx, _ := ds.ServiceIndex("Facebook")
+	raw := ds.Group[services.DL][fbIdx][geo.Urban]
+	pu := ds.GroupPerUser(services.DL, fbIdx, geo.Urban)
+	n := float64(ds.GroupSubscribers[geo.Urban])
+	if math.Abs(pu.Total()*n-raw.Total())/raw.Total() > 1e-9 {
+		t.Error("GroupPerUser scaling inconsistent")
+	}
+}
+
+func TestBinomialApprox(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	if binomialApprox(rng, 0, 0.5) != 0 || binomialApprox(rng, 10, 0) != 0 {
+		t.Error("degenerate binomial cases wrong")
+	}
+	if binomialApprox(rng, 10, 1) != 10 {
+		t.Error("p=1 should return n")
+	}
+	// Small-n exact path: mean of Binomial(20, 0.3) ≈ 6.
+	var sum int
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		k := binomialApprox(rng, 20, 0.3)
+		if k < 0 || k > 20 {
+			t.Fatalf("binomial out of range: %d", k)
+		}
+		sum += k
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-6) > 0.3 {
+		t.Errorf("small-n binomial mean = %.2f, want ≈ 6", mean)
+	}
+	// Large-n approximation: mean of Binomial(10000, 0.25) ≈ 2500.
+	sum = 0
+	for i := 0; i < 1000; i++ {
+		k := binomialApprox(rng, 10000, 0.25)
+		if k < 0 || k > 10000 {
+			t.Fatalf("binomial out of range: %d", k)
+		}
+		sum += k
+	}
+	mean = float64(sum) / 1000
+	if math.Abs(mean-2500) > 25 {
+		t.Errorf("large-n binomial mean = %.1f, want ≈ 2500", mean)
+	}
+}

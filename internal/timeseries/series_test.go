@@ -1,0 +1,273 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewWeekDimensions(t *testing.T) {
+	s := NewWeek(DefaultStep)
+	if s.Len() != 672 {
+		t.Errorf("week at 15min = %d samples, want 672", s.Len())
+	}
+	if !s.Start.Equal(StudyStart) {
+		t.Errorf("start = %v", s.Start)
+	}
+	h := NewWeek(time.Hour)
+	if h.Len() != 168 {
+		t.Errorf("week at 1h = %d samples, want 168", h.Len())
+	}
+}
+
+func TestStudyStartIsSaturday(t *testing.T) {
+	if StudyStart.Weekday() != time.Saturday {
+		t.Errorf("study start weekday = %v, want Saturday", StudyStart.Weekday())
+	}
+}
+
+func TestTimeAtIndexOfRoundTrip(t *testing.T) {
+	s := NewWeek(DefaultStep)
+	for _, i := range []int{0, 1, 100, 671} {
+		if got := s.IndexOf(s.TimeAt(i)); got != i {
+			t.Errorf("IndexOf(TimeAt(%d)) = %d", i, got)
+		}
+	}
+	if s.IndexOf(StudyStart.Add(-time.Second)) != -1 {
+		t.Error("before start should be -1")
+	}
+	if s.IndexOf(StudyStart.Add(Week)) != -1 {
+		t.Error("after end should be -1")
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := New(StudyStart, time.Hour, 3)
+	b := New(StudyStart, time.Hour, 3)
+	copy(a.Values, []float64{1, 2, 3})
+	copy(b.Values, []float64{10, 20, 30})
+	if err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Values[2] != 33 {
+		t.Errorf("Add result = %v", a.Values)
+	}
+	a.Scale(2)
+	if a.Values[0] != 22 {
+		t.Errorf("Scale result = %v", a.Values)
+	}
+}
+
+func TestAddMisaligned(t *testing.T) {
+	a := New(StudyStart, time.Hour, 3)
+	b := New(StudyStart, time.Minute, 3)
+	if err := a.Add(b); err == nil {
+		t.Error("misaligned Add: want error")
+	}
+	c := New(StudyStart.Add(time.Hour), time.Hour, 3)
+	if err := a.Add(c); err == nil {
+		t.Error("shifted Add: want error")
+	}
+}
+
+func TestTotalMeanMaxMin(t *testing.T) {
+	s := New(StudyStart, time.Hour, 4)
+	copy(s.Values, []float64{1, 5, -2, 4})
+	if s.Total() != 8 || s.Mean() != 2 {
+		t.Errorf("Total/Mean = %v/%v", s.Total(), s.Mean())
+	}
+	if v, i := s.Max(); v != 5 || i != 1 {
+		t.Errorf("Max = %v@%d", v, i)
+	}
+	if v, i := s.Min(); v != -2 || i != 2 {
+		t.Errorf("Min = %v@%d", v, i)
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	out := ZNormalize([]float64{1, 2, 3, 4, 5})
+	var mean, varSum float64
+	for _, v := range out {
+		mean += v
+	}
+	mean /= float64(len(out))
+	for _, v := range out {
+		varSum += (v - mean) * (v - mean)
+	}
+	varSum /= float64(len(out))
+	if math.Abs(mean) > 1e-12 || math.Abs(varSum-1) > 1e-12 {
+		t.Errorf("ZNormalize mean=%v var=%v", mean, varSum)
+	}
+}
+
+func TestZNormalizeConstant(t *testing.T) {
+	out := ZNormalize([]float64{7, 7, 7})
+	for _, v := range out {
+		if v != 0 {
+			t.Errorf("constant z-normalizes to %v", out)
+			break
+		}
+	}
+	if got := ZNormalize(nil); len(got) != 0 {
+		t.Error("empty z-normalize")
+	}
+}
+
+func TestZNormalizeIdempotentProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		n := rng.IntN(100) + 2
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()*50 + 10
+		}
+		once := ZNormalize(x)
+		twice := ZNormalize(once)
+		for i := range once {
+			if math.Abs(once[i]-twice[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZNormalizeAffineInvariantProperty(t *testing.T) {
+	// z(a·x + b) == z(x) for a > 0.
+	f := func(seed uint64, aRaw, b float64) bool {
+		if math.IsNaN(aRaw) || math.IsInf(aRaw, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a := math.Abs(math.Mod(aRaw, 20)) + 0.1
+		b = math.Mod(b, 500)
+		rng := rand.New(rand.NewPCG(seed, 22))
+		n := rng.IntN(50) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = a*x[i] + b
+		}
+		zx := ZNormalize(x)
+		zy := ZNormalize(y)
+		for i := range zx {
+			if math.Abs(zx[i]-zy[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := New(StudyStart, 15*time.Minute, 8)
+	for i := range s.Values {
+		s.Values[i] = 1
+	}
+	hourly, err := s.Resample(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hourly.Len() != 2 || hourly.Values[0] != 4 || hourly.Values[1] != 4 {
+		t.Errorf("Resample = %+v", hourly.Values)
+	}
+	if hourly.Total() != s.Total() {
+		t.Error("Resample must conserve mass")
+	}
+	if _, err := s.Resample(20 * time.Minute); err == nil {
+		t.Error("non-multiple step: want error")
+	}
+	if _, err := s.Resample(-time.Hour); err == nil {
+		t.Error("negative step: want error")
+	}
+}
+
+func TestResampleConservesMassProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 23))
+		s := NewWeek(DefaultStep)
+		for i := range s.Values {
+			s.Values[i] = rng.Float64() * 100
+		}
+		for _, step := range []time.Duration{30 * time.Minute, time.Hour, 6 * time.Hour, 24 * time.Hour} {
+			r, err := s.Resample(step)
+			if err != nil {
+				return false
+			}
+			if math.Abs(r.Total()-s.Total()) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsWeekend(t *testing.T) {
+	if !IsWeekend(StudyStart) {
+		t.Error("study start (Saturday) should be weekend")
+	}
+	if IsWeekend(StudyStart.Add(2 * 24 * time.Hour)) {
+		t.Error("Monday should not be weekend")
+	}
+}
+
+func TestDayLabels(t *testing.T) {
+	s := NewWeek(time.Hour)
+	labels := s.DayLabels()
+	want := []string{"Sat", "Sun", "Mon", "Tue", "Wed", "Thu", "Fri"}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v", labels)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("labels[%d] = %q, want %q", i, labels[i], want[i])
+		}
+	}
+}
+
+func TestWeekdayMask(t *testing.T) {
+	s := NewWeek(24 * time.Hour) // one sample per day
+	mask := s.WeekdayMask()
+	want := []bool{false, false, true, true, true, true, true}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Errorf("mask[%d] = %v, want %v", i, mask[i], want[i])
+		}
+	}
+}
+
+func TestSliceByHourOfDay(t *testing.T) {
+	s := NewWeek(time.Hour)
+	for i := range s.Values {
+		if s.TimeAt(i).Hour() == 13 {
+			s.Values[i] = 10
+		}
+	}
+	prof := s.SliceByHourOfDay()
+	if prof[13] != 10 {
+		t.Errorf("hour 13 mean = %v, want 10", prof[13])
+	}
+	if prof[0] != 0 {
+		t.Errorf("hour 0 mean = %v, want 0", prof[0])
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with zero step did not panic")
+		}
+	}()
+	New(StudyStart, 0, 5)
+}

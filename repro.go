@@ -1,0 +1,33 @@
+// Package repro reproduces "Not All Apps Are Created Equal: Analysis
+// of Spatiotemporal Heterogeneity in Nationwide Mobile Service Usage"
+// (Marquez et al., ACM CoNEXT 2017) as a self-contained Go system.
+//
+// The repository builds every substrate the study depends on — a
+// synthetic nationwide mobile network (communes, cities, TGV
+// corridors, 3G/4G coverage), the GTP packet plane with passive
+// probes and DPI, the statistics and time-series toolchain (FFT,
+// k-Shape clustering, validity indices, smoothed z-score peak
+// detection) — and an experiment runner per paper figure.
+//
+// Layout:
+//
+//	internal/core         the paper's analysis pipeline
+//	internal/synth        nationwide demand generator (data substitute)
+//	internal/geo          spatial substrate
+//	internal/services     20-service calibrated catalogue
+//	internal/pkt,gtpsim,
+//	internal/dpi,probe    packet-level measurement pipeline
+//	internal/dsp,mat,
+//	internal/stats,
+//	internal/timeseries,
+//	internal/kshape,
+//	internal/cvi,peaks    analysis toolchain
+//	internal/experiments  one runner per table/figure
+//	cmd/...               executables, examples/... runnable examples
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package repro
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
