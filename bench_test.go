@@ -6,7 +6,10 @@ package repro
 // -bench=.` doubles as the full reproduction harness at laptop scale.
 
 import (
+	"context"
+	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -23,32 +26,46 @@ import (
 )
 
 var (
-	benchOnce sync.Once
-	benchEnv  *experiments.Env
-	benchErr  error
+	benchOnce  sync.Once
+	benchDS    *synth.Dataset
+	benchDSErr error
 )
 
-func env(b *testing.B) *experiments.Env {
+// benchDataset memoizes the laptop-scale dataset; generation is
+// amortized across all benchmarks.
+func benchDataset(b *testing.B) *synth.Dataset {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchEnv, benchErr = experiments.NewEnv(synth.SmallConfig())
+		benchDS, benchDSErr = synth.Generate(synth.SmallConfig())
 	})
-	if benchErr != nil {
-		b.Fatal(benchErr)
+	if benchDSErr != nil {
+		b.Fatal(benchDSErr)
 	}
-	return benchEnv
+	return benchDS
+}
+
+// env returns a fresh environment (new memoizing analyzer) over the
+// shared dataset, so each benchmark measures its own analysis cost
+// rather than another benchmark's warm cache.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	return experiments.NewEnvFrom(benchDataset(b), 1)
 }
 
 func runFig(b *testing.B, id string) {
-	e := env(b)
+	ds := benchDataset(b)
 	r, err := experiments.ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Run(e); err != nil {
+		// Fresh env per iteration: the memoizing analyzer would
+		// otherwise turn every iteration after the first into a cache
+		// hit and the bench would stop measuring the figure's work.
+		if _, err := r.Run(ctx, experiments.NewEnvFrom(ds, 1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,27 +81,45 @@ func BenchmarkFig8SpatialConcentration(b *testing.B) { runFig(b, "fig8") }
 func BenchmarkFig9Maps(b *testing.B)                 { runFig(b, "fig9") }
 func BenchmarkFig10SpatialCorrelation(b *testing.B)  { runFig(b, "fig10") }
 
-// Fig. 11 splits into its two panels: the volume-ratio regression and
-// the temporal-correlation matrix both come from UrbanizationAnalysis.
-func BenchmarkFig11Ratios(b *testing.B) {
+// Fig. 11 benches both directions of the urbanization analysis as
+// labeled sub-benchmarks of a single harness (the two panels share
+// UrbanizationAnalysis; only the direction differs).
+func BenchmarkFig11Urbanization(b *testing.B) {
 	e := env(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.An.UrbanizationAnalysis(services.DL); err != nil {
-			b.Fatal(err)
-		}
+	for _, dir := range []services.Direction{services.DL, services.UL} {
+		b.Run(dir.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.An.UrbanizationAnalysis(dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
-func BenchmarkFig11Correlation(b *testing.B) {
-	e := env(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.An.UrbanizationAnalysis(services.UL); err != nil {
-			b.Fatal(err)
-		}
+// BenchmarkEngineRun measures the experiment engine over the full
+// registry at sequential vs all-CPU concurrency. Each iteration uses
+// a fresh environment (built outside the timer) so the memoized
+// intermediates are computed inside the measured region — that is the
+// work the parallel engine overlaps.
+func BenchmarkEngineRun(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("concurrency-%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e, err := experiments.NewEnv(synth.SmallConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := experiments.NewEngine(e).Run(ctx,
+					experiments.Options{Concurrency: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -160,9 +195,9 @@ func BenchmarkSBDFFTvsNaive(b *testing.B) {
 // national series.
 func BenchmarkKShapeVsKMeans(b *testing.B) {
 	e := env(b)
-	series := make([][]float64, len(e.DS.Catalog))
+	series := make([][]float64, len(e.DS.Services()))
 	for s := range series {
-		series[s] = e.DS.National[services.DL][s].Values
+		series[s] = e.DS.NationalSeries(services.DL, s).Values
 	}
 	b.Run("kshape", func(b *testing.B) {
 		b.ReportAllocs()
@@ -186,7 +221,7 @@ func BenchmarkKShapeVsKMeans(b *testing.B) {
 // fixed-threshold baseline on one weekly series.
 func BenchmarkPeakDetectorAblation(b *testing.B) {
 	e := env(b)
-	values := e.DS.National[services.DL][0].Values
+	values := e.DS.NationalSeries(services.DL, 0).Values
 	b.Run("smoothed-zscore", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -211,10 +246,11 @@ func BenchmarkSpatialGranularity(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Run(e); err != nil {
+		if _, err := r.Run(ctx, e); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,13 +5,16 @@
 //
 //	figures -fig fig7            # one figure, laptop scale
 //	figures -fig all -scale full # everything at 36,000-commune scale
+//	figures -fig all -parallel   # everything, engine at NumCPU
 //	figures -list                # available experiment ids
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/synth"
@@ -22,6 +25,7 @@ func main() {
 	scale := flag.String("scale", "small", "dataset scale: small | full")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently on all CPUs")
 	flag.Parse()
 
 	if *list {
@@ -43,25 +47,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	run := func(r experiments.Runner) {
-		res, err := r.Run(env)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
-			os.Exit(1)
-		}
-		fmt.Println(res.String())
+	var ids []string
+	if *fig != "all" {
+		ids = []string{*fig}
 	}
-
-	if *fig == "all" {
-		for _, r := range experiments.All() {
-			run(r)
-		}
-		return
+	concurrency := 1
+	if *parallel {
+		concurrency = runtime.NumCPU()
 	}
-	r, err := experiments.ByID(*fig)
+	results, err := experiments.NewEngine(env).Run(context.Background(),
+		experiments.Options{Concurrency: concurrency, IDs: ids})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	run(r)
+	for _, res := range results {
+		fmt.Println(res.String())
+	}
 }

@@ -1,22 +1,26 @@
 // Command probesim demonstrates the packet path end to end: it
 // simulates the 3G/4G network of the paper's Fig. 1 (PDP Context / EPS
 // Bearer signalling plus tunnelled user traffic), taps the Gn/S5
-// interfaces with the passive probe, and prints the measured
-// aggregates next to the simulator's ground truth.
+// interfaces with the passive probe, materializes the measurement into
+// a core.Dataset, and runs it through the same analysis API the
+// synthetic data flows through — printing the measured ranking next to
+// the simulator's ground truth.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
+	"repro/internal/core"
 	"repro/internal/dpi"
 	"repro/internal/geo"
 	"repro/internal/gtpsim"
+	"repro/internal/measured"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/services"
+	"repro/internal/timeseries"
 )
 
 func main() {
@@ -39,7 +43,7 @@ func main() {
 		*sessions, len(country.Communes), len(sim.Cells.Cells))
 	frames, truth := sim.Run()
 
-	p := probe.New(probe.DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog))
+	p := probe.New(probe.ConfigFor(country), sim.Cells, dpi.NewClassifier(catalog))
 	for _, f := range frames {
 		p.HandleFrame(f.Time, f.Data)
 	}
@@ -52,26 +56,26 @@ func main() {
 	fmt.Printf("measured volume: DL %s, UL %s\n\n",
 		report.Bytes(rep.TotalBytes[services.DL]), report.Bytes(rep.TotalBytes[services.UL]))
 
-	// Measured vs generated per-service downlink shares.
-	type row struct {
-		name           string
-		measured, true float64
+	// Materialize the measurement and rank it through the analysis
+	// API, next to the simulator's ground-truth shares.
+	mds, err := measured.FromProbe(rep, country, catalog, timeseries.DefaultStep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	var rows []row
-	var measTotal, truthTotal float64
-	for _, v := range rep.SvcBytes[services.DL] {
-		measTotal += v
-	}
+	an := core.New(mds)
+	var truthTotal float64
 	for _, v := range truth.SvcBytesDL {
 		truthTotal += v
 	}
-	for name, v := range rep.SvcBytes[services.DL] {
-		rows = append(rows, row{name, v / measTotal, truth.SvcBytesDL[name] / truthTotal})
+	table := [][]string{}
+	for _, r := range an.Top20(services.DL) {
+		table = append(table, []string{
+			r.Name,
+			report.Pct(r.Share),
+			report.Pct(truth.SvcBytesDL[r.Name] / truthTotal),
+		})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].measured > rows[j].measured })
-	table := make([][]string, 0, len(rows))
-	for _, r := range rows {
-		table = append(table, []string{r.name, report.Pct(r.measured), report.Pct(r.true)})
-	}
+	fmt.Printf("measured dataset: %d services through the analysis API\n", len(mds.Services()))
 	fmt.Println(report.Table([]string{"service", "measured DL share", "generated DL share"}, table))
 }

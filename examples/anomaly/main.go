@@ -29,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := ds.National[services.DL][idx].Clone()
+	s := ds.NationalSeries(services.DL, idx).Clone()
 
 	// Inject a flash crowd: Wednesday 02:30 (an overseas event hitting
 	// the overnight trough), far from every topical time, ramping to

@@ -1,6 +1,6 @@
 // Quickstart: generate a synthetic nationwide dataset, run the
-// headline analyses, and print the paper's three findings in under a
-// minute.
+// headline analyses through the backend-agnostic analysis API, and
+// print the paper's three findings in under a minute.
 //
 //	go run ./examples/quickstart
 package main
@@ -17,13 +17,15 @@ import (
 )
 
 func main() {
-	// 1. Generate the dataset (the proprietary-trace substitute).
+	// 1. Generate the dataset (the proprietary-trace substitute). Any
+	// core.Dataset backend — synthetic here, probe-measured via
+	// internal/measured — flows through the identical analysis below.
 	ds, err := synth.Generate(synth.SmallConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("dataset: %d communes, %d subscribers, %d named services\n\n",
-		len(ds.Country.Communes), ds.Country.TotalSubscribers(), len(ds.Catalog))
+		len(ds.Geography().Communes), ds.Geography().TotalSubscribers(), len(ds.Services()))
 
 	an := core.New(ds)
 

@@ -26,16 +26,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Group the national downlink series into slices by category.
+	// Group the national downlink series into slices by category,
+	// reading the dataset through the backend-agnostic accessors.
 	slices := map[services.Category]*timeseries.Series{}
-	for s := range ds.Catalog {
-		cat := ds.Catalog[s].Category
+	for s := range ds.Services() {
+		cat := ds.Services()[s].Category
 		cur := slices[cat]
 		if cur == nil {
-			slices[cat] = ds.National[services.DL][s].Clone()
+			slices[cat] = ds.NationalSeries(services.DL, s).Clone()
 			continue
 		}
-		if err := cur.Add(ds.National[services.DL][s]); err != nil {
+		if err := cur.Add(ds.NationalSeries(services.DL, s)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -49,7 +50,7 @@ func main() {
 	}
 	var rows []row
 	var sumOfPeaks float64
-	total := timeseries.NewWeek(ds.Cfg.Step)
+	total := timeseries.NewWeek(ds.SampleStep())
 	for cat, s := range slices {
 		peak, _ := s.Max()
 		rows = append(rows, row{cat, peak, s.Mean()})

@@ -24,8 +24,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	country := ds.Country
-	nSvc := len(ds.Catalog)
+	country := ds.Geography()
+	nSvc := len(ds.Services())
 
 	// Per-class mean per-user usage vector (the "signature").
 	classSig := make(map[geo.Urbanization][]float64)
@@ -34,9 +34,10 @@ func main() {
 		classSig[geo.Urbanization(u)] = make([]float64, nSvc)
 	}
 	for s := 0; s < nSvc; s++ {
+		spatial := ds.SpatialVolumes(services.DL, s)
 		for c := range country.Communes {
 			u := country.Communes[c].Urbanization
-			classSig[u][s] += ds.Spatial[services.DL][s][c]
+			classSig[u][s] += spatial[c]
 		}
 	}
 	for c := range country.Communes {
@@ -52,12 +53,15 @@ func main() {
 	// Pearson correlation on per-user vectors).
 	correct, total := 0, 0
 	confusion := map[geo.Urbanization]map[geo.Urbanization]int{}
+	perUser := make([][]float64, nSvc)
+	for s := 0; s < nSvc; s++ {
+		perUser[s] = ds.PerUser(services.DL, s)
+	}
 	for c := range country.Communes {
 		vec := make([]float64, nSvc)
-		subs := float64(country.Communes[c].Subscribers)
 		var mass float64
 		for s := 0; s < nSvc; s++ {
-			vec[s] = ds.Spatial[services.DL][s][c] / subs
+			vec[s] = perUser[s][c]
 			mass += vec[s]
 		}
 		if mass == 0 {

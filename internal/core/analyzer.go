@@ -1,15 +1,16 @@
 // Package core implements the paper's analysis pipeline — the primary
-// contribution being reproduced. Given a Dataset (synthetic here,
-// probe-measured in the original study), it computes every statistic
-// behind Figs. 2-11: service rank-size laws, top-20 rankings, peak
-// calendars and intensities, the k-Shape cluster-quality sweep,
-// spatial concentration and correlation, and the urbanization
-// analysis.
+// contribution being reproduced. Given a Dataset (synthetic or
+// probe-measured; see the Dataset interface), it computes every
+// statistic behind Figs. 2-11: service rank-size laws, top-20
+// rankings, peak calendars and intensities, the k-Shape
+// cluster-quality sweep, spatial concentration and correlation, and
+// the urbanization analysis.
 package core
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cvi"
 	"repro/internal/geo"
@@ -17,17 +18,79 @@ import (
 	"repro/internal/peaks"
 	"repro/internal/services"
 	"repro/internal/stats"
-	"repro/internal/synth"
 	"repro/internal/timeseries"
 )
 
-// Analyzer runs the paper's computations over one dataset.
+// Analyzer runs the paper's computations over one dataset. It
+// memoizes the expensive intermediates shared by several figures —
+// per-user commune vectors, z-normalized national series, the full
+// service ranking and the peak calendars — so an experiment engine
+// running many figures over one environment computes each exactly
+// once. Each intermediate has its own per-direction memo slot, so
+// concurrent runners building *different* intermediates never block
+// each other. All methods are safe for concurrent use.
 type Analyzer struct {
-	DS *synth.Dataset
+	DS Dataset
+
+	perUser   [services.NumDirections]memo[[][]float64]
+	znorm     [services.NumDirections]memo[[][]float64]
+	ranking   [services.NumDirections]memo[[]RankedService]
+	calendars [services.NumDirections]memo[calendarSet]
+}
+
+// memo is a single-flight cache slot: the first caller computes, all
+// others (including concurrent ones) get the same value.
+type memo[T any] struct {
+	once sync.Once
+	val  T
+}
+
+func (m *memo[T]) get(compute func() T) T {
+	m.once.Do(func() { m.val = compute() })
+	return m.val
+}
+
+type calendarSet struct {
+	cals    []ServiceCalendar
+	outside int
+	err     error
 }
 
 // New wraps a dataset.
-func New(ds *synth.Dataset) *Analyzer { return &Analyzer{DS: ds} }
+func New(ds Dataset) *Analyzer { return &Analyzer{DS: ds} }
+
+// PerUserVectors returns the per-commune per-subscriber volume vector
+// of every service (computed once per analyzer). The returned slices
+// are shared; callers must not mutate them.
+func (a *Analyzer) PerUserVectors(dir services.Direction) [][]float64 {
+	return a.perUser[dir].get(func() [][]float64 {
+		n := len(a.DS.Services())
+		vecs := make([][]float64, n)
+		for s := 0; s < n; s++ {
+			vecs[s] = a.DS.PerUser(dir, s)
+		}
+		return vecs
+	})
+}
+
+// PerUser returns the memoized per-user vector of one service. The
+// returned slice is shared; callers must not mutate it.
+func (a *Analyzer) PerUser(dir services.Direction, svc int) []float64 {
+	return a.PerUserVectors(dir)[svc]
+}
+
+// zNormalized returns the z-normalized national series of every
+// service (computed once per analyzer).
+func (a *Analyzer) zNormalized(dir services.Direction) [][]float64 {
+	return a.znorm[dir].get(func() [][]float64 {
+		n := len(a.DS.Services())
+		series := make([][]float64, n)
+		for s := 0; s < n; s++ {
+			series[s] = timeseries.ZNormalize(a.DS.NationalSeries(dir, s).Values)
+		}
+		return series
+	})
+}
 
 // --- Fig. 2: service ranking and Zipf fit ---------------------------
 
@@ -70,25 +133,44 @@ type RankedService struct {
 	Share float64
 }
 
-// Top20 ranks the named services on their share of total traffic.
-func (a *Analyzer) Top20(dir services.Direction) []RankedService {
-	total := a.DS.TotalTraffic(dir)
-	out := make([]RankedService, 0, len(a.DS.Catalog))
-	for s := range a.DS.Catalog {
-		out = append(out, RankedService{
-			Name:     a.DS.Catalog[s].Name,
-			Category: a.DS.Catalog[s].Category,
-			Share:    a.DS.NationalTotal(dir, s) / total,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
-	return out
+// rankedAll returns every named service sorted by share, computed
+// once per analyzer and direction.
+func (a *Analyzer) rankedAll(dir services.Direction) []RankedService {
+	return a.ranking[dir].get(func() []RankedService {
+		total := a.DS.TotalTraffic(dir)
+		svcs := a.DS.Services()
+		out := make([]RankedService, 0, len(svcs))
+		for s := range svcs {
+			share := 0.0
+			if total > 0 {
+				share = a.DS.NationalTotal(dir, s) / total
+			}
+			out = append(out, RankedService{
+				Name:     svcs[s].Name,
+				Category: svcs[s].Category,
+				Share:    share,
+			})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+		return out
+	})
 }
 
-// CategoryShare sums the share of a category in the direction.
+// Top20 ranks the named services on their share of total traffic and
+// returns at most the 20 largest (all of them when the catalogue is
+// smaller, as measured datasets can be).
+func (a *Analyzer) Top20(dir services.Direction) []RankedService {
+	ranked := a.rankedAll(dir)
+	n := min(20, len(ranked))
+	return append([]RankedService(nil), ranked[:n]...)
+}
+
+// CategoryShare sums the share of a category across all named
+// services in the direction. It reuses the memoized ranking rather
+// than recomputing it per category.
 func (a *Analyzer) CategoryShare(dir services.Direction, cat services.Category) float64 {
 	var share float64
-	for _, r := range a.Top20(dir) {
+	for _, r := range a.rankedAll(dir) {
 		if r.Category == cat {
 			share += r.Share
 		}
@@ -108,18 +190,25 @@ type ServiceCalendar struct {
 // over every national series and maps peaks onto topical times. It
 // returns one calendar per service and the count of peaks that fell
 // outside every topical window (empirically zero, as in the paper).
+// The calendars are computed once per analyzer and direction — the
+// outcome, error included, is deterministic in the dataset and is
+// cached; the returned slice is shared and must not be mutated.
 func (a *Analyzer) PeakCalendars(dir services.Direction) ([]ServiceCalendar, int, error) {
-	out := make([]ServiceCalendar, 0, len(a.DS.Catalog))
-	totalOutside := 0
-	for s := range a.DS.Catalog {
-		cal, outside, err := peaks.BuildCalendar(a.DS.National[dir][s], peaks.PaperParams())
-		if err != nil {
-			return nil, 0, fmt.Errorf("core: calendar for %s: %w", a.DS.Catalog[s].Name, err)
+	res := a.calendars[dir].get(func() calendarSet {
+		svcs := a.DS.Services()
+		out := make([]ServiceCalendar, 0, len(svcs))
+		totalOutside := 0
+		for s := range svcs {
+			cal, outside, err := peaks.BuildCalendar(a.DS.NationalSeries(dir, s), peaks.PaperParams())
+			if err != nil {
+				return calendarSet{err: fmt.Errorf("core: calendar for %s: %w", svcs[s].Name, err)}
+			}
+			totalOutside += outside
+			out = append(out, ServiceCalendar{Service: svcs[s].Name, Calendar: cal})
 		}
-		totalOutside += outside
-		out = append(out, ServiceCalendar{Service: a.DS.Catalog[s].Name, Calendar: cal})
-	}
-	return out, totalOutside, nil
+		return calendarSet{cals: out, outside: totalOutside}
+	})
+	return res.cals, res.outside, res.err
 }
 
 // DistinctCalendarCount returns how many distinct peak patterns the
@@ -141,7 +230,7 @@ func (a *Analyzer) DetectOn(dir services.Direction, name string) (*timeseries.Se
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	s := a.DS.National[dir][idx]
+	s := a.DS.NationalSeries(dir, idx)
 	res, err := peaks.Detect(s.Values, peaks.PaperParams())
 	if err != nil {
 		return nil, nil, nil, err
@@ -161,22 +250,19 @@ type SweepPoint struct {
 	Scores cvi.Scores
 }
 
-// ClusterSweep z-normalizes the 20 national series and runs k-Shape
-// for every k in [kMin, kMax], scoring each clustering with all four
+// ClusterSweep z-normalizes the national series and runs k-Shape for
+// every k in [kMin, kMax], scoring each clustering with all four
 // validity indices under the shape-based distance. The paper sweeps
 // k = 2..19 and finds no winner: quality degrades monotonically.
 func (a *Analyzer) ClusterSweep(dir services.Direction, kMin, kMax int, seed uint64) ([]SweepPoint, error) {
-	n := len(a.DS.Catalog)
+	n := len(a.DS.Services())
 	if kMin < 2 {
 		return nil, fmt.Errorf("core: sweep kMin %d < 2", kMin)
 	}
 	if kMax >= n {
 		return nil, fmt.Errorf("core: sweep kMax %d >= %d services", kMax, n)
 	}
-	series := make([][]float64, n)
-	for s := 0; s < n; s++ {
-		series[s] = timeseries.ZNormalize(a.DS.National[dir][s].Values)
-	}
+	series := a.zNormalized(dir)
 	var out []SweepPoint
 	for k := kMin; k <= kMax; k++ {
 		res, err := kshape.Cluster(series, k, kshape.Options{Seed: seed, ZNormalize: false})
@@ -210,7 +296,7 @@ func (a *Analyzer) SpatialConcentration(dir services.Direction, name string) (Co
 	if err != nil {
 		return Concentration{}, err
 	}
-	spatial := a.DS.Spatial[dir][idx]
+	spatial := a.DS.SpatialVolumes(dir, idx)
 	shares, err := stats.LorenzCurve(spatial, []float64{0.01, 0.05, 0.10, 0.50, 1})
 	if err != nil {
 		return Concentration{}, err
@@ -219,12 +305,43 @@ func (a *Analyzer) SpatialConcentration(dir services.Direction, name string) (Co
 	if err != nil {
 		return Concentration{}, err
 	}
-	perUser := a.DS.PerUser(dir, idx)
+	perUser := a.PerUser(dir, idx)
 	cdf, err := stats.NewECDF(perUser)
 	if err != nil {
 		return Concentration{}, err
 	}
 	return Concentration{TopShares: shares, PerUser: perUser, CDF: cdf, Gini: gini}, nil
+}
+
+// r2Tolerant returns the coefficient of determination, treating
+// statistically degenerate samples (constant vectors — dormant
+// classes or barely observed services in sparse measured datasets) as
+// zero correlation. Length mismatches and too-small samples are
+// programming errors and still propagate.
+func r2Tolerant(x, y []float64) (float64, error) {
+	v, err := stats.R2(x, y)
+	if err == nil {
+		return v, nil
+	}
+	if len(x) == len(y) && len(x) >= 2 {
+		return 0, nil
+	}
+	return 0, err
+}
+
+// slopeTolerant returns the through-origin regression slope, treating
+// an all-zero regressor (a class that saw no traffic for the service
+// in a sparse measured dataset) as slope zero. Length mismatches and
+// empty samples still propagate.
+func slopeTolerant(x, y []float64) (float64, error) {
+	v, err := stats.SlopeThroughOrigin(x, y)
+	if err == nil {
+		return v, nil
+	}
+	if len(x) == len(y) && len(x) > 0 {
+		return 0, nil
+	}
+	return 0, err
 }
 
 // --- Fig. 10: pairwise spatial correlation ---------------------------
@@ -253,12 +370,12 @@ type SpatialCorrelation struct {
 
 // SpatialCorrelationAnalysis computes Fig. 10 for one direction.
 func (a *Analyzer) SpatialCorrelationAnalysis(dir services.Direction) (SpatialCorrelation, error) {
-	n := len(a.DS.Catalog)
-	perUser := make([][]float64, n)
+	svcs := a.DS.Services()
+	n := len(svcs)
+	perUser := a.PerUserVectors(dir)
 	names := make([]string, n)
 	for s := 0; s < n; s++ {
-		perUser[s] = a.DS.PerUser(dir, s)
-		names[s] = a.DS.Catalog[s].Name
+		names[s] = svcs[s].Name
 	}
 	r2 := make([][]float64, n)
 	for i := range r2 {
@@ -279,7 +396,7 @@ func (a *Analyzer) SpatialCorrelationAnalysis(dir services.Direction) (SpatialCo
 	var sum, sumSpear float64
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			v, err := stats.R2(perUser[i], perUser[j])
+			v, err := r2Tolerant(perUser[i], perUser[j])
 			if err != nil {
 				return SpatialCorrelation{}, fmt.Errorf("core: r2(%s, %s): %w", names[i], names[j], err)
 			}
@@ -326,21 +443,22 @@ type UrbanizationResult struct {
 
 // UrbanizationAnalysis computes Fig. 11 for one direction.
 func (a *Analyzer) UrbanizationAnalysis(dir services.Direction) (UrbanizationResult, error) {
-	n := len(a.DS.Catalog)
+	svcs := a.DS.Services()
+	n := len(svcs)
 	res := UrbanizationResult{
 		Names:  make([]string, n),
 		Slopes: make([][geo.NumUrbanization]float64, n),
 		TimeR2: make([][geo.NumUrbanization]float64, n),
 	}
 	for s := 0; s < n; s++ {
-		res.Names[s] = a.DS.Catalog[s].Name
+		res.Names[s] = svcs[s].Name
 		var perUser [geo.NumUrbanization]*timeseries.Series
 		for u := 0; u < geo.NumUrbanization; u++ {
 			perUser[u] = a.DS.GroupPerUser(dir, s, geo.Urbanization(u))
 		}
 		urban := perUser[geo.Urban].Values
 		for u := 0; u < geo.NumUrbanization; u++ {
-			slope, err := stats.SlopeThroughOrigin(urban, perUser[u].Values)
+			slope, err := slopeTolerant(urban, perUser[u].Values)
 			if err != nil {
 				return res, fmt.Errorf("core: slope %s/%v: %w", res.Names[s], geo.Urbanization(u), err)
 			}
@@ -351,7 +469,7 @@ func (a *Analyzer) UrbanizationAnalysis(dir services.Direction) (UrbanizationRes
 				if v == u {
 					continue
 				}
-				r2, err := stats.R2(perUser[u].Values, perUser[v].Values)
+				r2, err := r2Tolerant(perUser[u].Values, perUser[v].Values)
 				if err != nil {
 					return res, fmt.Errorf("core: time r2 %s %v/%v: %w",
 						res.Names[s], geo.Urbanization(u), geo.Urbanization(v), err)

@@ -1,10 +1,14 @@
-package core
+// The tests live in core_test so the analysis package itself stays
+// free of any dataset-backend dependency: core sees only the Dataset
+// interface, and the synthetic generator enters through it.
+package core_test
 
 import (
 	"math"
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/peaks"
 	"repro/internal/services"
@@ -30,13 +34,14 @@ func dataset(t *testing.T) *synth.Dataset {
 }
 
 func TestServiceRanking(t *testing.T) {
-	a := New(dataset(t))
+	ds := dataset(t)
+	a := core.New(ds)
 	for _, dir := range []services.Direction{services.DL, services.UL} {
 		r, err := a.ServiceRanking(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(r.Volumes) != a.DS.Cfg.TotalServices {
+		if len(r.Volumes) != ds.Cfg.TotalServices {
 			t.Errorf("%v: %d volumes", dir, len(r.Volumes))
 		}
 		for i := 1; i < len(r.Volumes); i++ {
@@ -54,7 +59,7 @@ func TestServiceRanking(t *testing.T) {
 }
 
 func TestTop20SharesAndOrder(t *testing.T) {
-	a := New(dataset(t))
+	a := core.New(dataset(t))
 	top := a.Top20(services.DL)
 	if len(top) != 20 {
 		t.Fatalf("top20 has %d entries", len(top))
@@ -84,8 +89,56 @@ func TestTop20SharesAndOrder(t *testing.T) {
 	}
 }
 
+// rankStub is a minimal Dataset implementation exercising the ranking
+// paths with a catalogue larger than 20 services. Everything the
+// ranking does not touch panics.
+type rankStub struct {
+	core.Dataset // panic-on-use fallback for unimplemented methods
+	svcs         []services.Service
+	vols         []float64
+}
+
+func (s *rankStub) Services() []services.Service { return s.svcs }
+func (s *rankStub) NationalTotal(dir services.Direction, svc int) float64 {
+	return s.vols[svc]
+}
+func (s *rankStub) TotalTraffic(dir services.Direction) float64 {
+	var t float64
+	for _, v := range s.vols {
+		t += v
+	}
+	return t
+}
+
+func TestTop20CapsAtTwenty(t *testing.T) {
+	stub := &rankStub{}
+	for i := 0; i < 25; i++ {
+		cat := services.Web
+		if i%2 == 0 {
+			cat = services.Video
+		}
+		stub.svcs = append(stub.svcs, services.Service{Name: string(rune('A' + i)), Category: cat})
+		stub.vols = append(stub.vols, float64(100-i))
+	}
+	a := core.New(stub)
+	top := a.Top20(services.DL)
+	if len(top) != 20 {
+		t.Fatalf("Top20 returned %d entries for a 25-service catalogue", len(top))
+	}
+	if top[0].Name != "A" || top[0].Share <= top[19].Share {
+		t.Errorf("capped ranking not sorted: first %+v last %+v", top[0], top[19])
+	}
+	// CategoryShare covers the whole catalogue, not only the cap, and
+	// both categories jointly account for all traffic.
+	sum := a.CategoryShare(services.DL, services.Video) + a.CategoryShare(services.DL, services.Web)
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("category shares over full catalogue sum to %v, want 1", sum)
+	}
+}
+
 func TestPeakCalendars(t *testing.T) {
-	a := New(dataset(t))
+	ds := dataset(t)
+	a := core.New(ds)
 	cals, outside, err := a.PeakCalendars(services.DL)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +153,7 @@ func TestPeakCalendars(t *testing.T) {
 	// (the services-package contract carries over to noisy national
 	// series).
 	for i, c := range cals {
-		svc := &a.DS.Catalog[i]
+		svc := &ds.Catalog[i]
 		for tt := 0; tt < peaks.NumTopicalTimes; tt++ {
 			if svc.PeakAmp[tt] > 0 != c.Calendar.Present[tt] {
 				t.Errorf("%s: detected[%v]=%v configured=%v",
@@ -108,13 +161,13 @@ func TestPeakCalendars(t *testing.T) {
 			}
 		}
 	}
-	if got := DistinctCalendarCount(cals); got != 20 {
+	if got := core.DistinctCalendarCount(cals); got != 20 {
 		t.Errorf("distinct calendars = %d, want 20", got)
 	}
 }
 
 func TestPeakIntensitiesPositive(t *testing.T) {
-	a := New(dataset(t))
+	a := core.New(dataset(t))
 	cals, _, err := a.PeakCalendars(services.DL)
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +185,7 @@ func TestPeakIntensitiesPositive(t *testing.T) {
 }
 
 func TestDetectOn(t *testing.T) {
-	a := New(dataset(t))
+	a := core.New(dataset(t))
 	s, res, pks, err := a.DetectOn(services.DL, "Facebook")
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +202,7 @@ func TestDetectOn(t *testing.T) {
 }
 
 func TestClusterSweepShape(t *testing.T) {
-	a := New(dataset(t))
+	a := core.New(dataset(t))
 	sweep, err := a.ClusterSweep(services.DL, 2, 19, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +225,7 @@ func TestClusterSweepShape(t *testing.T) {
 }
 
 func TestClusterSweepValidation(t *testing.T) {
-	a := New(dataset(t))
+	a := core.New(dataset(t))
 	if _, err := a.ClusterSweep(services.DL, 1, 5, 1); err == nil {
 		t.Error("kMin=1: want error")
 	}
@@ -182,7 +235,8 @@ func TestClusterSweepValidation(t *testing.T) {
 }
 
 func TestSpatialConcentration(t *testing.T) {
-	a := New(dataset(t))
+	ds := dataset(t)
+	a := core.New(ds)
 	c, err := a.SpatialConcentration(services.DL, "Twitter")
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +253,7 @@ func TestSpatialConcentration(t *testing.T) {
 	if c.Gini <= 0.3 {
 		t.Errorf("Gini = %v, want strong concentration", c.Gini)
 	}
-	if c.CDF.Len() != len(a.DS.Country.Communes) {
+	if c.CDF.Len() != len(ds.Country.Communes) {
 		t.Error("CDF sample size mismatch")
 	}
 	if _, err := a.SpatialConcentration(services.DL, "nope"); err == nil {
@@ -208,12 +262,13 @@ func TestSpatialConcentration(t *testing.T) {
 }
 
 func TestSpatialCorrelationAnalysis(t *testing.T) {
-	a := New(dataset(t))
+	ds := dataset(t)
+	a := core.New(ds)
 	sc, err := a.SpatialCorrelationAnalysis(services.DL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := len(a.DS.Catalog)
+	n := len(ds.Catalog)
 	if len(sc.Pairs) != n*(n-1)/2 {
 		t.Fatalf("pair count = %d", len(sc.Pairs))
 	}
@@ -269,7 +324,7 @@ func TestSpatialCorrelationAnalysis(t *testing.T) {
 }
 
 func TestUrbanizationAnalysis(t *testing.T) {
-	a := New(dataset(t))
+	a := core.New(dataset(t))
 	res, err := a.UrbanizationAnalysis(services.DL)
 	if err != nil {
 		t.Fatal(err)
@@ -308,5 +363,38 @@ func TestUrbanizationAnalysis(t *testing.T) {
 	tgvR2 /= n
 	if tgvR2 >= urbanR2 {
 		t.Errorf("TGV temporal r² %v should be below urban %v", tgvR2, urbanR2)
+	}
+}
+
+// TestMemoizedAccessorsStable pins the memoization contract: repeated
+// calls return the same cached data, and concurrent first access is
+// safe.
+func TestMemoizedAccessorsStable(t *testing.T) {
+	a := core.New(dataset(t))
+	var wg sync.WaitGroup
+	vecs := make([][][]float64, 8)
+	for i := range vecs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vecs[i] = a.PerUserVectors(services.DL)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(vecs); i++ {
+		if &vecs[i][0] != &vecs[0][0] {
+			t.Fatal("concurrent PerUserVectors returned distinct caches")
+		}
+	}
+	c1, _, err := a.PeakCalendars(services.DL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := a.PeakCalendars(services.DL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c1[0] != &c2[0] {
+		t.Error("PeakCalendars recomputed despite memoization")
 	}
 }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/services"
+	"repro/internal/timeseries"
+)
+
+// Dataset is the study input the analysis pipeline computes on: the
+// aggregates of Sections 3-5 of the paper, independent of how they
+// were obtained. Two backends exist — the synthetic nationwide
+// generator (internal/synth) and the probe-measured adapter
+// (internal/measured), which materializes the same aggregates from the
+// packet pipeline's output — and both flow through identical analysis
+// code.
+//
+// Contract, shared by every implementation:
+//
+//   - Services() fixes the service indexing: every per-service accessor
+//     takes an index into that slice.
+//   - All spatial vectors (SpatialVolumes, PerUser) are indexed by
+//     commune ID, i.e. by position in Geography().Communes.
+//   - All series cover the study week at SampleStep() resolution and
+//     start at timeseries.StudyStart.
+//   - AllVolumes lists the named services first, in Services() order,
+//     followed by any long-tail services (the Fig. 2 rank-size input
+//     before sorting).
+//
+// Accessors may return internal slices for efficiency; callers must
+// not mutate them.
+type Dataset interface {
+	// Services returns the named service catalogue.
+	Services() []services.Service
+	// Geography returns the spatial substrate the data lives on.
+	Geography() *geo.Country
+	// SampleStep returns the time resolution of every series.
+	SampleStep() time.Duration
+	// ServiceIndex resolves a service name to its catalogue index, or
+	// returns an error for unknown names.
+	ServiceIndex(name string) (int, error)
+	// NationalSeries returns the nationwide traffic time series of the
+	// named service (bytes per sample).
+	NationalSeries(dir services.Direction, svc int) *timeseries.Series
+	// NationalTotal returns the weekly national volume of the service.
+	NationalTotal(dir services.Direction, svc int) float64
+	// AllVolumes returns the weekly volumes of the full service
+	// population: named catalogue first, then the tail.
+	AllVolumes(dir services.Direction) []float64
+	// TotalTraffic returns the nationwide weekly volume across all
+	// named and tail services.
+	TotalTraffic(dir services.Direction) float64
+	// SpatialVolumes returns the per-commune weekly volume of the
+	// service (bytes), indexed by commune ID.
+	SpatialVolumes(dir services.Direction, svc int) []float64
+	// PerUser returns the per-commune weekly volume per subscriber
+	// (the Fig. 8 CDF sample and the Fig. 9/10 map vector).
+	PerUser(dir services.Direction, svc int) []float64
+	// GroupSeries returns the service's traffic series aggregated over
+	// the communes of one urbanization class.
+	GroupSeries(dir services.Direction, svc int, u geo.Urbanization) *timeseries.Series
+	// GroupPerUser returns the per-user series of one urbanization
+	// class: GroupSeries divided by the class subscriber count (the
+	// Fig. 11 regression input).
+	GroupPerUser(dir services.Direction, svc int, u geo.Urbanization) *timeseries.Series
+	// ClassSubscribers returns the subscriber count of one
+	// urbanization class.
+	ClassSubscribers(u geo.Urbanization) int
+}

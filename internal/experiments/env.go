@@ -1,44 +1,68 @@
 // Package experiments contains one runner per table/figure of the
-// paper's evaluation. Every runner returns a Result with the rendered
-// text figure and the headline metrics, so the figures command, the
-// benchmark harness and EXPERIMENTS.md all consume the same code path.
+// paper's evaluation, a registry to enumerate and look them up, and a
+// concurrent engine executing them over one shared environment. Every
+// runner returns a Result with the rendered text figure and the
+// headline metrics, so the figures command, the benchmark harness,
+// the JSON export and EXPERIMENTS.md all consume the same code path.
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/synth"
 )
 
-// Env is the shared experiment environment: one generated dataset and
-// its analyzer.
+// The synthetic generator must satisfy the analysis API; keeping the
+// assertion here avoids a synth -> core dependency.
+var _ core.Dataset = (*synth.Dataset)(nil)
+
+// Env is the shared experiment environment: one dataset (any
+// core.Dataset backend) and its memoizing analyzer. Runners executed
+// over the same Env share every cached intermediate — per-user
+// vectors, z-normalized series, rankings, peak calendars — so a batch
+// run computes each exactly once.
 type Env struct {
-	DS *synth.Dataset
+	DS core.Dataset
 	An *core.Analyzer
+	// Seed drives the stochastic analysis steps (the k-Shape
+	// initialization of the Fig. 5 sweep). Equal seeds over equal
+	// datasets give byte-identical results at any concurrency.
+	Seed uint64
 }
 
-// NewEnv generates the dataset for the given configuration.
+// NewEnv generates a synthetic dataset for the given configuration
+// and wraps it in an environment.
 func NewEnv(cfg synth.Config) (*Env, error) {
 	ds, err := synth.Generate(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Env{DS: ds, An: core.New(ds)}, nil
+	return NewEnvFrom(ds, cfg.Seed), nil
+}
+
+// NewEnvFrom wraps any dataset backend — synthetic, probe-measured or
+// materialized — in an environment.
+func NewEnvFrom(ds core.Dataset, seed uint64) *Env {
+	return &Env{DS: ds, An: core.New(ds), Seed: seed}
 }
 
 // Result is one experiment's outcome.
 type Result struct {
 	// ID is the figure identifier ("fig2" ... "fig11", "probe", ...).
-	ID string
+	ID string `json:"id"`
 	// Title describes the experiment.
-	Title string
+	Title string `json:"title"`
 	// Metrics holds the headline numbers, keyed by a stable name.
-	Metrics map[string]float64
+	Metrics map[string]float64 `json:"metrics"`
 	// Text is the rendered figure.
-	Text string
+	Text string `json:"text"`
 }
 
 // String renders the result with its metric block.
@@ -60,43 +84,123 @@ func (r Result) String() string {
 	return b.String()
 }
 
-// Runner is a named experiment entry point.
+// MarshalJSON encodes the result with non-finite metric values mapped
+// to null (JSON has no NaN/Inf), keeping the export machine-readable
+// whatever a sparse measured dataset produced.
+func (r Result) MarshalJSON() ([]byte, error) {
+	metrics := make(map[string]any, len(r.Metrics))
+	for k, v := range r.Metrics {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			metrics[k] = nil
+		} else {
+			metrics[k] = v
+		}
+	}
+	return json.Marshal(struct {
+		ID      string         `json:"id"`
+		Title   string         `json:"title"`
+		Metrics map[string]any `json:"metrics"`
+		Text    string         `json:"text"`
+	}{r.ID, r.Title, metrics, r.Text})
+}
+
+// EncodeJSON renders results as indented JSON with stable key order
+// (maps marshal with sorted keys), the machine-readable companion of
+// Result.String.
+func EncodeJSON(results []Result) ([]byte, error) {
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// Runner is a named experiment entry point. Run must be deterministic
+// in (Env, ctx-independent inputs): the engine relies on it to give
+// identical results at any concurrency.
 type Runner struct {
 	ID    string
 	Title string
-	Run   func(*Env) (Result, error)
+	Run   func(context.Context, *Env) (Result, error)
 }
 
-// All lists every experiment in paper order.
-func All() []Runner {
-	return []Runner{
-		{"fig2", "Service ranking and Zipf fit", (*Env).Fig2},
-		{"fig3", "Top-20 services by direction", (*Env).Fig3},
-		{"fig4", "Sample time series and smoothed z-score detection", (*Env).Fig4},
-		{"fig5", "Cluster quality indices vs k", (*Env).Fig5},
-		{"fig6", "Activity peak times of mobile services", (*Env).Fig6},
-		{"fig7", "Peak intensities per topical time", (*Env).Fig7},
-		{"fig8", "Twitter spatial concentration", (*Env).Fig8},
-		{"fig9", "Per-subscriber activity maps and coverage", (*Env).Fig9},
-		{"fig10", "Pairwise spatial correlation between services", (*Env).Fig10},
-		{"fig11", "Urbanization: volume ratios and temporal correlation", (*Env).Fig11},
-		{"probe", "Packet pipeline: DPI rate and ULI accuracy (Sec. 2-3)", (*Env).ProbeExperiment},
-		{"ablation-kmeans", "Ablation: k-Shape vs Euclidean k-means", (*Env).AblationKMeans},
-		{"ablation-peaks", "Ablation: smoothed z-score vs fixed threshold", (*Env).AblationPeakDetector},
-		{"ablation-granularity", "Ablation: commune vs RA/TA aggregation", (*Env).AblationGranularity},
+// --- registry --------------------------------------------------------
+
+var (
+	regMu    sync.RWMutex
+	registry []Runner
+	regIndex = map[string]int{}
+)
+
+// Register adds a runner to the registry. It rejects empty IDs, nil
+// entry points and duplicate IDs; All returns runners in registration
+// order.
+func Register(r Runner) error {
+	if r.ID == "" {
+		return fmt.Errorf("experiments: Register with empty id")
 	}
+	if r.Run == nil {
+		return fmt.Errorf("experiments: Register(%q) with nil Run", r.ID)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regIndex[r.ID]; dup {
+		return fmt.Errorf("experiments: duplicate id %q", r.ID)
+	}
+	regIndex[r.ID] = len(registry)
+	registry = append(registry, r)
+	return nil
+}
+
+func mustRegister(r Runner) {
+	if err := Register(r); err != nil {
+		panic(err)
+	}
+}
+
+// All lists every registered experiment, builtins first in paper
+// order.
+func All() []Runner {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]Runner(nil), registry...)
 }
 
 // ByID returns the runner with the given id.
 func ByID(id string) (Runner, error) {
-	for _, r := range All() {
-		if r.ID == id {
-			return r, nil
-		}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if i, ok := regIndex[id]; ok {
+		return registry[i], nil
 	}
-	var ids []string
-	for _, r := range All() {
+	ids := make([]string, 0, len(registry))
+	for _, r := range registry {
 		ids = append(ids, r.ID)
 	}
 	return Runner{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+func init() {
+	// Adapt the (*Env) method expressions (receiver-first) to the
+	// canonical ctx-first Runner signature.
+	reg := func(id, title string, fn func(*Env, context.Context) (Result, error)) {
+		mustRegister(Runner{ID: id, Title: title,
+			Run: func(ctx context.Context, e *Env) (Result, error) { return fn(e, ctx) }})
+	}
+	reg("fig2", "Service ranking and Zipf fit", (*Env).Fig2)
+	reg("fig3", "Top-20 services by direction", (*Env).Fig3)
+	reg("fig4", "Sample time series and smoothed z-score detection", (*Env).Fig4)
+	reg("fig5", "Cluster quality indices vs k", (*Env).Fig5)
+	reg("fig6", "Activity peak times of mobile services", (*Env).Fig6)
+	reg("fig7", "Peak intensities per topical time", (*Env).Fig7)
+	reg("fig8", "Twitter spatial concentration", (*Env).Fig8)
+	reg("fig9", "Per-subscriber activity maps and coverage", (*Env).Fig9)
+	reg("fig10", "Pairwise spatial correlation between services", (*Env).Fig10)
+	reg("fig11", "Urbanization: volume ratios and temporal correlation", (*Env).Fig11)
+	reg("probe", "Packet pipeline: DPI rate and ULI accuracy (Sec. 2-3)", (*Env).ProbeExperiment)
+	reg("ablation-kmeans", "Ablation: k-Shape vs Euclidean k-means", (*Env).AblationKMeans)
+	reg("ablation-peaks", "Ablation: smoothed z-score vs fixed threshold", (*Env).AblationPeakDetector)
+	reg("ablation-granularity", "Ablation: commune vs RA/TA aggregation", (*Env).AblationGranularity)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -29,8 +30,9 @@ func testEnv(t *testing.T) *Env {
 
 func TestAllRunnersSucceed(t *testing.T) {
 	e := testEnv(t)
+	ctx := context.Background()
 	for _, r := range All() {
-		res, err := r.Run(e)
+		res, err := r.Run(ctx, e)
 		if err != nil {
 			t.Errorf("%s: %v", r.ID, err)
 			continue
@@ -66,7 +68,7 @@ func TestByID(t *testing.T) {
 
 func TestFig3Shapes(t *testing.T) {
 	e := testEnv(t)
-	res, err := e.Fig3()
+	res, err := e.Fig3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestFig3Shapes(t *testing.T) {
 
 func TestFig5NoWinner(t *testing.T) {
 	e := testEnv(t)
-	res, err := e.Fig5()
+	res, err := e.Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func TestFig5NoWinner(t *testing.T) {
 
 func TestFig6AllPeaksTopical(t *testing.T) {
 	e := testEnv(t)
-	res, err := e.Fig6()
+	res, err := e.Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +115,7 @@ func TestFig6AllPeaksTopical(t *testing.T) {
 
 func TestFig9NetflixGated(t *testing.T) {
 	e := testEnv(t)
-	res, err := e.Fig9()
+	res, err := e.Fig9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func TestFig9NetflixGated(t *testing.T) {
 
 func TestProbeExperiment(t *testing.T) {
 	e := testEnv(t)
-	res, err := e.ProbeExperiment()
+	res, err := e.ProbeExperiment(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +149,20 @@ func TestProbeExperiment(t *testing.T) {
 	if res.Metrics["ul_over_dl"] >= 1.0/10 {
 		t.Errorf("UL/DL = %v, want small", res.Metrics["ul_over_dl"])
 	}
+	// The measurement must flow through the analysis API: most of the
+	// catalogue observed, and the measured ranking aligned with the
+	// generating shares.
+	if res.Metrics["measured_services"] < 15 {
+		t.Errorf("measured services = %v, want most of the catalogue", res.Metrics["measured_services"])
+	}
+	if res.Metrics["measured_rank_correlation"] < 0.7 {
+		t.Errorf("measured rank correlation = %v, want strong", res.Metrics["measured_rank_correlation"])
+	}
 }
 
 func TestAblationKMeans(t *testing.T) {
 	e := testEnv(t)
-	res, err := e.AblationKMeans()
+	res, err := e.AblationKMeans(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +176,7 @@ func TestAblationKMeans(t *testing.T) {
 
 func TestAblationGranularity(t *testing.T) {
 	e := testEnv(t)
-	res, err := e.AblationGranularity()
+	res, err := e.AblationGranularity(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

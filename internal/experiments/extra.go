@@ -1,26 +1,32 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/dpi"
 	"repro/internal/geo"
 	"repro/internal/gtpsim"
 	"repro/internal/kshape"
+	"repro/internal/measured"
 	"repro/internal/peaks"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/services"
 	"repro/internal/stats"
+	"repro/internal/timeseries"
 )
 
 // ProbeExperiment exercises the packet path end to end: simulate the
-// network of Fig. 1 at small scale, run the passive probe, and report
-// the DPI classification rate (paper: 88%) and the ULI localization
-// accuracy (paper: median ≈ 3 km).
-func (e *Env) ProbeExperiment() (Result, error) {
+// network of Fig. 1 at small scale, run the passive probe, report the
+// DPI classification rate (paper: 88%) and the ULI localization
+// accuracy (paper: median ≈ 3 km), then materialize the measurement
+// into a core.Dataset and push it through the same Analyzer the
+// synthetic data flows through.
+func (e *Env) ProbeExperiment(ctx context.Context) (Result, error) {
 	res := Result{ID: "probe", Title: "Packet pipeline validation", Metrics: map[string]float64{}}
 	// A dedicated small country keeps the packet path tractable
 	// regardless of the analysis-scale dataset in the env.
@@ -32,7 +38,7 @@ func (e *Env) ProbeExperiment() (Result, error) {
 		return res, err
 	}
 	frames, truth := sim.Run()
-	p := probe.New(probe.DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog))
+	p := probe.New(probe.ConfigFor(country), sim.Cells, dpi.NewClassifier(catalog))
 	for _, f := range frames {
 		p.HandleFrame(f.Time, f.Data)
 	}
@@ -56,6 +62,31 @@ func (e *Env) ProbeExperiment() (Result, error) {
 	res.Metrics["median_uli_error_km"] = truth.MedianULIError()
 	res.Metrics["decode_errors"] = float64(rep.DecodeErrors)
 	res.Metrics["ul_over_dl"] = rep.TotalBytes[services.UL] / rep.TotalBytes[services.DL]
+
+	// Close the loop: the probe's aggregates become a dataset and run
+	// through the analysis API. The measured downlink ranking must
+	// rank-correlate with the generating catalogue shares.
+	mds, err := measured.FromProbe(rep, country, catalog, timeseries.DefaultStep)
+	if err != nil {
+		return res, err
+	}
+	an := core.New(mds)
+	top := an.Top20(services.DL)
+	var measShares, trueShares []float64
+	var topRows [][]string
+	for i, r := range top {
+		measShares = append(measShares, r.Share)
+		trueShares = append(trueShares, services.ByName(catalog, r.Name).DLShare)
+		if i < 10 {
+			topRows = append(topRows, []string{r.Name, report.Pct(r.Share)})
+		}
+	}
+	b.WriteString("\nMeasured downlink ranking through the analysis API (top 10):\n")
+	b.WriteString(report.Table([]string{"service", "measured DL share"}, topRows))
+	res.Metrics["measured_services"] = float64(len(mds.Services()))
+	if rho, err := stats.Spearman(measShares, trueShares); err == nil {
+		res.Metrics["measured_rank_correlation"] = rho
+	}
 	res.Text = b.String()
 	return res, nil
 }
@@ -63,7 +94,7 @@ func (e *Env) ProbeExperiment() (Result, error) {
 // AblationKMeans repeats the Fig. 5 sweep with the Euclidean k-means
 // baseline and compares it against k-Shape on a shift-invariance
 // stress set: families of identical shapes at random phase offsets.
-func (e *Env) AblationKMeans() (Result, error) {
+func (e *Env) AblationKMeans(ctx context.Context) (Result, error) {
 	res := Result{ID: "ablation-kmeans", Title: "k-Shape vs k-means", Metrics: map[string]float64{}}
 	// Shift-invariance stress set: two clearly distinct shapes (a
 	// smooth tri-lobe sine and a sawtooth), each instantiated at eight
@@ -131,13 +162,13 @@ func (e *Env) AblationKMeans() (Result, error) {
 // the naive fixed-threshold baseline on the national series: the
 // baseline misses off-peak-hour surges and floods on the diurnal
 // maximum.
-func (e *Env) AblationPeakDetector() (Result, error) {
+func (e *Env) AblationPeakDetector(ctx context.Context) (Result, error) {
 	res := Result{ID: "ablation-peaks", Title: "Peak detector ablation", Metrics: map[string]float64{}}
 	var b strings.Builder
 	var zTotal, thTotal, zOutside int
-	for s := range e.DS.Catalog {
-		values := e.DS.National[services.DL][s].Values
-		series := e.DS.National[services.DL][s]
+	for s := range e.DS.Services() {
+		series := e.DS.NationalSeries(services.DL, s)
+		values := series.Values
 
 		zres, err := peaks.Detect(values, peaks.PaperParams())
 		if err != nil {
@@ -172,24 +203,23 @@ func (e *Env) AblationPeakDetector() (Result, error) {
 
 // AblationGranularity quantifies the effect of the spatial aggregation
 // level (commune vs RA/TA blocks) on the Fig. 10 correlation.
-func (e *Env) AblationGranularity() (Result, error) {
+func (e *Env) AblationGranularity(ctx context.Context) (Result, error) {
 	res := Result{ID: "ablation-granularity", Title: "Spatial granularity ablation", Metrics: map[string]float64{}}
-	n := len(e.DS.Catalog)
-	communes := len(e.DS.Country.Communes)
+	n := len(e.DS.Services())
+	country := e.DS.Geography()
+	communes := len(country.Communes)
 	areas := (communes + 63) / 64
 
-	perUserCommune := make([][]float64, n)
+	perUserCommune := e.An.PerUserVectors(services.DL)
 	perUserArea := make([][]float64, n)
+	areaSubs := make([]float64, areas)
+	for c := range country.Communes {
+		areaSubs[c/64] += float64(country.Communes[c].Subscribers)
+	}
 	for s := 0; s < n; s++ {
-		pu := e.DS.PerUser(services.DL, s)
-		perUserCommune[s] = pu
 		areaVol := make([]float64, areas)
-		areaSubs := make([]float64, areas)
-		for c, v := range e.DS.Spatial[services.DL][s] {
+		for c, v := range e.DS.SpatialVolumes(services.DL, s) {
 			areaVol[c/64] += v
-		}
-		for c := range e.DS.Country.Communes {
-			areaSubs[c/64] += float64(e.DS.Country.Communes[c].Subscribers)
 		}
 		pa := make([]float64, areas)
 		for aIdx := range pa {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -13,7 +14,7 @@ import (
 
 // Fig8 reproduces the Twitter spatial concentration analysis: the
 // cumulative traffic over ranked communes and the per-subscriber CDF.
-func (e *Env) Fig8() (Result, error) {
+func (e *Env) Fig8(ctx context.Context) (Result, error) {
 	res := Result{ID: "fig8", Title: "Twitter spatial concentration", Metrics: map[string]float64{}}
 	var b strings.Builder
 	for _, dir := range []services.Direction{services.DL, services.UL} {
@@ -65,12 +66,12 @@ func (e *Env) Fig8() (Result, error) {
 
 // Fig9 renders the per-subscriber activity maps for Twitter and
 // Netflix and the 3G/4G coverage map on the commune lattice.
-func (e *Env) Fig9() (Result, error) {
+func (e *Env) Fig9(ctx context.Context) (Result, error) {
 	res := Result{ID: "fig9", Title: "Per-subscriber maps and coverage", Metrics: map[string]float64{}}
 	var b strings.Builder
 
 	const gridW, gridH = 96, 40
-	country := e.DS.Country
+	country := e.DS.Geography()
 	toGrid := func(values []float64) [][]float64 {
 		grid := make([][]float64, gridH)
 		counts := make([][]int, gridH)
@@ -103,7 +104,7 @@ func (e *Env) Fig9() (Result, error) {
 		if err != nil {
 			return res, err
 		}
-		pu := e.DS.PerUser(services.DL, idx)
+		pu := e.An.PerUser(services.DL, idx)
 		b.WriteString(report.HeatMap(name+" — weekly per-subscriber downlink (log shade)", toGrid(pu), true))
 		b.WriteString("\n")
 	}
@@ -123,10 +124,16 @@ func (e *Env) Fig9() (Result, error) {
 
 	// The structural claim: Netflix per-user demand collapses in
 	// 3G-only communes while Twitter's does not.
-	twIdx, _ := e.DS.ServiceIndex("Twitter")
-	nfIdx, _ := e.DS.ServiceIndex("Netflix")
-	tw := e.DS.PerUser(services.DL, twIdx)
-	nf := e.DS.PerUser(services.DL, nfIdx)
+	twIdx, err := e.DS.ServiceIndex("Twitter")
+	if err != nil {
+		return res, err
+	}
+	nfIdx, err := e.DS.ServiceIndex("Netflix")
+	if err != nil {
+		return res, err
+	}
+	tw := e.An.PerUser(services.DL, twIdx)
+	nf := e.An.PerUser(services.DL, nfIdx)
 	var tw3, tw4, nf3, nf4 float64
 	var n3, n4 int
 	for i := range country.Communes {
@@ -149,7 +156,7 @@ func (e *Env) Fig9() (Result, error) {
 }
 
 // Fig10 reproduces the pairwise spatial-correlation analysis.
-func (e *Env) Fig10() (Result, error) {
+func (e *Env) Fig10(ctx context.Context) (Result, error) {
 	res := Result{ID: "fig10", Title: "Pairwise spatial correlation", Metrics: map[string]float64{}}
 	var b strings.Builder
 	for _, dir := range []services.Direction{services.DL, services.UL} {
@@ -196,7 +203,7 @@ func (e *Env) Fig10() (Result, error) {
 
 // Fig11 reproduces the urbanization analysis: per-user volume ratios
 // (top) and temporal correlation across urbanization classes (bottom).
-func (e *Env) Fig11() (Result, error) {
+func (e *Env) Fig11(ctx context.Context) (Result, error) {
 	res := Result{ID: "fig11", Title: "Urbanization analysis", Metrics: map[string]float64{}}
 	ur, err := e.An.UrbanizationAnalysis(services.DL)
 	if err != nil {

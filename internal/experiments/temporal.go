@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -14,7 +15,7 @@ import (
 
 // Fig2 reproduces the rank-size analysis: normalized volume vs rank in
 // both directions with the Zipf fit over the top half.
-func (e *Env) Fig2() (Result, error) {
+func (e *Env) Fig2(ctx context.Context) (Result, error) {
 	res := Result{ID: "fig2", Title: "Service ranking and Zipf fit", Metrics: map[string]float64{}}
 	var b strings.Builder
 	for _, dir := range []services.Direction{services.DL, services.UL} {
@@ -52,7 +53,7 @@ func (e *Env) Fig2() (Result, error) {
 
 // Fig3 reproduces the top-20 ranking with category tags and the
 // headline category shares.
-func (e *Env) Fig3() (Result, error) {
+func (e *Env) Fig3(ctx context.Context) (Result, error) {
 	res := Result{ID: "fig3", Title: "Top-20 services by direction", Metrics: map[string]float64{}}
 	var b strings.Builder
 	for _, dir := range []services.Direction{services.DL, services.UL} {
@@ -75,7 +76,7 @@ func (e *Env) Fig3() (Result, error) {
 // Fig4 renders the sample weekly series with detected peak fronts for
 // the paper's four example services, plus the Facebook z-score
 // illustration data.
-func (e *Env) Fig4() (Result, error) {
+func (e *Env) Fig4(ctx context.Context) (Result, error) {
 	res := Result{ID: "fig4", Title: "Sample time series and peak detection", Metrics: map[string]float64{}}
 	var b strings.Builder
 	for _, name := range []string{"Facebook", "SnapChat", "Netflix", "Apple store"} {
@@ -124,13 +125,18 @@ func (e *Env) Fig4() (Result, error) {
 	return res, nil
 }
 
-// Fig5 sweeps k-Shape over k=2..19 in both directions and reports all
-// four validity indices, checking the paper's "no winner" outcome.
-func (e *Env) Fig5() (Result, error) {
+// Fig5 sweeps k-Shape over k = 2 up to 19 (bounded by the catalogue
+// size) in both directions and reports all four validity indices,
+// checking the paper's "no winner" outcome.
+func (e *Env) Fig5(ctx context.Context) (Result, error) {
 	res := Result{ID: "fig5", Title: "Cluster quality indices vs k", Metrics: map[string]float64{}}
 	var b strings.Builder
+	kMax := min(19, len(e.DS.Services())-1)
 	for _, dir := range []services.Direction{services.DL, services.UL} {
-		sweep, err := e.An.ClusterSweep(dir, 2, 19, 1)
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		sweep, err := e.An.ClusterSweep(dir, 2, kMax, e.Seed)
 		if err != nil {
 			return res, err
 		}
@@ -179,7 +185,7 @@ func bestSilhouetteK(sweep []core.SweepPoint) int {
 
 // Fig6 builds the peak calendar (which services peak at which topical
 // times) and verifies the paper's qualitative claims.
-func (e *Env) Fig6() (Result, error) {
+func (e *Env) Fig6(ctx context.Context) (Result, error) {
 	res := Result{ID: "fig6", Title: "Activity peak times", Metrics: map[string]float64{}}
 	cals, outside, err := e.An.PeakCalendars(services.DL)
 	if err != nil {
@@ -217,7 +223,7 @@ func (e *Env) Fig6() (Result, error) {
 
 // Fig7 reports the peak intensity (max/min within the detected peak
 // interval) of every service at every topical time.
-func (e *Env) Fig7() (Result, error) {
+func (e *Env) Fig7(ctx context.Context) (Result, error) {
 	res := Result{ID: "fig7", Title: "Peak intensities per topical time", Metrics: map[string]float64{}}
 	cals, _, err := e.An.PeakCalendars(services.DL)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/dpi"
+	"repro/internal/geo"
 	"repro/internal/gtpsim"
 	"repro/internal/pkt"
 	"repro/internal/services"
@@ -34,6 +35,12 @@ type Config struct {
 	Start time.Time
 	Step  time.Duration
 	Bins  int
+	// CommuneClasses optionally maps a commune ID to its urbanization
+	// class (the operator's land-use registry). When set, the probe
+	// additionally bins classified traffic into per-class time series
+	// (Report.SvcClassSeries), the group aggregate the analysis API
+	// consumes for the Fig. 11 urbanization study.
+	CommuneClasses []geo.Urbanization
 }
 
 // DefaultConfig bins the study week at 15-minute resolution.
@@ -47,6 +54,17 @@ func DefaultConfig() Config {
 	}
 }
 
+// ConfigFor returns DefaultConfig extended with the commune-to-class
+// registry of the given country, enabling per-class measurement.
+func ConfigFor(country *geo.Country) Config {
+	cfg := DefaultConfig()
+	cfg.CommuneClasses = make([]geo.Urbanization, len(country.Communes))
+	for i := range country.Communes {
+		cfg.CommuneClasses[i] = country.Communes[i].Urbanization
+	}
+	return cfg
+}
+
 // Report is the probe's measurement output.
 type Report struct {
 	// TotalBytes and ClassifiedBytes per direction.
@@ -58,6 +76,9 @@ type Report struct {
 	SvcCommuneBytes [services.NumDirections]map[string]map[int]float64
 	// SvcSeries holds the measured national time series per service.
 	SvcSeries [services.NumDirections]map[string]*timeseries.Series
+	// SvcClassSeries holds the measured per-urbanization-class series
+	// per service. Only populated when Config.CommuneClasses is set.
+	SvcClassSeries [services.NumDirections]map[string]*[geo.NumUrbanization]*timeseries.Series
 	// Error and anomaly counters.
 	DecodeErrors     int
 	UnknownTEID      int
@@ -98,6 +119,7 @@ func New(cfg Config, registry *gtpsim.CellRegistry, classifier *dpi.Classifier) 
 		rep.SvcBytes[d] = map[string]float64{}
 		rep.SvcCommuneBytes[d] = map[string]map[int]float64{}
 		rep.SvcSeries[d] = map[string]*timeseries.Series{}
+		rep.SvcClassSeries[d] = map[string]*[geo.NumUrbanization]*timeseries.Series{}
 	}
 	return &Probe{
 		cfg:         cfg,
@@ -246,5 +268,20 @@ func (p *Probe) maybeUserPlane(at time.Time) {
 	}
 	if idx := series.IndexOf(at); idx >= 0 {
 		series.Values[idx] += bytes
+	}
+
+	if p.cfg.CommuneClasses != nil && commune < len(p.cfg.CommuneClasses) {
+		cls := p.report.SvcClassSeries[dir][res.Service]
+		if cls == nil {
+			cls = new([geo.NumUrbanization]*timeseries.Series)
+			for u := range cls {
+				cls[u] = timeseries.New(p.cfg.Start, p.cfg.Step, p.cfg.Bins)
+			}
+			p.report.SvcClassSeries[dir][res.Service] = cls
+		}
+		u := p.cfg.CommuneClasses[commune]
+		if idx := cls[u].IndexOf(at); idx >= 0 {
+			cls[u].Values[idx] += bytes
+		}
 	}
 }

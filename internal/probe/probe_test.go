@@ -379,6 +379,48 @@ func BenchmarkProbePipeline(b *testing.B) {
 	}
 }
 
+func TestClassSeriesMeasured(t *testing.T) {
+	// With the commune-to-class registry configured, the probe bins
+	// classified traffic per urbanization class; class totals must
+	// reconcile exactly with the national series (same accounting
+	// conditions, different key).
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	cfg := gtpsim.DefaultConfig()
+	cfg.Sessions = 800
+	sim, err := gtpsim.New(country, catalog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := sim.Run()
+	p := New(ConfigFor(country), sim.Cells, dpi.NewClassifier(catalog))
+	for _, f := range frames {
+		p.HandleFrame(f.Time, f.Data)
+	}
+	rep := p.Report()
+	if len(rep.SvcClassSeries[DL]) == 0 {
+		t.Fatal("no per-class series despite CommuneClasses")
+	}
+	for name, cls := range rep.SvcClassSeries[DL] {
+		var classTotal float64
+		for u := range cls {
+			classTotal += cls[u].Total()
+		}
+		nat := rep.SvcSeries[DL][name].Total()
+		if math.Abs(classTotal-nat) > 1e-6*nat {
+			t.Errorf("%s: class totals %v != national series total %v", name, classTotal, nat)
+		}
+	}
+	// Without the registry the probe keeps its old behaviour.
+	p2 := New(DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog))
+	for _, f := range frames {
+		p2.HandleFrame(f.Time, f.Data)
+	}
+	if len(p2.Report().SvcClassSeries[DL]) != 0 {
+		t.Error("class series populated without CommuneClasses")
+	}
+}
+
 func TestUnknownCellCounted(t *testing.T) {
 	country := geo.Generate(geo.SmallConfig())
 	cells := gtpsim.BuildCells(country, 1)

@@ -2,11 +2,48 @@ package synth
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/services"
 	"repro/internal/timeseries"
 )
+
+// The methods in this file form the core.Dataset view of the
+// generated dataset, so the analysis pipeline consumes synthetic and
+// probe-measured data through one API. The raw fields stay exported
+// for the generator's own tests and calibration tooling.
+
+// Services returns the named service catalogue.
+func (ds *Dataset) Services() []services.Service { return ds.Catalog }
+
+// Geography returns the synthetic country the demand lives on.
+func (ds *Dataset) Geography() *geo.Country { return ds.Country }
+
+// SampleStep returns the time resolution of every generated series.
+func (ds *Dataset) SampleStep() time.Duration { return ds.Cfg.Step }
+
+// NationalSeries returns the nationwide series of one service.
+func (ds *Dataset) NationalSeries(dir services.Direction, svc int) *timeseries.Series {
+	return ds.National[dir][svc]
+}
+
+// SpatialVolumes returns the per-commune weekly volumes of one service.
+func (ds *Dataset) SpatialVolumes(dir services.Direction, svc int) []float64 {
+	return ds.Spatial[dir][svc]
+}
+
+// GroupSeries returns the series of one service aggregated over one
+// urbanization class.
+func (ds *Dataset) GroupSeries(dir services.Direction, svc int, u geo.Urbanization) *timeseries.Series {
+	return ds.Group[dir][svc][u]
+}
+
+// ClassSubscribers returns the subscriber count of one urbanization
+// class.
+func (ds *Dataset) ClassSubscribers(u geo.Urbanization) int {
+	return ds.GroupSubscribers[u]
+}
 
 // ServiceIndex returns the catalogue index of the named service, or an
 // error listing the valid names.

@@ -9,10 +9,18 @@
 // k-Shape clustering, validity indices, smoothed z-score peak
 // detection) — and an experiment runner per paper figure.
 //
+// The analysis pipeline is decoupled from data provenance: everything
+// in internal/core computes over the core.Dataset interface, with the
+// synthetic generator (internal/synth) and the probe-measured adapter
+// (internal/measured) as interchangeable backends, and an experiment
+// engine (internal/experiments) running the registered figures
+// concurrently with memoized intermediates and JSON results.
+//
 // Layout:
 //
-//	internal/core         the paper's analysis pipeline
+//	internal/core         the paper's analysis pipeline (Dataset interface + Analyzer)
 //	internal/synth        nationwide demand generator (data substitute)
+//	internal/measured     probe-measured / materialized Dataset backend
 //	internal/geo          spatial substrate
 //	internal/services     20-service calibrated catalogue
 //	internal/pkt,gtpsim,
@@ -22,7 +30,7 @@
 //	internal/timeseries,
 //	internal/kshape,
 //	internal/cvi,peaks    analysis toolchain
-//	internal/experiments  one runner per table/figure
+//	internal/experiments  experiment registry + concurrent engine
 //	cmd/...               executables, examples/... runnable examples
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
