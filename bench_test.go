@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/capture"
 	"repro/internal/dpi"
 	"repro/internal/dsp"
 	"repro/internal/experiments"
@@ -138,8 +139,12 @@ func BenchmarkDPIClassification(b *testing.B) {
 	}
 }
 
-// BenchmarkProbePipeline measures the full packet path: decode, ULI
-// tracking, DPI, aggregation (Section 2's probe machinery).
+// BenchmarkProbePipeline measures the full packet path — decode, ULI
+// tracking, DPI, aggregation (Section 2's probe machinery) — as a
+// shard sweep over the streaming pipeline: 1 shard (the single-probe
+// baseline plus routing), 2, and NumCPU. The capture is materialized
+// once outside the timer so every configuration consumes an identical
+// frame stream at memory speed.
 func BenchmarkProbePipeline(b *testing.B) {
 	country := geo.Generate(geo.SmallConfig())
 	catalog := services.Catalog()
@@ -154,14 +159,22 @@ func BenchmarkProbePipeline(b *testing.B) {
 	for _, f := range frames {
 		bytes += int64(len(f.Data))
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p := probe.New(probe.DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog))
-		for _, f := range frames {
-			p.HandleFrame(f.Time, f.Data)
+	seen := map[int]bool{}
+	for _, shards := range []int{1, 2, runtime.NumCPU()} {
+		if seen[shards] {
+			continue
 		}
-		b.SetBytes(bytes)
+		seen[shards] = true
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				pl := probe.NewPipeline(probe.DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog), shards)
+				if _, err := pl.Run(capture.NewSliceSource(frames)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,17 +1,20 @@
 // Command probesim demonstrates the packet path end to end: it
 // simulates the 3G/4G network of the paper's Fig. 1 (PDP Context / EPS
-// Bearer signalling plus tunnelled user traffic), taps the Gn/S5
-// interfaces with the passive probe, materializes the measurement into
-// a core.Dataset, and runs it through the same analysis API the
-// synthetic data flows through — printing the measured ranking next to
-// the simulator's ground truth.
+// Bearer signalling plus tunnelled user traffic) and taps the Gn/S5
+// interfaces with the passive probe pipeline — streaming, like the
+// paper's probes: frames flow from the simulator (or a recorded binary
+// trace) straight into the sharded pipeline without ever materializing
+// the capture. The merged measurement becomes a core.Dataset and runs
+// through the same analysis API the synthetic data flows through.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/dpi"
 	"repro/internal/geo"
@@ -25,57 +28,97 @@ import (
 
 func main() {
 	sessions := flag.Int("sessions", 2000, "number of IP sessions to simulate")
-	seed := flag.Uint64("seed", 1, "simulation seed")
+	seed := flag.Uint64("seed", 1, "simulation seed (for -trace: the seed the trace was recorded with)")
+	shards := flag.Int("shards", runtime.NumCPU(), "probe pipeline shards (frames hash-partitioned by TEID)")
+	trace := flag.String("trace", "", "replay a binary trace file (see cmd/tracegen -frames) instead of simulating")
 	flag.Parse()
 
 	country := geo.Generate(geo.SmallConfig())
 	catalog := services.Catalog()
-	cfg := gtpsim.DefaultConfig()
-	cfg.Sessions = *sessions
-	cfg.Seed = *seed
 
-	sim, err := gtpsim.New(country, catalog, cfg)
+	// Assemble the frame source: a live streaming simulation, or a
+	// trace replayed from disk. Either way the probe consumes frames
+	// one at a time.
+	var src capture.Source
+	var stream *gtpsim.Stream
+	var cells *gtpsim.CellRegistry
+	if *trace != "" {
+		// A trace carries only frames; the cell registry must be
+		// rebuilt from the seed the recording used.
+		cells = gtpsim.BuildCells(country, *seed)
+		f, err := os.Open(*trace)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		rd, err := capture.NewReader(f)
+		if err != nil {
+			fail(err)
+		}
+		src = rd
+		fmt.Printf("Replaying %s over %d communes (%d cells, %d shards)...\n",
+			*trace, len(country.Communes), len(cells.Cells), *shards)
+		fmt.Println("note: the cell registry is rebuilt from -seed; it must match the recording seed")
+	} else {
+		cfg := gtpsim.DefaultConfig()
+		cfg.Sessions = *sessions
+		cfg.Seed = *seed
+		sim, err := gtpsim.New(country, catalog, cfg)
+		if err != nil {
+			fail(err)
+		}
+		cells = sim.Cells
+		stream = sim.Stream()
+		src = stream
+		fmt.Printf("Streaming %d sessions over %d communes (%d cells) into %d probe shards...\n",
+			*sessions, len(country.Communes), len(cells.Cells), *shards)
+	}
+
+	pl := probe.NewPipeline(probe.ConfigFor(country), cells, dpi.NewClassifier(catalog), *shards)
+	rep, err := pl.Run(src)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "capture broke mid-stream: %v (reporting what was measured)\n", err)
 	}
-	fmt.Printf("Simulating %d sessions over %d communes (%d cells)...\n",
-		*sessions, len(country.Communes), len(sim.Cells.Cells))
-	frames, truth := sim.Run()
 
-	p := probe.New(probe.ConfigFor(country), sim.Cells, dpi.NewClassifier(catalog))
-	for _, f := range frames {
-		p.HandleFrame(f.Time, f.Data)
-	}
-	rep := p.Report()
-
-	fmt.Printf("\n%d frames captured, %d control, %d user-plane, %d decode errors\n",
-		truth.Frames, rep.ControlMessages, rep.UserPlanePackets, rep.DecodeErrors)
+	fmt.Printf("\n%d control messages, %d user-plane packets, %d decode errors across %d shards\n",
+		rep.ControlMessages, rep.UserPlanePackets, rep.DecodeErrors, pl.Shards())
 	fmt.Printf("classification rate: %s (paper: 88%%)\n", report.Pct(rep.ClassificationRate()))
-	fmt.Printf("median ULI error: %.2f km (paper: ≈3 km)\n", truth.MedianULIError())
+	if stream != nil {
+		truth := stream.Stats()
+		fmt.Printf("median ULI error: %.2f km (paper: ≈3 km)\n", truth.MedianULIError())
+	}
 	fmt.Printf("measured volume: DL %s, UL %s\n\n",
 		report.Bytes(rep.TotalBytes[services.DL]), report.Bytes(rep.TotalBytes[services.UL]))
 
-	// Materialize the measurement and rank it through the analysis
-	// API, next to the simulator's ground-truth shares.
+	// Materialize the merged measurement and rank it through the
+	// analysis API — next to the ground truth when it exists (live
+	// simulation; a replayed trace carries no generator state).
 	mds, err := measured.FromProbe(rep, country, catalog, timeseries.DefaultStep)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	an := core.New(mds)
+	fmt.Printf("measured dataset: %d services through the analysis API\n", len(mds.Services()))
+	headers := []string{"service", "measured DL share"}
 	var truthTotal float64
-	for _, v := range truth.SvcBytesDL {
-		truthTotal += v
+	if stream != nil {
+		headers = append(headers, "generated DL share")
+		for _, v := range stream.Stats().SvcBytesDL {
+			truthTotal += v
+		}
 	}
 	table := [][]string{}
 	for _, r := range an.Top20(services.DL) {
-		table = append(table, []string{
-			r.Name,
-			report.Pct(r.Share),
-			report.Pct(truth.SvcBytesDL[r.Name] / truthTotal),
-		})
+		row := []string{r.Name, report.Pct(r.Share)}
+		if stream != nil {
+			row = append(row, report.Pct(stream.Stats().SvcBytesDL[r.Name]/truthTotal))
+		}
+		table = append(table, row)
 	}
-	fmt.Printf("measured dataset: %d services through the analysis API\n", len(mds.Services()))
-	fmt.Println(report.Table([]string{"service", "measured DL share", "generated DL share"}, table))
+	fmt.Println(report.Table(headers, table))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

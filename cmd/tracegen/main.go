@@ -8,24 +8,46 @@
 //	national.csv   service, direction, sample_index, bytes
 //	spatial.csv    service, direction, commune_id, weekly_bytes
 //	ranking.csv    rank, direction, weekly_bytes (full 500-service population)
+//
+// With -frames it instead records the packet plane: a gtpsim workload
+// is streamed frame by frame into the binary trace format of
+// internal/capture (memory stays O(1) in frame count), replayable with
+// cmd/probesim -trace or inspectable with -replay.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/capture"
+	"repro/internal/geo"
+	"repro/internal/gtpsim"
+	"repro/internal/report"
 	"repro/internal/services"
 	"repro/internal/synth"
 )
 
 func main() {
-	out := flag.String("out", "trace-out", "output directory")
-	scale := flag.String("scale", "small", "dataset scale: small | full")
-	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", "trace-out", "output directory (CSV mode)")
+	scale := flag.String("scale", "small", "dataset scale: small | full (CSV mode; -frames always records the small country)")
+	seed := flag.Uint64("seed", 1, "generator / simulation seed")
+	frames := flag.String("frames", "", "record a gtpsim packet capture to this binary trace file instead of CSV aggregates")
+	sessions := flag.Int("sessions", 2000, "sessions to simulate in -frames mode")
+	replay := flag.String("replay", "", "summarize a recorded binary trace and exit")
 	flag.Parse()
+
+	if *replay != "" {
+		summarize(*replay)
+		return
+	}
+	if *frames != "" {
+		record(*frames, *sessions, *seed)
+		return
+	}
 
 	cfg := synth.SmallConfig()
 	if *scale == "full" {
@@ -87,6 +109,76 @@ func main() {
 
 	fmt.Printf("wrote dataset (%d communes, %d services) to %s\n",
 		len(ds.Country.Communes), cfg.TotalServices, *out)
+}
+
+// record streams a simulated capture into the binary trace format.
+// Nothing is materialized: the simulator emits one session at a time
+// and the writer appends records as they arrive.
+func record(path string, sessions int, seed uint64) {
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	cfg := gtpsim.DefaultConfig()
+	cfg.Sessions = sessions
+	cfg.Seed = seed
+	sim, err := gtpsim.New(country, catalog, cfg)
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	w, err := capture.NewWriter(f)
+	if err != nil {
+		fail(err)
+	}
+	st := sim.Stream()
+	n, err := capture.Copy(w, st)
+	if err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	truth := st.Stats()
+	fmt.Printf("recorded %d frames (%d sessions, DL %s, UL %s, seed %d) to %s\n",
+		n, truth.Sessions, report.Bytes(truth.BytesDL), report.Bytes(truth.BytesUL), seed, path)
+	fmt.Printf("replay with: probesim -trace %s -seed %d\n", path, seed)
+}
+
+// summarize streams a recorded trace and prints its envelope.
+func summarize(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	rd, err := capture.NewReader(f)
+	if err != nil {
+		fail(err)
+	}
+	var n, bytes int
+	var first, last capture.Frame
+	for {
+		fr, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(err)
+		}
+		if n == 0 {
+			first = fr
+		}
+		last = fr
+		n++
+		bytes += len(fr.Data)
+	}
+	fmt.Printf("%s: %d frames, %s on the wire\n", path, n, report.Bytes(float64(bytes)))
+	if n > 0 {
+		fmt.Printf("first frame %s, last frame %s\n",
+			first.Time.Format("2006-01-02 15:04:05.000"), last.Time.Format("2006-01-02 15:04:05.000"))
+	}
 }
 
 func write(dir, name string, fill func(*bufio.Writer)) {

@@ -1,0 +1,78 @@
+// Package capture defines the streaming frame-transport layer of the
+// measurement pipeline: the Frame unit, the Source pull interface that
+// every frame producer implements (live simulation, trace replay,
+// materialized slices), and a binary trace format so captures can be
+// persisted and replayed from disk.
+//
+// The paper's probes ingest a nationwide Gn/S5-S8 packet stream online
+// — they never hold the trace in memory. This package is the contract
+// that lets the rest of the system do the same: producers emit frames
+// one at a time, consumers (the probe pipeline) pull them, and nothing
+// in between materializes the capture.
+package capture
+
+import (
+	"io"
+	"time"
+)
+
+// Frame is one captured packet with its observation timestamp, exactly
+// as a passive tap on the Gn or S5/S8 interface would record it.
+type Frame struct {
+	Time time.Time
+	Data []byte
+}
+
+// Source is a pull iterator over a frame stream.
+//
+// Next returns the next frame in capture order and io.EOF after the
+// last one (any other error means the stream broke mid-capture, e.g. a
+// truncated trace file). Implementations hand off ownership of the
+// returned Data: it must remain valid after subsequent Next calls, so
+// consumers may retain or process frames asynchronously without
+// copying. Sources are single-use and not safe for concurrent Next
+// calls; fan-out is the consumer's job (see probe.Pipeline).
+type Source interface {
+	Next() (Frame, error)
+}
+
+// SliceSource streams a materialized frame slice. It is the adapter
+// between the legacy []Frame world and streaming consumers, and the
+// zero-overhead source for benchmarks.
+type SliceSource struct {
+	frames []Frame
+	next   int
+}
+
+// NewSliceSource returns a Source over frames. The slice is not
+// copied; the caller must not mutate it while the source is in use.
+func NewSliceSource(frames []Frame) *SliceSource {
+	return &SliceSource{frames: frames}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Frame, error) {
+	if s.next >= len(s.frames) {
+		return Frame{}, io.EOF
+	}
+	f := s.frames[s.next]
+	s.next++
+	return f, nil
+}
+
+// Collect drains src into a slice — the materializing wrapper for
+// consumers that genuinely need the whole capture at once (tests,
+// sorting). It defeats the purpose of streaming for anything large.
+func Collect(src Source) ([]Frame, error) {
+	var frames []Frame
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return frames, err
+		}
+		frames = append(frames, f)
+	}
+}

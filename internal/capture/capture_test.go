@@ -1,0 +1,146 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func testFrames(n int) []Frame {
+	start := time.Date(2016, 9, 24, 0, 0, 0, 0, time.UTC)
+	frames := make([]Frame, n)
+	for i := range frames {
+		data := make([]byte, 1+i%7)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		frames[i] = Frame{Time: start.Add(time.Duration(i) * time.Millisecond), Data: data}
+	}
+	return frames
+}
+
+func TestSliceSourceAndCollect(t *testing.T) {
+	frames := testFrames(5)
+	got, err := Collect(NewSliceSource(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("collected %d frames, want %d", len(got), len(frames))
+	}
+	for i := range got {
+		if !got[i].Time.Equal(frames[i].Time) || !bytes.Equal(got[i].Data, frames[i].Data) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+	// A drained source stays at EOF.
+	src := NewSliceSource(frames[:1])
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	for range 2 {
+		if _, err := src.Next(); err != io.EOF {
+			t.Fatalf("drained source returned %v, want io.EOF", err)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	frames := testFrames(20)
+	frames = append(frames, Frame{Time: frames[0].Time, Data: nil}) // empty frame is legal
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Copy(w, NewSliceSource(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frames) || w.Count() != len(frames) {
+		t.Fatalf("copied %d (writer count %d), want %d", n, w.Count(), len(frames))
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("replayed %d frames, want %d", len(got), len(frames))
+	}
+	for i := range got {
+		if !got[i].Time.Equal(frames[i].Time) {
+			t.Fatalf("frame %d time %v != %v", i, got[i].Time, frames[i].Time)
+		}
+		if !bytes.Equal(got[i].Data, frames[i].Data) {
+			t.Fatalf("frame %d data differs", i)
+		}
+	}
+}
+
+func TestTraceRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRAC plus trailing bytes"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestTraceTruncationIsAnError(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Copy(w, NewSliceSource(testFrames(3))); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut inside the last record's body and inside a record header.
+	for _, cut := range []int{len(full) - 2, len(full) - 5} {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Collect(r)
+		if err == nil || err == io.EOF {
+			t.Errorf("truncation at %d not reported (err = %v)", cut, err)
+		}
+		// The reader stays broken: subsequent calls repeat the error.
+		if _, err2 := r.Next(); err2 == nil || err2 == io.EOF {
+			t.Errorf("broken reader resumed after truncation at %d", cut)
+		}
+	}
+}
+
+func TestTraceRejectsOversizedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Frame{Data: make([]byte, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the record's length field (offset 8 within the record
+	// header, after the 8-byte magic) to a value beyond the limit.
+	raw[8+8] = 0xff
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("oversized record accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Binary trace format: an 8-byte magic header followed by one record
+// per frame. Each record is a fixed 12-byte header — the observation
+// timestamp as big-endian nanoseconds since the Unix epoch (int64) and
+// the frame length (uint32) — followed by the raw frame bytes. The
+// format is append-friendly and replayable with O(1) memory.
+var traceMagic = [8]byte{'G', 'T', 'P', 'C', 'A', 'P', 0, 1}
+
+// maxFrameLen bounds a record's declared length so a corrupt or
+// adversarial trace cannot force an enormous allocation.
+const maxFrameLen = 1 << 26 // 64 MiB
+
+// Writer persists a frame stream in the binary trace format.
+type Writer struct {
+	w     *bufio.Writer
+	count int
+}
+
+// NewWriter starts a trace on w by emitting the magic header. Callers
+// must Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, fmt.Errorf("capture: writing trace header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one frame record.
+func (tw *Writer) Write(f Frame) error {
+	if len(f.Data) > maxFrameLen {
+		return fmt.Errorf("capture: frame of %d bytes exceeds the %d-byte record limit", len(f.Data), maxFrameLen)
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], uint64(f.Time.UnixNano()))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(f.Data)))
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := tw.w.Write(f.Data); err != nil {
+		return err
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of frames written so far.
+func (tw *Writer) Count() int { return tw.count }
+
+// Flush forces buffered records to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Copy streams src into tw frame by frame, returning the number of
+// frames copied. Memory stays O(1) in frame count.
+func Copy(tw *Writer, src Source) (int, error) {
+	n := 0
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			return n, tw.Flush()
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := tw.Write(f); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Reader replays a binary trace as a Source.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader validates the trace header of r and returns a Source over
+// its records.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("capture: reading trace header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("capture: bad trace magic %x", magic)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Source. Every frame's Data is freshly allocated, so
+// frames remain valid after subsequent calls (the Source ownership
+// contract). A trace that ends mid-record returns a truncation error
+// rather than io.EOF.
+func (tr *Reader) Next() (Frame, error) {
+	if tr.err != nil {
+		return Frame{}, tr.err
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			tr.err = io.EOF
+		} else {
+			tr.err = fmt.Errorf("capture: truncated trace record header: %w", err)
+		}
+		return Frame{}, tr.err
+	}
+	nanos := int64(binary.BigEndian.Uint64(hdr[:8]))
+	length := binary.BigEndian.Uint32(hdr[8:])
+	if length > maxFrameLen {
+		tr.err = fmt.Errorf("capture: trace record of %d bytes exceeds the %d-byte limit", length, maxFrameLen)
+		return Frame{}, tr.err
+	}
+	data := make([]byte, length)
+	if _, err := io.ReadFull(tr.r, data); err != nil {
+		tr.err = fmt.Errorf("capture: truncated trace record body: %w", err)
+		return Frame{}, tr.err
+	}
+	return Frame{Time: time.Unix(0, nanos).UTC(), Data: data}, nil
+}

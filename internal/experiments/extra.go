@@ -37,12 +37,16 @@ func (e *Env) ProbeExperiment(ctx context.Context) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	frames, truth := sim.Run()
-	p := probe.New(probe.ConfigFor(country), sim.Cells, dpi.NewClassifier(catalog))
-	for _, f := range frames {
-		p.HandleFrame(f.Time, f.Data)
+	// Stream the capture through the sharded pipeline — the paper's
+	// online ingestion path; nothing materializes the trace. Two
+	// shards keep the demonstration parallel without competing with
+	// the experiment engine's own worker pool.
+	st := sim.Stream()
+	rep, err := probe.NewPipeline(probe.ConfigFor(country), sim.Cells, dpi.NewClassifier(catalog), 2).Run(st)
+	if err != nil {
+		return res, err
 	}
-	rep := p.Report()
+	truth := st.Stats()
 
 	var b strings.Builder
 	rows := [][]string{

@@ -2,11 +2,13 @@ package gtpsim
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand/v2"
 	"sort"
 	"time"
 
+	"repro/internal/capture"
 	"repro/internal/dpi"
 	"repro/internal/geo"
 	"repro/internal/pkt"
@@ -63,11 +65,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// Frame is one captured packet with its observation timestamp.
-type Frame struct {
-	Time time.Time
-	Data []byte
-}
+// Frame is one captured packet with its observation timestamp. It is
+// the capture-layer frame type: simulator output flows through
+// capture.Source consumers without conversion.
+type Frame = capture.Frame
 
 // Stats summarizes ground truth of a run, used by tests to validate
 // the probe against the generator.
@@ -175,22 +176,71 @@ func (s *Simulator) drawIndex(cumul []float64) int {
 }
 
 // Run simulates all sessions and returns the captured frames sorted by
-// time, together with the ground-truth statistics.
+// time, together with the ground-truth statistics. It is the
+// materializing wrapper over Stream for consumers (tests, sorting)
+// that need the whole capture at once; memory is O(total frames).
 func (s *Simulator) Run() ([]Frame, *Stats) {
-	stats := &Stats{
-		SvcBytesDL:     map[string]float64{},
-		SvcBytesUL:     map[string]float64{},
-		CommuneBytesDL: map[int]float64{},
-	}
-	var frames []Frame
-	for i := 0; i < s.cfg.Sessions; i++ {
-		frames = append(frames, s.session(stats)...)
-	}
-	sort.Slice(frames, func(a, b int) bool { return frames[a].Time.Before(frames[b].Time) })
-	stats.Frames = len(frames)
-	stats.Sessions = s.cfg.Sessions
-	return frames, stats
+	st := s.Stream()
+	frames, _ := capture.Collect(st) // a Stream only ever errors with io.EOF
+	// The stable sort keeps each session's internal (already sorted)
+	// frame order on timestamp ties, so a probe consuming this slice
+	// attributes tied frames exactly like a streaming consumer.
+	sort.SliceStable(frames, func(a, b int) bool { return frames[a].Time.Before(frames[b].Time) })
+	return frames, st.Stats()
 }
+
+// Stream returns a capture.Source that generates the workload lazily,
+// one session at a time: memory stays O(frames per session) — constant
+// in the total frame count — so session counts are bounded by time,
+// not RAM. Frames arrive time-ordered within each session but not
+// globally; per-tunnel causality (Create before data, handover between
+// the data frames it splits) is preserved, which is all the probe's
+// attribution state depends on.
+//
+// A Simulator is single-use: Run and Stream consume the same
+// underlying random stream, so create a fresh Simulator per run.
+func (s *Simulator) Stream() *Stream {
+	return &Stream{
+		sim: s,
+		stats: &Stats{
+			SvcBytesDL:     map[string]float64{},
+			SvcBytesUL:     map[string]float64{},
+			CommuneBytesDL: map[int]float64{},
+		},
+	}
+}
+
+// Stream is the incremental frame source of a simulation run.
+type Stream struct {
+	sim     *Simulator
+	stats   *Stats
+	pending []Frame
+	next    int
+	session int
+}
+
+// Next implements capture.Source: it returns the next frame of the
+// workload, generating sessions on demand, and io.EOF after the last
+// session's last frame.
+func (st *Stream) Next() (Frame, error) {
+	for st.next >= len(st.pending) {
+		if st.session >= st.sim.cfg.Sessions {
+			st.stats.Sessions = st.sim.cfg.Sessions
+			return Frame{}, io.EOF
+		}
+		st.pending = st.sim.session(st.stats)
+		st.next = 0
+		st.session++
+		st.stats.Frames += len(st.pending)
+	}
+	f := st.pending[st.next]
+	st.next++
+	return f, nil
+}
+
+// Stats returns the ground-truth statistics accumulated so far. The
+// totals are complete once Next has returned io.EOF.
+func (st *Stream) Stats() *Stats { return st.stats }
 
 // session generates one full session lifecycle.
 func (s *Simulator) session(stats *Stats) []Frame {
@@ -264,6 +314,11 @@ func (s *Simulator) session(stats *Stats) []Frame {
 	}
 
 	frames = append(frames, s.deleteFrames(start.Add(sessionLife), is4G, ctrlTEID)...)
+	// Emit the session's frames in observation order. Stable, so a data
+	// frame and a handover update landing on the same instant keep
+	// their causal order, and streaming consumers see exactly the
+	// per-tunnel sequence the materialized (globally sorted) path sees.
+	sort.SliceStable(frames, func(a, b int) bool { return frames[a].Time.Before(frames[b].Time) })
 	return frames
 }
 

@@ -43,8 +43,11 @@ func synthDataset(t *testing.T) *synth.Dataset {
 	return synthDS
 }
 
-// probeDataset memoizes a probe-measured dataset: simulate the small
-// country's packet plane, tap it, and materialize the report.
+// probeDataset memoizes a probe-measured dataset: stream the small
+// country's packet plane through the sharded pipeline and materialize
+// the merged report — FromProbe consumes it exactly as it would a
+// single probe's (the merge is exact, so the dataset is identical at
+// any shard count).
 func probeDataset(t *testing.T) (*measured.Dataset, *geo.Country) {
 	t.Helper()
 	probeOnce.Do(func() {
@@ -55,13 +58,14 @@ func probeDataset(t *testing.T) (*measured.Dataset, *geo.Country) {
 			probeErr = err
 			return
 		}
-		frames, _ := sim.Run()
-		p := probe.New(probe.ConfigFor(country), sim.Cells, dpi.NewClassifier(catalog))
-		for _, f := range frames {
-			p.HandleFrame(f.Time, f.Data)
+		pl := probe.NewPipeline(probe.ConfigFor(country), sim.Cells, dpi.NewClassifier(catalog), 0)
+		rep, err := pl.Run(sim.Stream())
+		if err != nil {
+			probeErr = err
+			return
 		}
 		probeCountry = country
-		probeDS, probeErr = measured.FromProbe(p.Report(), country, catalog, timeseries.DefaultStep)
+		probeDS, probeErr = measured.FromProbe(rep, country, catalog, timeseries.DefaultStep)
 	})
 	if probeErr != nil {
 		t.Fatal(probeErr)

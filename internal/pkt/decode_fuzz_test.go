@@ -1,0 +1,100 @@
+// Native fuzz harness for the frame parser. Lives in an external test
+// package so the corpus can be seeded with real simulator frames
+// (gtpsim imports pkt, so an in-package test could not import it).
+package pkt_test
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/gtpsim"
+	"repro/internal/pkt"
+	"repro/internal/services"
+)
+
+// FuzzParserDecode drives Parser.Decode with mutated real traffic. Two
+// properties must survive arbitrary input: no panic (the deferred
+// recover turns one into a failure with the offending bytes), and on
+// success a layer chain the decoding grammar can actually produce —
+// no mis-decoded chains like an inner IP without a tunnel or layers
+// after a terminal GTP-C.
+func FuzzParserDecode(f *testing.F) {
+	country := geo.Generate(geo.SmallConfig())
+	cfg := gtpsim.DefaultConfig()
+	cfg.Sessions = 10
+	sim, err := gtpsim.New(country, services.Catalog(), cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	frames, _ := sim.Run()
+	// Every frame family appears early (control, data DL/UL, delete);
+	// stride through the rest for size diversity without a huge corpus.
+	for i, fr := range frames {
+		if i < 24 || i%37 == 0 {
+			f.Add(fr.Data)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x45})
+	f.Add(make([]byte, 20))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p pkt.Parser
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %x: %v", data, r)
+			}
+		}()
+		decoded, err := p.Decode(data, nil)
+		if err != nil {
+			return
+		}
+		checkLayerChain(t, decoded, data)
+	})
+}
+
+// checkLayerChain asserts the structural invariants of a successfully
+// decoded frame.
+func checkLayerChain(t *testing.T, decoded []pkt.LayerType, data []byte) {
+	t.Helper()
+	if len(decoded) == 0 || decoded[0] != pkt.LayerTypeIPv4 {
+		t.Fatalf("chain %v does not start at outer IPv4 (frame %x)", decoded, data)
+	}
+	inTunnel := false
+	for i, lt := range decoded {
+		last := i == len(decoded)-1
+		switch lt {
+		case pkt.LayerTypeIPv4:
+			// Only the outer IP (index 0) or the tunnelled subscriber
+			// packet directly after GTP-U.
+			if i != 0 && (!inTunnel || decoded[i-1] != pkt.LayerTypeGTPv1U) {
+				t.Fatalf("chain %v: IPv4 at %d outside a tunnel (frame %x)", decoded, i, data)
+			}
+		case pkt.LayerTypeGTPv1U:
+			if inTunnel {
+				t.Fatalf("chain %v: GTP-U at %d inside a tunnel (frame %x)", decoded, i, data)
+			}
+			if i == 0 || decoded[i-1] != pkt.LayerTypeUDP {
+				t.Fatalf("chain %v: GTP-U at %d not over UDP (frame %x)", decoded, i, data)
+			}
+			inTunnel = true
+		case pkt.LayerTypeGTPv1C, pkt.LayerTypeGTPv2C:
+			if !last {
+				t.Fatalf("chain %v: layers after terminal GTP-C (frame %x)", decoded, data)
+			}
+			if inTunnel {
+				t.Fatalf("chain %v: GTP-C inside a tunnel (frame %x)", decoded, data)
+			}
+		case pkt.LayerTypeUDP, pkt.LayerTypeTCP:
+			if decoded[i-1] != pkt.LayerTypeIPv4 {
+				t.Fatalf("chain %v: transport at %d not over IPv4 (frame %x)", decoded, i, data)
+			}
+		case pkt.LayerTypePayload:
+			if !last {
+				t.Fatalf("chain %v: layers after payload (frame %x)", decoded, data)
+			}
+		default:
+			t.Fatalf("chain %v: unexpected layer %v (frame %x)", decoded, lt, data)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package probe
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/capture"
+	"repro/internal/dpi"
+	"repro/internal/geo"
+	"repro/internal/gtpsim"
+	"repro/internal/pkt"
+	"repro/internal/services"
+	"repro/internal/timeseries"
+)
+
+// Pipeline scales the probe across cores the way production passive
+// monitors scale capture: frames are hash-partitioned by data-plane
+// TEID across N single-threaded probe shards. Control frames carrying
+// an F-TEID are routed to the shard that owns that data TEID, so the
+// TEID→commune state every shard keeps is strictly shard-local and
+// never needs locking; frames the router cannot key (decode failures,
+// control messages without a data TEID) all land on shard 0, which
+// accounts them exactly as a single probe would.
+//
+// The shard reports combine exactly (see Report.Merge): all byte
+// accounting sums integer-valued packet lengths, and each frame's
+// contribution depends only on the state of its own tunnel and flow,
+// which is totally ordered within its shard. A Pipeline run over any
+// frame order that preserves per-tunnel order therefore produces a
+// report identical to a single probe consuming the same capture.
+type Pipeline struct {
+	cfg        Config
+	registry   *gtpsim.CellRegistry
+	classifier *dpi.Classifier
+	shards     int
+}
+
+// NewPipeline builds a pipeline with the given shard count; shards <= 0
+// selects runtime.NumCPU(). The registry and classifier are shared
+// read-only across shards; each shard owns its parser, flow cache and
+// report.
+func NewPipeline(cfg Config, registry *gtpsim.CellRegistry, classifier *dpi.Classifier, shards int) *Pipeline {
+	if shards <= 0 {
+		shards = runtime.NumCPU()
+	}
+	return &Pipeline{cfg: cfg, registry: registry, classifier: classifier, shards: shards}
+}
+
+// Shards returns the pipeline's worker count.
+func (pl *Pipeline) Shards() int { return pl.shards }
+
+// routeBatch bounds how many frames the router accumulates per shard
+// before handing them to the worker; it amortizes channel overhead
+// without adding meaningful latency at capture rates.
+const routeBatch = 256
+
+// Run pulls frames from src until io.EOF, routing each to its shard,
+// and returns the merged report. Nothing materializes the stream:
+// in-flight memory is bounded by the per-shard batches.
+//
+// On a source error (e.g. a truncated trace) Run drains the shards and
+// returns the merged report of everything consumed so far alongside
+// the error, so a broken capture still yields its measurements.
+func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
+	probes := make([]*Probe, pl.shards)
+	chans := make([]chan []capture.Frame, pl.shards)
+	var wg sync.WaitGroup
+	for i := range probes {
+		probes[i] = New(pl.cfg, pl.registry, pl.classifier)
+		chans[i] = make(chan []capture.Frame, 8)
+		wg.Add(1)
+		go func(p *Probe, ch <-chan []capture.Frame) {
+			defer wg.Done()
+			for batch := range ch {
+				for _, f := range batch {
+					p.HandleFrame(f.Time, f.Data)
+				}
+			}
+		}(probes[i], chans[i])
+	}
+
+	batches := make([][]capture.Frame, pl.shards)
+	flush := func(i int) {
+		if len(batches[i]) > 0 {
+			chans[i] <- batches[i]
+			batches[i] = nil
+		}
+	}
+	var srcErr error
+	var rt router
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			srcErr = err
+			break
+		}
+		shard := 0
+		if key, ok := rt.key(f.Data); ok {
+			shard = int(mix32(key) % uint32(pl.shards))
+		}
+		batches[shard] = append(batches[shard], f)
+		if len(batches[shard]) >= routeBatch {
+			flush(shard)
+		}
+	}
+	for i := range chans {
+		flush(i)
+		close(chans[i])
+	}
+	wg.Wait()
+
+	merged := probes[0].Report()
+	for _, p := range probes[1:] {
+		if err := merged.Merge(p.Report()); err != nil {
+			return merged, err
+		}
+	}
+	return merged, srcErr
+}
+
+// mix32 is a multiplicative finalizer spreading sequential TEIDs
+// uniformly over shard indices.
+func mix32(v uint32) uint32 {
+	v ^= v >> 16
+	v *= 0x7feb352d
+	v ^= v >> 15
+	v *= 0x846ca68b
+	v ^= v >> 16
+	return v
+}
+
+// router extracts the shard key of a raw frame: the data-plane TEID
+// its accounting state lives under. It peeks at fixed header offsets
+// on the hot GTP-U path and falls back to the full GTP-C decoders for
+// the (rare) control messages, whose F-TEID IE names the data tunnel.
+// It deliberately validates less than the probe's parser — any frame
+// the probe can decode, the router can key; frames it cannot key go to
+// shard 0 where the probe accounts the failure.
+type router struct {
+	v1 pkt.GTPv1C
+	v2 pkt.GTPv2C
+}
+
+func (rt *router) key(data []byte) (uint32, bool) {
+	// Outer IPv4: fixed 20-byte minimum, IHL-sized header, UDP next.
+	if len(data) < 20 || data[0]>>4 != 4 {
+		return 0, false
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < 20 || len(data) < ihl+8 || data[9] != pkt.IPProtoUDP {
+		return 0, false
+	}
+	udp := data[ihl:]
+	srcPort := uint16(udp[0])<<8 | uint16(udp[1])
+	dstPort := uint16(udp[2])<<8 | uint16(udp[3])
+	gtp := udp[8:]
+	switch {
+	case srcPort == pkt.PortGTPU || dstPort == pkt.PortGTPU:
+		// GTPv1-U: TEID at bytes 4..8 of the fixed header.
+		if len(gtp) < 8 {
+			return 0, false
+		}
+		return binary.BigEndian.Uint32(gtp[4:8]), true
+	case srcPort == pkt.PortGTPC || dstPort == pkt.PortGTPC:
+		// GTP-C: v1 and v2 share the port; the version nibble of the
+		// first byte disambiguates (mirroring pkt.UDP.NextLayerType).
+		if len(gtp) > 0 && gtp[0]>>5 == 2 {
+			if rt.v2.DecodeFromBytes(gtp) == nil && rt.v2.HasDataTEID {
+				return rt.v2.DataTEID, true
+			}
+		} else if rt.v1.DecodeFromBytes(gtp) == nil && rt.v1.HasDataTEID {
+			return rt.v1.DataTEID, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// Merge folds the measurements of o into r, mutating r; o is left
+// untouched. Shard reports merge exactly: every total is a sum of
+// integer-valued per-frame contributions, so float accumulation order
+// cannot change the result. Series merge element-wise and must share
+// r's binning (shards built from one Config always do); a mismatch
+// returns an error with r partially merged.
+func (r *Report) Merge(o *Report) error {
+	for d := services.Direction(0); d < services.NumDirections; d++ {
+		r.TotalBytes[d] += o.TotalBytes[d]
+		r.ClassifiedBytes[d] += o.ClassifiedBytes[d]
+		for svc, v := range o.SvcBytes[d] {
+			r.SvcBytes[d][svc] += v
+		}
+		for svc, per := range o.SvcCommuneBytes[d] {
+			dst := r.SvcCommuneBytes[d][svc]
+			if dst == nil {
+				dst = make(map[int]float64, len(per))
+				r.SvcCommuneBytes[d][svc] = dst
+			}
+			for commune, v := range per {
+				dst[commune] += v
+			}
+		}
+		for svc, s := range o.SvcSeries[d] {
+			if cur := r.SvcSeries[d][svc]; cur != nil {
+				if err := cur.Add(s); err != nil {
+					return fmt.Errorf("probe: merging %v series of %s: %w", d, svc, err)
+				}
+			} else {
+				r.SvcSeries[d][svc] = s.Clone()
+			}
+		}
+		for svc, cls := range o.SvcClassSeries[d] {
+			cur := r.SvcClassSeries[d][svc]
+			if cur == nil {
+				cur = new([geo.NumUrbanization]*timeseries.Series)
+				for u := range cur {
+					cur[u] = cls[u].Clone()
+				}
+				r.SvcClassSeries[d][svc] = cur
+				continue
+			}
+			for u := range cur {
+				if err := cur[u].Add(cls[u]); err != nil {
+					return fmt.Errorf("probe: merging %v class series of %s: %w", d, svc, err)
+				}
+			}
+		}
+	}
+	r.DecodeErrors += o.DecodeErrors
+	r.UnknownTEID += o.UnknownTEID
+	r.UnknownCell += o.UnknownCell
+	r.ControlMessages += o.ControlMessages
+	r.UserPlanePackets += o.UserPlanePackets
+	return nil
+}

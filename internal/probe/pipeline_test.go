@@ -1,0 +1,236 @@
+package probe
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/dpi"
+	"repro/internal/geo"
+	"repro/internal/gtpsim"
+	"repro/internal/services"
+	"repro/internal/timeseries"
+)
+
+// shardSweep returns the shard counts of the conformance contract —
+// 1, 2 and NumCPU — deduplicated for small machines.
+func shardSweep() []int {
+	counts := []int{1, 2, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var out []int
+	for _, n := range counts {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// diffReports reports the first field where two reports disagree, in a
+// form small enough to read in a test log.
+func diffReports(t *testing.T, want, got *Report) {
+	t.Helper()
+	for d := services.Direction(0); d < services.NumDirections; d++ {
+		if want.TotalBytes[d] != got.TotalBytes[d] {
+			t.Errorf("%v TotalBytes: %v != %v", d, got.TotalBytes[d], want.TotalBytes[d])
+		}
+		if want.ClassifiedBytes[d] != got.ClassifiedBytes[d] {
+			t.Errorf("%v ClassifiedBytes: %v != %v", d, got.ClassifiedBytes[d], want.ClassifiedBytes[d])
+		}
+		if !reflect.DeepEqual(want.SvcBytes[d], got.SvcBytes[d]) {
+			t.Errorf("%v SvcBytes differ: %d vs %d services", d, len(got.SvcBytes[d]), len(want.SvcBytes[d]))
+		}
+		if !reflect.DeepEqual(want.SvcCommuneBytes[d], got.SvcCommuneBytes[d]) {
+			t.Errorf("%v SvcCommuneBytes differ", d)
+		}
+		if !reflect.DeepEqual(want.SvcSeries[d], got.SvcSeries[d]) {
+			t.Errorf("%v SvcSeries differ", d)
+		}
+		if !reflect.DeepEqual(want.SvcClassSeries[d], got.SvcClassSeries[d]) {
+			t.Errorf("%v SvcClassSeries differ", d)
+		}
+	}
+	for _, c := range []struct {
+		name      string
+		want, got int
+	}{
+		{"DecodeErrors", want.DecodeErrors, got.DecodeErrors},
+		{"UnknownTEID", want.UnknownTEID, got.UnknownTEID},
+		{"UnknownCell", want.UnknownCell, got.UnknownCell},
+		{"ControlMessages", want.ControlMessages, got.ControlMessages},
+		{"UserPlanePackets", want.UserPlanePackets, got.UserPlanePackets},
+	} {
+		if c.want != c.got {
+			t.Errorf("%s: %d != %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestStreamingMatchesMaterializedReport is the conformance contract
+// of the redesign: a gtpsim run consumed via capture.Source through
+// the sharded pipeline must produce a report identical to the legacy
+// materialized []Frame path through a single probe — at every shard
+// count. Identity is exact (reflect.DeepEqual over every float),
+// because all accounting sums integer-valued byte counts and the
+// router keeps per-tunnel state shard-local.
+func TestStreamingMatchesMaterializedReport(t *testing.T) {
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	cfg := gtpsim.DefaultConfig()
+	cfg.Sessions = 600
+
+	// Legacy path: materialize the whole capture, consume on one
+	// goroutine.
+	sim, err := gtpsim.New(country, catalog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := sim.Run()
+	legacy := New(ConfigFor(country), sim.Cells, dpi.NewClassifier(catalog))
+	for _, f := range frames {
+		legacy.HandleFrame(f.Time, f.Data)
+	}
+	want := legacy.Report()
+
+	for _, shards := range shardSweep() {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			// A fresh simulator replays the identical workload (same
+			// seed) as a stream, never materialized.
+			sim2, err := gtpsim.New(country, catalog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl := NewPipeline(ConfigFor(country), sim2.Cells, dpi.NewClassifier(catalog), shards)
+			got, err := pl.Run(sim2.Stream())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				diffReports(t, want, got)
+				t.Fatal("streamed/sharded report differs from the materialized single-probe report")
+			}
+		})
+	}
+}
+
+// TestPipelineTraceReplayMatchesLive closes the persistence loop: a
+// capture written to the binary trace format and replayed from it must
+// measure identically to the live stream.
+func TestPipelineTraceReplayMatchesLive(t *testing.T) {
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	cfg := gtpsim.DefaultConfig()
+	cfg.Sessions = 150
+
+	sim, err := gtpsim.New(country, catalog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := capture.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture.Copy(w, sim.Stream()); err != nil {
+		t.Fatal(err)
+	}
+
+	sim2, err := gtpsim.New(country, catalog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewPipeline(ConfigFor(country), sim2.Cells, dpi.NewClassifier(catalog), 2).Run(sim2.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := capture.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := NewPipeline(ConfigFor(country), sim.Cells, dpi.NewClassifier(catalog), 2).Run(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		diffReports(t, live, replayed)
+		t.Fatal("trace replay report differs from the live stream report")
+	}
+}
+
+// TestPipelineUnroutableFramesCounted pins the shard-0 fallback: a
+// frame the router cannot key is still accounted (as a decode error)
+// exactly once.
+func TestPipelineUnroutableFramesCounted(t *testing.T) {
+	country := geo.Generate(geo.SmallConfig())
+	cells := gtpsim.BuildCells(country, 1)
+	frames := []capture.Frame{
+		{Time: timeseries.StudyStart, Data: []byte{0xde, 0xad}},
+		{Time: timeseries.StudyStart, Data: make([]byte, 40)},
+	}
+	pl := NewPipeline(DefaultConfig(), cells, dpi.NewClassifier(services.Catalog()), 4)
+	rep, err := pl.Run(capture.NewSliceSource(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DecodeErrors != 2 {
+		t.Errorf("DecodeErrors = %d, want 2", rep.DecodeErrors)
+	}
+}
+
+// TestPipelineDefaultShards pins the shards<=0 → NumCPU default.
+func TestPipelineDefaultShards(t *testing.T) {
+	country := geo.Generate(geo.SmallConfig())
+	pl := NewPipeline(DefaultConfig(), gtpsim.BuildCells(country, 1), dpi.NewClassifier(services.Catalog()), 0)
+	if pl.Shards() != runtime.NumCPU() {
+		t.Errorf("Shards() = %d, want NumCPU = %d", pl.Shards(), runtime.NumCPU())
+	}
+}
+
+// TestMergeRejectsMisalignedSeries pins the Merge error contract on
+// reports binned differently.
+func TestMergeRejectsMisalignedSeries(t *testing.T) {
+	mk := func(step int) *Report {
+		rep := &Report{}
+		for d := services.Direction(0); d < services.NumDirections; d++ {
+			rep.SvcBytes[d] = map[string]float64{}
+			rep.SvcCommuneBytes[d] = map[string]map[int]float64{}
+			rep.SvcSeries[d] = map[string]*timeseries.Series{}
+			rep.SvcClassSeries[d] = map[string]*[geo.NumUrbanization]*timeseries.Series{}
+		}
+		rep.SvcSeries[DL]["YouTube"] = timeseries.New(timeseries.StudyStart, timeseries.DefaultStep*2, step)
+		return rep
+	}
+	a, b := mk(10), mk(20)
+	if err := a.Merge(b); err == nil {
+		t.Error("merge of misaligned series succeeded")
+	}
+	// Aligned reports merge, and values sum.
+	c, d := mk(10), mk(10)
+	c.SvcSeries[DL]["YouTube"].Values[3] = 5
+	d.SvcSeries[DL]["YouTube"].Values[3] = 7
+	d.UserPlanePackets = 2
+	if err := c.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SvcSeries[DL]["YouTube"].Values[3]; got != 12 {
+		t.Errorf("merged sample = %v, want 12", got)
+	}
+	if c.UserPlanePackets != 2 {
+		t.Errorf("merged UserPlanePackets = %d, want 2", c.UserPlanePackets)
+	}
+	// Merge must not alias the source's series.
+	d.SvcSeries[DL]["YouTube"].Values[4] = 99
+	e := mk(10)
+	if err := e.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	d.SvcSeries[DL]["YouTube"].Values[4] = 1
+	if e.SvcSeries[DL]["YouTube"].Values[4] != 99 {
+		t.Error("merged report aliases the source series")
+	}
+}

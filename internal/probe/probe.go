@@ -179,18 +179,19 @@ func (p *Probe) handleControl(locationBearing, hasTEID bool, dataTEID uint32, ha
 
 // maybeUserPlane accounts a GTP-U G-PDU.
 func (p *Probe) maybeUserPlane(at time.Time) {
-	sawGTPU := false
-	sawInnerIP := false
-	for i, lt := range p.decoded {
-		if lt == pkt.LayerTypeGTPv1U {
-			sawGTPU = true
-			// An inner IPv4 right after GTP-U marks a G-PDU.
-			if i+1 < len(p.decoded) && p.decoded[i+1] == pkt.LayerTypeIPv4 {
-				sawInnerIP = true
-			}
+	// Locate the tunnel: an inner IPv4 decoded immediately after GTP-U
+	// marks a G-PDU. The inner IP's index anchors everything below —
+	// the inner transport is the layer at innerIP+1, never found by
+	// scanning, so an outer TCP/UDP header can't be misattributed
+	// whatever the outer layout looks like.
+	innerIP := -1
+	for i := 0; i+1 < len(p.decoded); i++ {
+		if p.decoded[i] == pkt.LayerTypeGTPv1U && p.decoded[i+1] == pkt.LayerTypeIPv4 {
+			innerIP = i + 1
+			break
 		}
 	}
-	if !sawGTPU || !sawInnerIP {
+	if innerIP < 0 {
 		return
 	}
 	p.report.UserPlanePackets++
@@ -217,21 +218,16 @@ func (p *Probe) maybeUserPlane(at time.Time) {
 		return
 	}
 
-	// Transport ports for the flow key and DPI.
+	// Transport ports for the flow key and DPI: the layer decoded
+	// right after the inner IP, if it is a transport at all.
 	var srcPort, dstPort uint16
 	var payload []byte
-	for i, lt := range p.decoded {
-		if lt != pkt.LayerTypeTCP && lt != pkt.LayerTypeUDP {
-			continue
-		}
-		// only the inner transport follows the inner IP
-		if i < 2 {
-			continue
-		}
-		if lt == pkt.LayerTypeTCP {
+	if t := innerIP + 1; t < len(p.decoded) {
+		switch p.decoded[t] {
+		case pkt.LayerTypeTCP:
 			srcPort, dstPort = p.parser.InnerTCP.SrcPort, p.parser.InnerTCP.DstPort
 			payload = p.parser.InnerTCP.LayerPayload()
-		} else {
+		case pkt.LayerTypeUDP:
 			srcPort, dstPort = p.parser.InnerUDP.SrcPort, p.parser.InnerUDP.DstPort
 			payload = p.parser.InnerUDP.LayerPayload()
 		}

@@ -1,11 +1,13 @@
 package probe
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"testing"
 	"time"
 
+	"repro/internal/capture"
 	"repro/internal/dpi"
 	"repro/internal/geo"
 	"repro/internal/gtpsim"
@@ -354,6 +356,9 @@ func TestDeterministicSimulation(t *testing.T) {
 	}
 }
 
+// BenchmarkProbePipeline sweeps the streaming pipeline over 1, 2 and
+// NumCPU shards on one pre-materialized capture; the shards=1 case is
+// the single-probe baseline plus routing overhead.
 func BenchmarkProbePipeline(b *testing.B) {
 	country := geo.Generate(geo.SmallConfig())
 	catalog := services.Catalog()
@@ -368,14 +373,17 @@ func BenchmarkProbePipeline(b *testing.B) {
 	for _, f := range frames {
 		totalBytes += int64(len(f.Data))
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p := New(DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog))
-		for _, f := range frames {
-			p.HandleFrame(f.Time, f.Data)
-		}
-		b.SetBytes(totalBytes)
+	for _, shards := range shardSweep() {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(totalBytes)
+			for i := 0; i < b.N; i++ {
+				pl := NewPipeline(DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog), shards)
+				if _, err := pl.Run(capture.NewSliceSource(frames)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -23,8 +23,9 @@
 //	internal/measured     probe-measured / materialized Dataset backend
 //	internal/geo          spatial substrate
 //	internal/services     20-service calibrated catalogue
+//	internal/capture      streaming frame transport + binary trace format
 //	internal/pkt,gtpsim,
-//	internal/dpi,probe    packet-level measurement pipeline
+//	internal/dpi,probe    packet-level measurement pipeline (TEID-sharded)
 //	internal/dsp,mat,
 //	internal/stats,
 //	internal/timeseries,
