@@ -6,6 +6,7 @@ package repro
 // -bench=.` doubles as the full reproduction harness at laptop scale.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand/v2"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/kshape"
 	"repro/internal/peaks"
 	"repro/internal/probe"
+	"repro/internal/rollup"
 	"repro/internal/services"
 	"repro/internal/synth"
 )
@@ -176,6 +178,100 @@ func BenchmarkProbePipeline(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRollupIngest measures the rollup store's online
+// aggregation riding on the probe pipeline (DESIGN.md §7): the same
+// shard sweep as BenchmarkProbePipeline, but with a per-shard rollup
+// builder attached and the run sealed into a merged partial. The delta
+// against BenchmarkProbePipeline at equal shard count is the price of
+// building the epoch-sealed (service, commune, bin) cube online.
+func BenchmarkRollupIngest(b *testing.B) {
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	cfg := gtpsim.DefaultConfig()
+	cfg.Sessions = 400
+	sim, err := gtpsim.New(country, catalog, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames, _ := sim.Run()
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(len(f.Data))
+	}
+	pcfg := probe.ConfigFor(country)
+	rcfg := rollup.ConfigFrom(pcfg, geo.SmallConfig())
+	seen := map[int]bool{}
+	for _, shards := range []int{1, 2, runtime.NumCPU()} {
+		if seen[shards] {
+			continue
+		}
+		seen[shards] = true
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				pl := probe.NewPipeline(pcfg, sim.Cells, dpi.NewClassifier(catalog), shards)
+				col := rollup.NewCollector(rcfg, pl.Shards())
+				rep, err := pl.WithSinks(col.Sink).Run(capture.NewSliceSource(frames))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := col.Finish(rep); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotCodec times the persistence layer in isolation:
+// encode a sealed nationwide-run partial and decode it back.
+func BenchmarkSnapshotCodec(b *testing.B) {
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	cfg := gtpsim.DefaultConfig()
+	cfg.Sessions = 400
+	sim, err := gtpsim.New(country, catalog, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfg := probe.ConfigFor(country)
+	pl := probe.NewPipeline(pcfg, sim.Cells, dpi.NewClassifier(catalog), 2)
+	col := rollup.NewCollector(rollup.ConfigFrom(pcfg, geo.SmallConfig()), pl.Shards())
+	rep, err := pl.WithSinks(col.Sink).Run(sim.Stream())
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := col.Finish(rep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rollup.Write(&buf, part); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	b.Run("write", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(encoded)))
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := rollup.Write(&buf, part); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(encoded)))
+		for i := 0; i < b.N; i++ {
+			if _, err := rollup.Read(bytes.NewReader(encoded)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablation benches (DESIGN.md §4) ---------------------------------

@@ -11,6 +11,11 @@
 //
 // With --json the full machine-readable results of every registered
 // experiment are written to stdout instead of the human summary.
+//
+// With -snapshot the dataset comes from a rollup snapshot produced by
+// cmd/probesim -snapshot instead of the synthetic generator: the
+// produce-once, analyze-many workflow — no simulator, no probe, no raw
+// trace between the file and the figures.
 package main
 
 import (
@@ -25,23 +30,42 @@ import (
 )
 
 func main() {
-	scale := flag.String("scale", "small", "dataset scale: small | full")
-	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `analyze: run the paper's full study through the experiment engine
+
+Dataset sources (flag defaults below):
+  (default)            synthetic generator at -scale, seeded by -seed
+  -snapshot file       a rollup snapshot recorded by probesim -snapshot
+
+`)
+		flag.PrintDefaults()
+	}
+	scale := flag.String("scale", "small", "dataset scale: small | full (ignored with -snapshot)")
+	seed := flag.Uint64("seed", 1, "generator seed; with -snapshot it drives only the stochastic analysis steps")
+	snapshot := flag.String("snapshot", "", "analyze a rollup snapshot file (see cmd/probesim -snapshot) instead of generating data")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results for every registered experiment")
 	concurrency := flag.Int("concurrency", 0, "parallel experiment workers (0 = NumCPU)")
 	flag.Parse()
 
-	cfg := synth.SmallConfig()
-	if *scale == "full" {
-		cfg = synth.DefaultConfig()
+	var env *experiments.Env
+	var err error
+	if *snapshot != "" {
+		if !*jsonOut {
+			fmt.Printf("Loading rollup snapshot %s (seed %d)...\n", *snapshot, *seed)
+		}
+		env, err = experiments.NewEnvFromSnapshot(*snapshot, *seed)
+	} else {
+		cfg := synth.SmallConfig()
+		if *scale == "full" {
+			cfg = synth.DefaultConfig()
+		}
+		cfg.Seed = *seed
+		if !*jsonOut {
+			fmt.Printf("Generating %d-commune dataset (%d services, seed %d)...\n",
+				cfg.Geo.NumCommunes, cfg.TotalServices, cfg.Seed)
+		}
+		env, err = experiments.NewEnv(cfg)
 	}
-	cfg.Seed = *seed
-
-	if !*jsonOut {
-		fmt.Printf("Generating %d-commune dataset (%d services, seed %d)...\n",
-			cfg.Geo.NumCommunes, cfg.TotalServices, cfg.Seed)
-	}
-	env, err := experiments.NewEnv(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

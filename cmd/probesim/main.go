@@ -6,6 +6,11 @@
 // trace) straight into the sharded pipeline without ever materializing
 // the capture. The merged measurement becomes a core.Dataset and runs
 // through the same analysis API the synthetic data flows through.
+//
+// With -snapshot the run additionally feeds the rollup store: each
+// shard builds epoch-sealed (service, commune, bin) aggregates online,
+// and the merged partial persists to a snapshot file that cmd/analyze
+// -snapshot analyzes directly — produce once, analyze many.
 package main
 
 import (
@@ -22,16 +27,39 @@ import (
 	"repro/internal/measured"
 	"repro/internal/probe"
 	"repro/internal/report"
+	"repro/internal/rollup"
 	"repro/internal/services"
 	"repro/internal/timeseries"
 )
 
 func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `probesim: stream a simulated nationwide capture through the probe pipeline
+
+Modes:
+  (default)            simulate -sessions IP sessions and measure them live
+  -trace file          replay a recorded binary trace (see tracegen -trace)
+
+Flag defaults are shown below; -seed and -shards are shared with
+tracegen and analyze, and -quiet reduces output to the essentials for
+CI use.
+
+`)
+		flag.PrintDefaults()
+	}
 	sessions := flag.Int("sessions", 2000, "number of IP sessions to simulate")
 	seed := flag.Uint64("seed", 1, "simulation seed (for -trace: the seed the trace was recorded with)")
 	shards := flag.Int("shards", runtime.NumCPU(), "probe pipeline shards (frames hash-partitioned by TEID)")
-	trace := flag.String("trace", "", "replay a binary trace file (see cmd/tracegen -frames) instead of simulating")
+	trace := flag.String("trace", "", "replay a binary trace file (see cmd/tracegen -trace) instead of simulating")
+	snapshot := flag.String("snapshot", "", "persist the run as a rollup snapshot to this file (analyze with cmd/analyze -snapshot)")
+	quiet := flag.Bool("quiet", false, "print only the essential summary lines (CI mode)")
 	flag.Parse()
+
+	say := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Printf(format, args...)
+		}
+	}
 
 	country := geo.Generate(geo.SmallConfig())
 	catalog := services.Catalog()
@@ -56,9 +84,9 @@ func main() {
 			fail(err)
 		}
 		src = rd
-		fmt.Printf("Replaying %s over %d communes (%d cells, %d shards)...\n",
+		say("Replaying %s over %d communes (%d cells, %d shards)...\n",
 			*trace, len(country.Communes), len(cells.Cells), *shards)
-		fmt.Println("note: the cell registry is rebuilt from -seed; it must match the recording seed")
+		say("note: the cell registry is rebuilt from -seed; it must match the recording seed\n")
 	} else {
 		cfg := gtpsim.DefaultConfig()
 		cfg.Sessions = *sessions
@@ -70,25 +98,48 @@ func main() {
 		cells = sim.Cells
 		stream = sim.Stream()
 		src = stream
-		fmt.Printf("Streaming %d sessions over %d communes (%d cells) into %d probe shards...\n",
+		say("Streaming %d sessions over %d communes (%d cells) into %d probe shards...\n",
 			*sessions, len(country.Communes), len(cells.Cells), *shards)
 	}
 
-	pl := probe.NewPipeline(probe.ConfigFor(country), cells, dpi.NewClassifier(catalog), *shards)
+	pcfg := probe.ConfigFor(country)
+	pl := probe.NewPipeline(pcfg, cells, dpi.NewClassifier(catalog), *shards)
+	var col *rollup.Collector
+	if *snapshot != "" {
+		col = rollup.NewCollector(rollup.ConfigFrom(pcfg, geo.SmallConfig()), pl.Shards())
+		pl.WithSinks(col.Sink)
+	}
 	rep, err := pl.Run(src)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "capture broke mid-stream: %v (reporting what was measured)\n", err)
 	}
 
-	fmt.Printf("\n%d control messages, %d user-plane packets, %d decode errors across %d shards\n",
-		rep.ControlMessages, rep.UserPlanePackets, rep.DecodeErrors, pl.Shards())
-	fmt.Printf("classification rate: %s (paper: 88%%)\n", report.Pct(rep.ClassificationRate()))
+	fmt.Printf("%d control messages, %d user-plane packets, %d decode errors across %d shards; classification rate %s (paper: 88%%)\n",
+		rep.ControlMessages, rep.UserPlanePackets, rep.DecodeErrors, pl.Shards(), report.Pct(rep.ClassificationRate()))
 	if stream != nil {
-		truth := stream.Stats()
-		fmt.Printf("median ULI error: %.2f km (paper: ≈3 km)\n", truth.MedianULIError())
+		say("median ULI error: %.2f km (paper: ≈3 km)\n", stream.Stats().MedianULIError())
 	}
-	fmt.Printf("measured volume: DL %s, UL %s\n\n",
+	say("measured volume: DL %s, UL %s\n\n",
 		report.Bytes(rep.TotalBytes[services.DL]), report.Bytes(rep.TotalBytes[services.UL]))
+
+	if col != nil {
+		part, err := col.Finish(rep)
+		if err != nil {
+			fail(err)
+		}
+		if err := rollup.WriteFile(*snapshot, part); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote rollup snapshot (%d epochs, %d services, %d late frames) to %s\n",
+			len(part.Epochs), len(part.Services), part.LateFrames, *snapshot)
+		say("analyze with: analyze -snapshot %s\n", *snapshot)
+	}
+
+	// Quiet mode ends here: the ranking below exists only for display,
+	// so CI runs skip its materialization cost entirely.
+	if *quiet {
+		return
+	}
 
 	// Materialize the merged measurement and rank it through the
 	// analysis API — next to the ground truth when it exists (live
@@ -98,7 +149,7 @@ func main() {
 		fail(err)
 	}
 	an := core.New(mds)
-	fmt.Printf("measured dataset: %d services through the analysis API\n", len(mds.Services()))
+	say("measured dataset: %d services through the analysis API\n", len(mds.Services()))
 	headers := []string{"service", "measured DL share"}
 	var truthTotal float64
 	if stream != nil {

@@ -9,7 +9,7 @@
 //	spatial.csv    service, direction, commune_id, weekly_bytes
 //	ranking.csv    rank, direction, weekly_bytes (full 500-service population)
 //
-// With -frames it instead records the packet plane: a gtpsim workload
+// With -trace it instead records the packet plane: a gtpsim workload
 // is streamed frame by frame into the binary trace format of
 // internal/capture (memory stays O(1) in frame count), replayable with
 // cmd/probesim -trace or inspectable with -replay.
@@ -32,20 +32,36 @@ import (
 )
 
 func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `tracegen: persist synthetic study data for external tooling and replay
+
+Modes (flag defaults below):
+  (default)            write CSV aggregates of a synthetic dataset to -out
+  -trace file          record a gtpsim packet capture as a binary trace
+                       (replay with probesim -trace, same -seed)
+  -replay file         summarize a recorded binary trace and exit
+
+-seed and -sessions are shared with probesim; -quiet reduces output to
+the essentials for CI use.
+
+`)
+		flag.PrintDefaults()
+	}
 	out := flag.String("out", "trace-out", "output directory (CSV mode)")
-	scale := flag.String("scale", "small", "dataset scale: small | full (CSV mode; -frames always records the small country)")
+	scale := flag.String("scale", "small", "dataset scale: small | full (CSV mode; -trace always records the small country)")
 	seed := flag.Uint64("seed", 1, "generator / simulation seed")
-	frames := flag.String("frames", "", "record a gtpsim packet capture to this binary trace file instead of CSV aggregates")
-	sessions := flag.Int("sessions", 2000, "sessions to simulate in -frames mode")
+	trace := flag.String("trace", "", "record a gtpsim packet capture to this binary trace file instead of CSV aggregates")
+	sessions := flag.Int("sessions", 2000, "sessions to simulate in -trace mode")
 	replay := flag.String("replay", "", "summarize a recorded binary trace and exit")
+	quiet := flag.Bool("quiet", false, "print only the essential summary line (CI mode)")
 	flag.Parse()
 
 	if *replay != "" {
-		summarize(*replay)
+		summarize(*replay, *quiet)
 		return
 	}
-	if *frames != "" {
-		record(*frames, *sessions, *seed)
+	if *trace != "" {
+		record(*trace, *sessions, *seed, *quiet)
 		return
 	}
 
@@ -114,7 +130,7 @@ func main() {
 // record streams a simulated capture into the binary trace format.
 // Nothing is materialized: the simulator emits one session at a time
 // and the writer appends records as they arrive.
-func record(path string, sessions int, seed uint64) {
+func record(path string, sessions int, seed uint64, quiet bool) {
 	country := geo.Generate(geo.SmallConfig())
 	catalog := services.Catalog()
 	cfg := gtpsim.DefaultConfig()
@@ -143,11 +159,13 @@ func record(path string, sessions int, seed uint64) {
 	truth := st.Stats()
 	fmt.Printf("recorded %d frames (%d sessions, DL %s, UL %s, seed %d) to %s\n",
 		n, truth.Sessions, report.Bytes(truth.BytesDL), report.Bytes(truth.BytesUL), seed, path)
-	fmt.Printf("replay with: probesim -trace %s -seed %d\n", path, seed)
+	if !quiet {
+		fmt.Printf("replay with: probesim -trace %s -seed %d\n", path, seed)
+	}
 }
 
 // summarize streams a recorded trace and prints its envelope.
-func summarize(path string) {
+func summarize(path string, quiet bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
@@ -175,7 +193,7 @@ func summarize(path string) {
 		bytes += len(fr.Data)
 	}
 	fmt.Printf("%s: %d frames, %s on the wire\n", path, n, report.Bytes(float64(bytes)))
-	if n > 0 {
+	if n > 0 && !quiet {
 		fmt.Printf("first frame %s, last frame %s\n",
 			first.Time.Format("2006-01-02 15:04:05.000"), last.Time.Format("2006-01-02 15:04:05.000"))
 	}

@@ -37,8 +37,8 @@ func NewWriter(w io.Writer) (*Writer, error) {
 
 // Write appends one frame record.
 func (tw *Writer) Write(f Frame) error {
-	if len(f.Data) > maxFrameLen {
-		return fmt.Errorf("capture: frame of %d bytes exceeds the %d-byte record limit", len(f.Data), maxFrameLen)
+	if err := CheckLimit(uint64(len(f.Data)), maxFrameLen, "trace frame"); err != nil {
+		return err
 	}
 	var hdr [12]byte
 	binary.BigEndian.PutUint64(hdr[:8], uint64(f.Time.UnixNano()))
@@ -117,13 +117,13 @@ func (tr *Reader) Next() (Frame, error) {
 	}
 	nanos := int64(binary.BigEndian.Uint64(hdr[:8]))
 	length := binary.BigEndian.Uint32(hdr[8:])
-	if length > maxFrameLen {
-		tr.err = fmt.Errorf("capture: trace record of %d bytes exceeds the %d-byte limit", length, maxFrameLen)
+	if err := CheckLimit(uint64(length), maxFrameLen, "trace record"); err != nil {
+		tr.err = err
 		return Frame{}, tr.err
 	}
 	data := make([]byte, length)
-	if _, err := io.ReadFull(tr.r, data); err != nil {
-		tr.err = fmt.Errorf("capture: truncated trace record body: %w", err)
+	if err := ReadFull(tr.r, data, "trace record body"); err != nil {
+		tr.err = err
 		return Frame{}, tr.err
 	}
 	return Frame{Time: time.Unix(0, nanos).UTC(), Data: data}, nil

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/rollup"
 	"repro/internal/synth"
 )
 
@@ -51,6 +52,17 @@ func NewEnv(cfg synth.Config) (*Env, error) {
 // materialized — in an environment.
 func NewEnvFrom(ds core.Dataset, seed uint64) *Env {
 	return &Env{DS: ds, An: core.New(ds), Seed: seed}
+}
+
+// NewEnvFromSnapshot opens a rollup snapshot (see cmd/probesim
+// -snapshot) as the environment's dataset: the produce-once,
+// analyze-many path — no simulator, no probe, no raw trace.
+func NewEnvFromSnapshot(path string, seed uint64) (*Env, error) {
+	ds, err := rollup.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewEnvFrom(ds, seed), nil
 }
 
 // Result is one experiment's outcome.

@@ -178,7 +178,10 @@ func (e *Env) AblationPeakDetector(ctx context.Context) (Result, error) {
 		if err != nil {
 			return res, err
 		}
-		zp, _ := peaks.ExtractPeaks(values, zres)
+		zp, err := peaks.ExtractPeaks(values, zres)
+		if err != nil {
+			return res, err
+		}
 		for _, pk := range zp {
 			if pk.Duration() < 2 || pk.Intensity() < 0.03 {
 				continue
@@ -189,7 +192,10 @@ func (e *Env) AblationPeakDetector(ctx context.Context) (Result, error) {
 			}
 		}
 		tres := peaks.ThresholdDetect(values, 2)
-		tp, _ := peaks.ExtractPeaks(values, tres)
+		tp, err := peaks.ExtractPeaks(values, tres)
+		if err != nil {
+			return res, err
+		}
 		thTotal += len(tp)
 	}
 	fmt.Fprintf(&b, "smoothed z-score: %d peaks (%d outside topical windows)\n", zTotal, zOutside)

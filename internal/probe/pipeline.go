@@ -36,6 +36,7 @@ type Pipeline struct {
 	registry   *gtpsim.CellRegistry
 	classifier *dpi.Classifier
 	shards     int
+	sinks      func(shard int) Sink
 }
 
 // NewPipeline builds a pipeline with the given shard count; shards <= 0
@@ -51,6 +52,16 @@ func NewPipeline(cfg Config, registry *gtpsim.CellRegistry, classifier *dpi.Clas
 
 // Shards returns the pipeline's worker count.
 func (pl *Pipeline) Shards() int { return pl.shards }
+
+// WithSinks registers a per-shard sink factory and returns pl. Run
+// calls factory(i) once per shard i in [0, Shards()) and attaches the
+// result to that shard's probe, so each sink observes a single-threaded
+// event stream (the rollup store relies on this to keep its
+// accumulators lock-free). A nil factory detaches.
+func (pl *Pipeline) WithSinks(factory func(shard int) Sink) *Pipeline {
+	pl.sinks = factory
+	return pl
+}
 
 // routeBatch bounds how many frames the router accumulates per shard
 // before handing them to the worker; it amortizes channel overhead
@@ -70,6 +81,9 @@ func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
 	var wg sync.WaitGroup
 	for i := range probes {
 		probes[i] = New(pl.cfg, pl.registry, pl.classifier)
+		if pl.sinks != nil {
+			probes[i].SetSink(pl.sinks(i))
+		}
 		chans[i] = make(chan []capture.Frame, 8)
 		wg.Add(1)
 		go func(p *Probe, ch <-chan []capture.Frame) {

@@ -65,6 +65,31 @@ func ConfigFor(country *geo.Country) Config {
 	return cfg
 }
 
+// Observation is one classified, geo-referenced accounting event: the
+// probe attributed Bytes of user-plane traffic to a service, a
+// direction and the commune of the tunnel's latest ULI fix, observed
+// at the given capture timestamp. Observations are emitted exactly
+// when Report.SvcCommuneBytes is incremented, so a Sink sees the same
+// event stream that builds the report — including traffic outside the
+// configured time binning, which the report counts in SvcBytes but not
+// in any series.
+type Observation struct {
+	At      time.Time
+	Dir     services.Direction
+	Service string
+	Commune int
+	Bytes   float64
+}
+
+// Sink consumes the probe's classified observations online, as frames
+// flow — the hook the rollup store hangs its per-(service, commune,
+// bin) accumulators on. A sink is owned by exactly one probe instance
+// and is never called concurrently; in a sharded pipeline each shard
+// gets its own sink (see Pipeline.WithSinks).
+type Sink interface {
+	Observe(Observation)
+}
+
 // Report is the probe's measurement output.
 type Report struct {
 	// TotalBytes and ClassifiedBytes per direction.
@@ -109,11 +134,13 @@ type Probe struct {
 	// ULI fix — the geo-referencing state the paper's probes keep.
 	teidCommune map[uint32]int
 	report      *Report
+	sink        Sink
 }
 
-// New builds a probe. The cell registry stands in for the operator's
-// cell-to-commune database.
-func New(cfg Config, registry *gtpsim.CellRegistry, classifier *dpi.Classifier) *Probe {
+// NewReport returns an empty report with every map initialized, the
+// shape New starts from and external re-constructors (the rollup
+// store) fill in.
+func NewReport() *Report {
 	rep := &Report{}
 	for d := 0; d < services.NumDirections; d++ {
 		rep.SvcBytes[d] = map[string]float64{}
@@ -121,17 +148,27 @@ func New(cfg Config, registry *gtpsim.CellRegistry, classifier *dpi.Classifier) 
 		rep.SvcSeries[d] = map[string]*timeseries.Series{}
 		rep.SvcClassSeries[d] = map[string]*[geo.NumUrbanization]*timeseries.Series{}
 	}
+	return rep
+}
+
+// New builds a probe. The cell registry stands in for the operator's
+// cell-to-commune database.
+func New(cfg Config, registry *gtpsim.CellRegistry, classifier *dpi.Classifier) *Probe {
 	return &Probe{
 		cfg:         cfg,
 		registry:    registry,
 		flows:       dpi.NewFlowCache(classifier),
 		teidCommune: map[uint32]int{},
-		report:      rep,
+		report:      NewReport(),
 	}
 }
 
 // Report returns the accumulated measurements.
 func (p *Probe) Report() *Report { return p.report }
+
+// SetSink registers a sink receiving every classified observation the
+// probe accounts from now on. Must be set before frames are handled.
+func (p *Probe) SetSink(s Sink) { p.sink = s }
 
 // HandleFrame consumes one captured frame.
 func (p *Probe) HandleFrame(at time.Time, frame []byte) {
@@ -249,6 +286,9 @@ func (p *Probe) maybeUserPlane(at time.Time) {
 	}
 	p.report.ClassifiedBytes[dir] += bytes
 	p.report.SvcBytes[dir][res.Service] += bytes
+	if p.sink != nil {
+		p.sink.Observe(Observation{At: at, Dir: dir, Service: res.Service, Commune: commune, Bytes: bytes})
+	}
 
 	perCommune := p.report.SvcCommuneBytes[dir][res.Service]
 	if perCommune == nil {

@@ -1,0 +1,108 @@
+package rollup
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/measured"
+	"repro/internal/probe"
+	"repro/internal/services"
+	"repro/internal/timeseries"
+)
+
+// Report reconstructs the probe.Report the partial's cells distill:
+// per-service volumes, per-commune accounting, national and
+// per-urbanization-class series, totals and counters. The
+// reconstruction is exact — every aggregate is a sum of integer-valued
+// per-frame contributions, so regrouping them per cell instead of per
+// frame produces bit-identical floats — which is what lets a snapshot
+// replace the live probe path without the analysis noticing.
+func (p *Partial) Report(country *geo.Country) (*probe.Report, error) {
+	if p.Cfg.Geo.NumCommunes != 0 && len(country.Communes) != p.Cfg.Geo.NumCommunes {
+		return nil, fmt.Errorf("rollup: geography has %d communes, snapshot was built over %d",
+			len(country.Communes), p.Cfg.Geo.NumCommunes)
+	}
+	rep := probe.NewReport()
+	for d := 0; d < services.NumDirections; d++ {
+		rep.TotalBytes[d] = p.TotalBytes[d]
+		rep.ClassifiedBytes[d] = p.ClassifiedBytes[d]
+	}
+	rep.DecodeErrors = p.Counters.DecodeErrors
+	rep.UnknownTEID = p.Counters.UnknownTEID
+	rep.UnknownCell = p.Counters.UnknownCell
+	rep.ControlMessages = p.Counters.ControlMessages
+	rep.UserPlanePackets = p.Counters.UserPlanePackets
+
+	for _, ep := range p.Epochs {
+		for _, c := range ep.Cells {
+			dir := services.Direction(c.Dir)
+			name := p.Services[c.Svc]
+			commune := int(c.Commune)
+			if commune >= len(country.Communes) {
+				return nil, fmt.Errorf("rollup: cell commune %d outside the %d-commune geography", commune, len(country.Communes))
+			}
+			rep.SvcBytes[dir][name] += c.Bytes
+			perCommune := rep.SvcCommuneBytes[dir][name]
+			if perCommune == nil {
+				perCommune = map[int]float64{}
+				rep.SvcCommuneBytes[dir][name] = perCommune
+			}
+			perCommune[commune] += c.Bytes
+
+			// The probe creates a service's series on first classified
+			// packet even when the packet falls outside the binning, so
+			// mirror that here before the overflow check.
+			series := rep.SvcSeries[dir][name]
+			if series == nil {
+				series = timeseries.New(p.Cfg.Start, p.Cfg.Step, p.Cfg.Bins)
+				rep.SvcSeries[dir][name] = series
+			}
+			cls := rep.SvcClassSeries[dir][name]
+			if cls == nil {
+				cls = new([geo.NumUrbanization]*timeseries.Series)
+				for u := range cls {
+					cls[u] = timeseries.New(p.Cfg.Start, p.Cfg.Step, p.Cfg.Bins)
+				}
+				rep.SvcClassSeries[dir][name] = cls
+			}
+			if ep.Bin == OverflowBin {
+				continue
+			}
+			series.Values[ep.Bin] += c.Bytes
+			cls[country.Communes[commune].Urbanization].Values[ep.Bin] += c.Bytes
+		}
+	}
+	return rep, nil
+}
+
+// Dataset materializes the partial into the analysis API: the
+// geography is regenerated deterministically from the snapshot's geo
+// config, the report is reconstructed from the cells, and
+// measured.FromProbe — the exact code path the live pipeline uses —
+// maps it onto core.Dataset. The catalogue is the DPI catalogue, as in
+// the live path; services the snapshot never saw are dropped the same
+// way.
+func (p *Partial) Dataset() (core.Dataset, error) {
+	country := geo.Generate(p.Cfg.Geo)
+	rep, err := p.Report(country)
+	if err != nil {
+		return nil, err
+	}
+	return measured.FromProbe(rep, country, services.Catalog(), p.Cfg.Step)
+}
+
+// Open loads a snapshot file and returns it as a core.Dataset, ready
+// for the experiment engine: produce once with cmd/probesim -snapshot,
+// analyze many with cmd/analyze -snapshot.
+func Open(path string) (core.Dataset, error) {
+	p, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := p.Dataset()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ds, nil
+}

@@ -1,0 +1,108 @@
+package rollup
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/dpi"
+	"repro/internal/geo"
+	"repro/internal/gtpsim"
+	"repro/internal/probe"
+	"repro/internal/services"
+)
+
+// probesimSnapshot produces real snapshot bytes the way cmd/probesim
+// does: simulate, stream through the sharded pipeline with collectors
+// attached, seal, encode.
+func probesimSnapshot(tb testing.TB, sessions, shards int) []byte {
+	tb.Helper()
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	cfg := gtpsim.DefaultConfig()
+	cfg.Sessions = sessions
+	sim, err := gtpsim.New(country, catalog, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pcfg := probe.ConfigFor(country)
+	pl := probe.NewPipeline(pcfg, sim.Cells, dpi.NewClassifier(catalog), shards)
+	col := NewCollector(ConfigFrom(pcfg, geo.SmallConfig()), pl.Shards())
+	rep, err := pl.WithSinks(col.Sink).Run(sim.Stream())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	part, err := col.Finish(rep)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, part); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSnapshotReader feeds arbitrary bytes to the snapshot decoder,
+// seeded with a real probesim snapshot and the handcrafted golden. The
+// decoder must never panic or over-allocate; whatever it does accept
+// must re-encode and re-decode to the same partial (the format is
+// canonical, so decode∘encode is the identity on valid snapshots).
+func FuzzSnapshotReader(f *testing.F) {
+	f.Add(probesimSnapshot(f, 60, 2))
+	var golden bytes.Buffer
+	if err := Write(&golden, goldenPartial()); err != nil {
+		f.Fatal(err)
+	}
+	full := golden.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2])    // truncated
+	f.Add([]byte{})              // empty
+	f.Add([]byte("GTPROLL\x01")) // header only
+	flip := append([]byte(nil), full...)
+	flip[len(flip)/3] ^= 0x10 // bit-flipped
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only other acceptable outcome
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, p); err != nil {
+			t.Fatalf("accepted partial does not re-encode: %v", err)
+		}
+		q, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatal("decode∘encode is not the identity on an accepted snapshot")
+		}
+	})
+}
+
+// FuzzTraceVsSnapshotLimits cross-checks the shared limit helpers: any
+// uvarint the snapshot reader accepts for a count must be within its
+// declared cap.
+func FuzzTraceVsSnapshotLimits(f *testing.F) {
+	f.Add(uint64(0), uint64(100))
+	f.Add(uint64(101), uint64(100))
+	f.Fuzz(func(t *testing.T, v, max uint64) {
+		var buf bytes.Buffer
+		if err := capture.WriteUvarint(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := capture.ReadUvarint(bytes.NewReader(buf.Bytes()), max, "fuzz value")
+		if v > max {
+			if err == nil {
+				t.Fatalf("value %d over limit %d accepted", v, max)
+			}
+			return
+		}
+		if err != nil || got != v {
+			t.Fatalf("round trip of %d under limit %d: got %d, err %v", v, max, got, err)
+		}
+	})
+}

@@ -1,0 +1,511 @@
+// Package rollup turns the measurement plane into a store. Operators
+// never keep raw frames — they keep per-(service, commune, time-bin)
+// traffic aggregates, and the paper's whole analysis runs over exactly
+// such rollups. This package builds them online: a Builder hangs off a
+// probe shard as a probe.Sink and feeds epoch accumulators as frames
+// flow, sealing completed time windows into immutable, compact
+// partials; shard partials merge exactly (commutative, integer-exact
+// float sums); a merged Partial persists to a versioned binary
+// snapshot; and Open turns a snapshot back into a full core.Dataset,
+// so the experiment engine runs straight off one compact file with no
+// simulator, no probe and no raw trace in sight.
+//
+// Memory during ingest is O(epochs × active cells + services): the
+// per-frame stream never materializes, and cells exist only for
+// (direction, service, commune) triples that actually carried traffic
+// in a bin.
+package rollup
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/probe"
+	"repro/internal/services"
+)
+
+// OverflowBin collects traffic observed outside the configured time
+// binning (before Start or past the last bin). The probe counts such
+// traffic in its volume totals but in no series; the overflow epoch
+// preserves it so a snapshot loses nothing relative to the report.
+const OverflowBin = -1
+
+// DefaultLateness is the default sealing slack in bins: one hour at
+// the 15-minute study resolution.
+const DefaultLateness = 4
+
+// Config fixes a rollup's binning and the geography it maps onto.
+type Config struct {
+	// Start, Step and Bins define the epoch grid, mirroring
+	// probe.Config: epoch e covers [Start+e·Step, Start+(e+1)·Step).
+	Start time.Time
+	Step  time.Duration
+	Bins  int
+	// Geo is the configuration that regenerates the commune
+	// tessellation at Open time; geo.Generate is deterministic in it.
+	Geo geo.Config
+	// Lateness is how many bins an observation may lag the builder's
+	// watermark before its epoch seals. Zero means DefaultLateness;
+	// negative disables sealing until Seal is called.
+	Lateness int
+}
+
+// ConfigFrom derives a rollup config from the probe config driving the
+// pipeline and the geography config of the country it measures.
+func ConfigFrom(pc probe.Config, geoCfg geo.Config) Config {
+	return Config{Start: pc.Start, Step: pc.Step, Bins: pc.Bins, Geo: geoCfg, Lateness: DefaultLateness}
+}
+
+func (c Config) lateness() int {
+	if c.Lateness == 0 {
+		return DefaultLateness
+	}
+	return c.Lateness
+}
+
+// binOf maps an observation timestamp onto the epoch grid with the
+// same arithmetic as timeseries.Series.IndexOf: an instant exactly on
+// a bin edge belongs to the bin it opens.
+func (c Config) binOf(at time.Time) int {
+	if at.Before(c.Start) {
+		return OverflowBin
+	}
+	i := int(at.Sub(c.Start) / c.Step)
+	if i >= c.Bins {
+		return OverflowBin
+	}
+	return i
+}
+
+// sameGrid reports whether two configs describe mergeable rollups.
+func (c Config) sameGrid(o Config) bool {
+	return c.Start.Equal(o.Start) && c.Step == o.Step && c.Bins == o.Bins && c.Geo == o.Geo
+}
+
+// Cell is one accumulator: the bytes a (direction, service, commune)
+// triple carried within one epoch. Svc indexes the Partial's service
+// table. Cells in a sealed epoch are sorted by (Dir, Svc, Commune).
+type Cell struct {
+	Dir     uint8
+	Svc     uint32
+	Commune int32
+	Bytes   float64
+}
+
+func cellLess(a, b Cell) bool {
+	if a.Dir != b.Dir {
+		return a.Dir < b.Dir
+	}
+	if a.Svc != b.Svc {
+		return a.Svc < b.Svc
+	}
+	return a.Commune < b.Commune
+}
+
+// Epoch is one sealed time window: an immutable, compact cell list.
+type Epoch struct {
+	// Bin is the epoch's index on the config grid, or OverflowBin.
+	Bin int
+	// Cells is sorted by (Dir, Svc, Commune) with unique keys.
+	Cells []Cell
+}
+
+// Counters carries the probe's error and anomaly counters into the
+// snapshot, so a report reconstructed from a rollup tells the same
+// measurement story (classification rate, decode health) as the live
+// one.
+type Counters struct {
+	DecodeErrors     int
+	UnknownTEID      int
+	UnknownCell      int
+	ControlMessages  int
+	UserPlanePackets int
+}
+
+// Partial is a mergeable rollup: the epoch-sealed aggregation of one
+// probe shard, of a whole pipeline run, or of many runs merged. It is
+// the unit the snapshot format persists.
+type Partial struct {
+	Cfg Config
+	// Services is the interning table Cell.Svc indexes, sorted
+	// (normalized partials keep it in lexicographic order, making the
+	// encoding canonical: one capture, one byte sequence).
+	Services []string
+	// Epochs is sorted by bin, OverflowBin (if present) first.
+	Epochs []Epoch
+	// TotalBytes and ClassifiedBytes mirror the probe report's
+	// per-direction totals: Total includes unattributed user-plane
+	// traffic the cells cannot carry.
+	TotalBytes      [services.NumDirections]float64
+	ClassifiedBytes [services.NumDirections]float64
+	Counters        Counters
+	// LateFrames counts observations that arrived for an
+	// already-sealed epoch and forced a reopen generation. Like
+	// Cfg.Lateness it is ingest diagnostics, not data — the count
+	// depends on shard count and frame arrival order while the cells
+	// do not — so it is reported after a run but never persisted.
+	LateFrames int
+}
+
+// cellKey is the open-epoch accumulator key.
+type cellKey struct {
+	dir     uint8
+	svc     uint32
+	commune int32
+}
+
+// Builder accumulates one shard's observations into epoch-sealed
+// rollups. It implements probe.Sink; attach one per shard via
+// probe.Pipeline.WithSinks. Not safe for concurrent use — by the sink
+// contract a builder only ever sees its own shard's single-threaded
+// event stream.
+type Builder struct {
+	cfg      Config
+	svcIndex map[string]uint32
+	svcNames []string
+
+	open      map[int]map[cellKey]float64
+	sealed    []Epoch // may hold several generations of one bin
+	everSeal  map[int]bool
+	watermark int
+	late      int
+	done      bool
+}
+
+// NewBuilder returns an empty builder on the given grid.
+func NewBuilder(cfg Config) *Builder {
+	return &Builder{
+		cfg:       cfg,
+		svcIndex:  map[string]uint32{},
+		open:      map[int]map[cellKey]float64{},
+		everSeal:  map[int]bool{},
+		watermark: -1,
+	}
+}
+
+// Observe implements probe.Sink: it folds one classified accounting
+// event into the epoch accumulators and advances the sealing
+// watermark. An observation for a bin that already sealed reopens a
+// fresh generation (counted in LateFrames); generations of one bin
+// merge exactly at Seal time, so out-of-order arrival never loses or
+// double-counts a byte.
+func (b *Builder) Observe(o probe.Observation) {
+	if b.done {
+		panic("rollup: Observe after Seal")
+	}
+	bin := b.cfg.binOf(o.At)
+	svc, ok := b.svcIndex[o.Service]
+	if !ok {
+		svc = uint32(len(b.svcNames))
+		b.svcIndex[o.Service] = svc
+		b.svcNames = append(b.svcNames, o.Service)
+	}
+	cells := b.open[bin]
+	if cells == nil {
+		cells = map[cellKey]float64{}
+		b.open[bin] = cells
+		if b.everSeal[bin] {
+			b.late++
+		}
+	}
+	cells[cellKey{dir: uint8(o.Dir), svc: svc, commune: int32(o.Commune)}] += o.Bytes
+
+	if bin > b.watermark {
+		b.watermark = bin
+		if lat := b.cfg.lateness(); lat >= 0 {
+			b.advance(b.watermark - lat)
+		}
+	}
+}
+
+// advance seals every open epoch strictly below the horizon bin (the
+// overflow epoch never seals early: traffic outside the grid has no
+// position in time order).
+func (b *Builder) advance(horizon int) {
+	for bin := range b.open {
+		if bin != OverflowBin && bin < horizon {
+			b.sealBin(bin)
+		}
+	}
+}
+
+// sealBin compacts one open epoch into an immutable sorted cell list.
+func (b *Builder) sealBin(bin int) {
+	cells := b.open[bin]
+	delete(b.open, bin)
+	if len(cells) == 0 {
+		return
+	}
+	ep := Epoch{Bin: bin, Cells: make([]Cell, 0, len(cells))}
+	for k, v := range cells {
+		ep.Cells = append(ep.Cells, Cell{Dir: k.dir, Svc: k.svc, Commune: k.commune, Bytes: v})
+	}
+	sort.Slice(ep.Cells, func(i, j int) bool { return cellLess(ep.Cells[i], ep.Cells[j]) })
+	b.sealed = append(b.sealed, ep)
+	b.everSeal[bin] = true
+}
+
+// SealedEpochs returns how many epoch generations have been sealed so
+// far (diagnostic; several generations of one bin count separately
+// until Seal folds them).
+func (b *Builder) SealedEpochs() int { return len(b.sealed) }
+
+// Seal flushes every open epoch and returns the builder's normalized
+// partial. The builder is spent afterwards: further Observe calls
+// panic.
+func (b *Builder) Seal() *Partial {
+	if b.done {
+		panic("rollup: Seal called twice")
+	}
+	b.done = true
+	for bin := range b.open {
+		b.sealBin(bin)
+	}
+	p := &Partial{
+		Cfg:        b.cfg,
+		Services:   b.svcNames,
+		Epochs:     foldGenerations(b.sealed),
+		LateFrames: b.late,
+	}
+	p.normalize()
+	return p
+}
+
+// foldGenerations merges same-bin epoch generations into one epoch per
+// bin and sorts epochs by bin.
+func foldGenerations(eps []Epoch) []Epoch {
+	sort.SliceStable(eps, func(i, j int) bool { return eps[i].Bin < eps[j].Bin })
+	out := eps[:0]
+	for _, ep := range eps {
+		if n := len(out); n > 0 && out[n-1].Bin == ep.Bin {
+			out[n-1].Cells = mergeCells(out[n-1].Cells, ep.Cells)
+			continue
+		}
+		out = append(out, ep)
+	}
+	return out
+}
+
+// mergeCells sums two sorted unique cell lists into a new sorted
+// unique list. Sums are exact: every cell value is a sum of
+// integer-valued packet lengths.
+func mergeCells(a, b []Cell) []Cell {
+	out := make([]Cell, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case cellLess(a[i], b[j]):
+			out = append(out, a[i])
+			i++
+		case cellLess(b[j], a[i]):
+			out = append(out, b[j])
+			j++
+		default:
+			c := a[i]
+			c.Bytes += b[j].Bytes
+			out = append(out, c)
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// normalize rewrites the partial into its canonical form: service
+// table sorted lexicographically, cells remapped and re-sorted, epochs
+// ordered by bin. Two partials aggregating the same observations are
+// identical after normalization whatever order shards or merges
+// produced them in — which is what makes snapshot bytes reproducible
+// across shard counts.
+func (p *Partial) normalize() {
+	remap := make([]uint32, len(p.Services))
+	sorted := append([]string(nil), p.Services...)
+	sort.Strings(sorted)
+	idx := make(map[string]uint32, len(sorted))
+	for i, name := range sorted {
+		idx[name] = uint32(i)
+	}
+	identity := true
+	for old, name := range p.Services {
+		remap[old] = idx[name]
+		if remap[old] != uint32(old) {
+			identity = false
+		}
+	}
+	p.Services = sorted
+	sort.SliceStable(p.Epochs, func(i, j int) bool { return p.Epochs[i].Bin < p.Epochs[j].Bin })
+	if identity {
+		return
+	}
+	for e := range p.Epochs {
+		cells := p.Epochs[e].Cells
+		for i := range cells {
+			cells[i].Svc = remap[cells[i].Svc]
+		}
+		sort.Slice(cells, func(i, j int) bool { return cellLess(cells[i], cells[j]) })
+	}
+}
+
+// Merge folds o into p, mutating p; o is left untouched. Partials
+// merge exactly and commutatively — cell sums are sums of
+// integer-valued packet lengths, so accumulation order cannot change a
+// bit — mirroring probe.Report.Merge across shards. The two partials
+// must share a grid (same start, step, bins and geography config).
+func (p *Partial) Merge(o *Partial) error {
+	if !p.Cfg.sameGrid(o.Cfg) {
+		return fmt.Errorf("rollup: merging mismatched grids (%v/%v/%d bins vs %v/%v/%d bins)",
+			p.Cfg.Start, p.Cfg.Step, p.Cfg.Bins, o.Cfg.Start, o.Cfg.Step, o.Cfg.Bins)
+	}
+	// Union the service tables and remap o's cells into it.
+	remap := make([]uint32, len(o.Services))
+	idx := make(map[string]uint32, len(p.Services))
+	for i, name := range p.Services {
+		idx[name] = uint32(i)
+	}
+	for i, name := range o.Services {
+		id, ok := idx[name]
+		if !ok {
+			id = uint32(len(p.Services))
+			p.Services = append(p.Services, name)
+			idx[name] = id
+		}
+		remap[i] = id
+	}
+	merged := make([]Epoch, 0, len(p.Epochs)+len(o.Epochs))
+	i, j := 0, 0
+	for i < len(p.Epochs) && j < len(o.Epochs) {
+		a, b := p.Epochs[i], o.Epochs[j]
+		switch {
+		case a.Bin < b.Bin:
+			merged = append(merged, a)
+			i++
+		case b.Bin < a.Bin:
+			merged = append(merged, Epoch{Bin: b.Bin, Cells: remapCells(b.Cells, remap)})
+			j++
+		default:
+			merged = append(merged, Epoch{Bin: a.Bin, Cells: mergeCells(a.Cells, remapCells(b.Cells, remap))})
+			i, j = i+1, j+1
+		}
+	}
+	merged = append(merged, p.Epochs[i:]...)
+	for ; j < len(o.Epochs); j++ {
+		merged = append(merged, Epoch{Bin: o.Epochs[j].Bin, Cells: remapCells(o.Epochs[j].Cells, remap)})
+	}
+	p.Epochs = merged
+	for d := 0; d < services.NumDirections; d++ {
+		p.TotalBytes[d] += o.TotalBytes[d]
+		p.ClassifiedBytes[d] += o.ClassifiedBytes[d]
+	}
+	p.Counters.DecodeErrors += o.Counters.DecodeErrors
+	p.Counters.UnknownTEID += o.Counters.UnknownTEID
+	p.Counters.UnknownCell += o.Counters.UnknownCell
+	p.Counters.ControlMessages += o.Counters.ControlMessages
+	p.Counters.UserPlanePackets += o.Counters.UserPlanePackets
+	p.LateFrames += o.LateFrames
+	p.normalize()
+	return nil
+}
+
+// remapCells rewrites cell service ids through remap and restores the
+// sort order the remap may have broken.
+func remapCells(cells []Cell, remap []uint32) []Cell {
+	out := append([]Cell(nil), cells...)
+	for i := range out {
+		out[i].Svc = remap[out[i].Svc]
+	}
+	sort.Slice(out, func(i, j int) bool { return cellLess(out[i], out[j]) })
+	return out
+}
+
+// CellTotals sums every cell per direction — by construction exactly
+// the classified bytes the contributing probes accounted.
+func (p *Partial) CellTotals() [services.NumDirections]float64 {
+	var t [services.NumDirections]float64
+	for _, ep := range p.Epochs {
+		for _, c := range ep.Cells {
+			if int(c.Dir) < services.NumDirections {
+				t[c.Dir] += c.Bytes
+			}
+		}
+	}
+	return t
+}
+
+// Collector wires a rollup into a probe pipeline run: it owns one
+// Builder per shard and hands them out as sinks.
+//
+//	pl := probe.NewPipeline(cfg, cells, classifier, shards)
+//	col := rollup.NewCollector(rcfg, pl.Shards())
+//	rep, err := pl.WithSinks(col.Sink).Run(src)
+//	part, err := col.Finish(rep)
+type Collector struct {
+	builders []*Builder
+}
+
+// NewCollector builds one builder per shard.
+func NewCollector(cfg Config, shards int) *Collector {
+	if shards <= 0 {
+		shards = 1
+	}
+	c := &Collector{builders: make([]*Builder, shards)}
+	for i := range c.builders {
+		c.builders[i] = NewBuilder(cfg)
+	}
+	return c
+}
+
+// Sink returns shard i's builder as a probe.Sink; pass this method to
+// probe.Pipeline.WithSinks.
+func (c *Collector) Sink(shard int) probe.Sink { return c.builders[shard] }
+
+// Finish seals every shard builder, merges the shard partials exactly,
+// and absorbs the pipeline's merged report: the per-direction totals
+// and counters the sinks cannot see. It cross-checks the cell sums
+// against the report's classified bytes — the two paths account the
+// same integer-valued frame contributions, so any difference means an
+// accounting bug, not rounding.
+func (c *Collector) Finish(rep *probe.Report) (*Partial, error) {
+	part := c.builders[0].Seal()
+	for _, b := range c.builders[1:] {
+		if err := part.Merge(b.Seal()); err != nil {
+			return nil, err
+		}
+	}
+	if rep != nil {
+		for d := 0; d < services.NumDirections; d++ {
+			part.TotalBytes[d] = rep.TotalBytes[d]
+			part.ClassifiedBytes[d] = rep.ClassifiedBytes[d]
+		}
+		part.Counters = Counters{
+			DecodeErrors:     rep.DecodeErrors,
+			UnknownTEID:      rep.UnknownTEID,
+			UnknownCell:      rep.UnknownCell,
+			ControlMessages:  rep.ControlMessages,
+			UserPlanePackets: rep.UserPlanePackets,
+		}
+		cellTotals := part.CellTotals()
+		for d := 0; d < services.NumDirections; d++ {
+			got, want := cellTotals[d], rep.ClassifiedBytes[d]
+			if got == want {
+				continue
+			}
+			// Below 2^53 both sums are exact integers, so any
+			// difference is a wiring bug. Beyond it float addition
+			// order starts to matter; tolerate last-bits drift there
+			// rather than blaming the wiring.
+			const exactLimit = float64(1 << 53)
+			if got < exactLimit && want < exactLimit {
+				return nil, fmt.Errorf("rollup: sinks saw %.0f classified %v bytes, report accounts %.0f — sink not attached to every shard?",
+					got, services.Direction(d), want)
+			}
+			if diff := math.Abs(got - want); diff > 1e-9*math.Max(got, want) {
+				return nil, fmt.Errorf("rollup: sinks saw %.0f classified %v bytes, report accounts %.0f (beyond rounding at this volume)",
+					got, services.Direction(d), want)
+			}
+		}
+	}
+	return part, nil
+}

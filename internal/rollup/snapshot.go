@@ -1,0 +1,432 @@
+package rollup
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/geo"
+	"repro/internal/services"
+)
+
+// Snapshot format v1. An 8-byte magic/version header, a payload, and a
+// trailing CRC-32 (IEEE, big-endian) of the payload, so truncation and
+// bit flips are detected, not silently analyzed. All multi-byte
+// integers are unsigned varints unless noted; floats are big-endian
+// IEEE-754 doubles.
+//
+//	magic     "GTPROLL" + version byte 1
+//	payload:
+//	  start        int64 big-endian (ns since Unix epoch, UTC)
+//	  step         uvarint (ns)
+//	  bins         uvarint (≤ MaxBins)
+//	  geo          NumCommunes, NumCities, Population uvarints;
+//	               OperatorShare float64; Seed uint64 big-endian
+//	  counters     DecodeErrors, UnknownTEID, UnknownCell,
+//	               ControlMessages, UserPlanePackets uvarints
+//	               (LateFrames is ingest diagnostics, shard-dependent,
+//	               and deliberately not persisted)
+//	  totals       TotalBytes[DL,UL], ClassifiedBytes[DL,UL] float64 ×4
+//	  services     count uvarint (≤ MaxServices), then per service a
+//	               uvarint length (≤ MaxServiceName) + UTF-8 bytes,
+//	               strictly ascending lexicographically
+//	  epochs       count uvarint (≤ bins+1), then per epoch:
+//	                 bin+1   uvarint (0 = overflow), strictly ascending
+//	                 cells   count uvarint (≤ MaxEpochCells), then per
+//	                         cell dir byte, svc uvarint, commune uvarint,
+//	                         bytes float64; strictly ascending by
+//	                         (dir, svc, commune)
+//	crc32     uint32 big-endian over the payload
+//
+// The encoding is canonical: normalized partials have sorted service
+// tables and cell lists, and the reader enforces the ordering, so one
+// aggregate has exactly one byte representation — equal captures give
+// byte-identical snapshots at any shard count.
+var snapshotMagic = [8]byte{'G', 'T', 'P', 'R', 'O', 'L', 'L', 1}
+
+// Decoder limits: declared sizes are checked against these before any
+// allocation (the capture package's oversize guard discipline).
+const (
+	// MaxBins bounds the epoch grid (the study week at 1-second
+	// resolution is ~600k bins; 1<<24 leaves headroom).
+	MaxBins = 1 << 24
+	// MaxServices bounds the service table.
+	MaxServices = 1 << 16
+	// MaxServiceName bounds one service name's byte length.
+	MaxServiceName = 256
+	// MaxEpochCells bounds the cells of one epoch.
+	MaxEpochCells = 1 << 26
+	// MaxCommunes bounds cell commune ids and the geography config.
+	MaxCommunes = 1 << 24
+	// cellPrealloc caps how much a declared cell count preallocates;
+	// beyond it the decoder grows incrementally, so a lying header
+	// cannot force a huge up-front allocation.
+	cellPrealloc = 1 << 12
+)
+
+// crcWriter tees writes into a running CRC-32.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+// Write persists the partial to w in snapshot format v1.
+func Write(w io.Writer, p *Partial) error {
+	if p.Cfg.Bins < 0 || p.Cfg.Bins > MaxBins {
+		return fmt.Errorf("rollup: cannot snapshot %d bins (limit %d)", p.Cfg.Bins, MaxBins)
+	}
+	if len(p.Services) > MaxServices {
+		return fmt.Errorf("rollup: cannot snapshot %d services (limit %d)", len(p.Services), MaxServices)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("rollup: writing snapshot header: %w", err)
+	}
+	cw := &crcWriter{w: bw}
+	var i64 [8]byte
+	binary.BigEndian.PutUint64(i64[:], uint64(p.Cfg.Start.UnixNano()))
+	if _, err := cw.Write(i64[:]); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(p.Cfg.Step), uint64(p.Cfg.Bins),
+		uint64(p.Cfg.Geo.NumCommunes), uint64(p.Cfg.Geo.NumCities), uint64(p.Cfg.Geo.Population)} {
+		if err := capture.WriteUvarint(cw, v); err != nil {
+			return err
+		}
+	}
+	if err := capture.WriteFloat64(cw, p.Cfg.Geo.OperatorShare); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint64(i64[:], p.Cfg.Geo.Seed)
+	if _, err := cw.Write(i64[:]); err != nil {
+		return err
+	}
+	for _, v := range []int{p.Counters.DecodeErrors, p.Counters.UnknownTEID, p.Counters.UnknownCell,
+		p.Counters.ControlMessages, p.Counters.UserPlanePackets} {
+		if err := capture.WriteUvarint(cw, uint64(v)); err != nil {
+			return err
+		}
+	}
+	for d := 0; d < services.NumDirections; d++ {
+		if err := capture.WriteFloat64(cw, p.TotalBytes[d]); err != nil {
+			return err
+		}
+	}
+	for d := 0; d < services.NumDirections; d++ {
+		if err := capture.WriteFloat64(cw, p.ClassifiedBytes[d]); err != nil {
+			return err
+		}
+	}
+	if err := capture.WriteUvarint(cw, uint64(len(p.Services))); err != nil {
+		return err
+	}
+	for _, name := range p.Services {
+		if len(name) == 0 || len(name) > MaxServiceName {
+			return fmt.Errorf("rollup: service name %q not encodable (1..%d bytes)", name, MaxServiceName)
+		}
+		if err := capture.WriteString(cw, name); err != nil {
+			return err
+		}
+	}
+	if err := capture.WriteUvarint(cw, uint64(len(p.Epochs))); err != nil {
+		return err
+	}
+	for _, ep := range p.Epochs {
+		if ep.Bin < OverflowBin || ep.Bin >= p.Cfg.Bins {
+			return fmt.Errorf("rollup: epoch bin %d outside grid of %d bins", ep.Bin, p.Cfg.Bins)
+		}
+		if err := capture.WriteUvarint(cw, uint64(ep.Bin+1)); err != nil {
+			return err
+		}
+		if len(ep.Cells) > MaxEpochCells {
+			return fmt.Errorf("rollup: epoch %d has %d cells (limit %d)", ep.Bin, len(ep.Cells), MaxEpochCells)
+		}
+		if err := capture.WriteUvarint(cw, uint64(len(ep.Cells))); err != nil {
+			return err
+		}
+		for _, c := range ep.Cells {
+			if _, err := cw.Write([]byte{c.Dir}); err != nil {
+				return err
+			}
+			if err := capture.WriteUvarint(cw, uint64(c.Svc)); err != nil {
+				return err
+			}
+			if err := capture.WriteUvarint(cw, uint64(c.Commune)); err != nil {
+				return err
+			}
+			if err := capture.WriteFloat64(cw, c.Bytes); err != nil {
+				return err
+			}
+		}
+	}
+	binary.BigEndian.PutUint32(i64[:4], cw.crc)
+	if _, err := bw.Write(i64[:4]); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("rollup: flushing snapshot: %w", err)
+	}
+	return nil
+}
+
+// crcReader sums every byte actually consumed (bufio read-ahead must
+// not contaminate the running CRC, so the tee sits above the buffer).
+type crcReader struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.br.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.br.ReadByte()
+	if err == nil {
+		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+// Read decodes one snapshot. Every declared size is bounds-checked
+// before allocation, orderings are enforced (the format is canonical),
+// and the trailing CRC must match: a truncated, bit-flipped or
+// oversize-field stream errors, it never panics or over-allocates.
+func Read(r io.Reader) (*Partial, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if err := capture.ReadFull(br, magic[:], "snapshot header"); err != nil {
+		return nil, fmt.Errorf("rollup: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("rollup: bad snapshot magic %x (want %x)", magic, snapshotMagic)
+	}
+	cr := &crcReader{br: br}
+	p := &Partial{}
+
+	var i64 [8]byte
+	if err := capture.ReadFull(cr, i64[:], "snapshot start time"); err != nil {
+		return nil, err
+	}
+	p.Cfg.Start = time.Unix(0, int64(binary.BigEndian.Uint64(i64[:]))).UTC()
+	step, err := capture.ReadUvarint(cr, uint64(math.MaxInt64), "snapshot step")
+	if err != nil {
+		return nil, err
+	}
+	if step == 0 {
+		return nil, fmt.Errorf("rollup: snapshot declares zero step")
+	}
+	p.Cfg.Step = time.Duration(step)
+	bins, err := capture.ReadUvarint(cr, MaxBins, "snapshot bin count")
+	if err != nil {
+		return nil, err
+	}
+	p.Cfg.Bins = int(bins)
+	if err := readGeoConfig(cr, &p.Cfg.Geo); err != nil {
+		return nil, err
+	}
+	counters := []*int{&p.Counters.DecodeErrors, &p.Counters.UnknownTEID, &p.Counters.UnknownCell,
+		&p.Counters.ControlMessages, &p.Counters.UserPlanePackets}
+	for _, c := range counters {
+		v, err := capture.ReadUvarint(cr, uint64(math.MaxInt64), "snapshot counter")
+		if err != nil {
+			return nil, err
+		}
+		*c = int(v)
+	}
+	for d := 0; d < services.NumDirections; d++ {
+		if p.TotalBytes[d], err = readVolume(cr, "snapshot total bytes"); err != nil {
+			return nil, err
+		}
+	}
+	for d := 0; d < services.NumDirections; d++ {
+		if p.ClassifiedBytes[d], err = readVolume(cr, "snapshot classified bytes"); err != nil {
+			return nil, err
+		}
+	}
+
+	nSvc, err := capture.ReadUvarint(cr, MaxServices, "snapshot service count")
+	if err != nil {
+		return nil, err
+	}
+	p.Services = make([]string, 0, nSvc)
+	for i := uint64(0); i < nSvc; i++ {
+		name, err := capture.ReadStringLimited(cr, MaxServiceName, "snapshot service name")
+		if err != nil {
+			return nil, err
+		}
+		if len(name) == 0 {
+			return nil, fmt.Errorf("rollup: empty service name in snapshot")
+		}
+		if len(p.Services) > 0 && name <= p.Services[len(p.Services)-1] {
+			return nil, fmt.Errorf("rollup: service table not strictly ascending at %q", name)
+		}
+		p.Services = append(p.Services, name)
+	}
+
+	nEpochs, err := capture.ReadUvarint(cr, uint64(p.Cfg.Bins)+1, "snapshot epoch count")
+	if err != nil {
+		return nil, err
+	}
+	p.Epochs = make([]Epoch, 0, min(int(nEpochs), cellPrealloc))
+	prevBin := OverflowBin - 1
+	for e := uint64(0); e < nEpochs; e++ {
+		binPlus1, err := capture.ReadUvarint(cr, uint64(p.Cfg.Bins), "snapshot epoch bin")
+		if err != nil {
+			return nil, err
+		}
+		bin := int(binPlus1) - 1
+		if bin <= prevBin {
+			return nil, fmt.Errorf("rollup: epoch bins not strictly ascending at %d", bin)
+		}
+		prevBin = bin
+		nCells, err := capture.ReadUvarint(cr, MaxEpochCells, "snapshot cell count")
+		if err != nil {
+			return nil, err
+		}
+		ep := Epoch{Bin: bin, Cells: make([]Cell, 0, min(int(nCells), cellPrealloc))}
+		var prev Cell
+		for c := uint64(0); c < nCells; c++ {
+			cell, err := readCell(cr, len(p.Services))
+			if err != nil {
+				return nil, err
+			}
+			if c > 0 && !cellLess(prev, cell) {
+				return nil, fmt.Errorf("rollup: epoch %d cells not strictly ascending", bin)
+			}
+			prev = cell
+			ep.Cells = append(ep.Cells, cell)
+		}
+		p.Epochs = append(p.Epochs, ep)
+	}
+
+	sum := cr.crc
+	if err := capture.ReadFull(br, i64[:4], "snapshot checksum"); err != nil {
+		return nil, err
+	}
+	if got := binary.BigEndian.Uint32(i64[:4]); got != sum {
+		return nil, fmt.Errorf("rollup: snapshot checksum mismatch (stored %08x, computed %08x)", got, sum)
+	}
+	// A snapshot is a whole-stream format: anything after the CRC (a
+	// double Write, a concatenation, a botched transfer) is corruption
+	// and must be flagged, not silently ignored.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("rollup: trailing data after the snapshot checksum")
+	}
+	return p, nil
+}
+
+// readGeoConfig decodes the geography regeneration parameters.
+func readGeoConfig(cr *crcReader, g *geo.Config) error {
+	nc, err := capture.ReadUvarint(cr, MaxCommunes, "snapshot commune count")
+	if err != nil {
+		return err
+	}
+	g.NumCommunes = int(nc)
+	cities, err := capture.ReadUvarint(cr, 1<<16, "snapshot city count")
+	if err != nil {
+		return err
+	}
+	g.NumCities = int(cities)
+	pop, err := capture.ReadUvarint(cr, 1<<40, "snapshot population")
+	if err != nil {
+		return err
+	}
+	g.Population = int(pop)
+	share, err := capture.ReadFloat64(cr, "snapshot operator share")
+	if err != nil {
+		return err
+	}
+	if math.IsNaN(share) || share < 0 || share > 1 {
+		return fmt.Errorf("rollup: snapshot operator share %v outside [0, 1]", share)
+	}
+	g.OperatorShare = share
+	var i64 [8]byte
+	if err := capture.ReadFull(cr, i64[:], "snapshot geo seed"); err != nil {
+		return err
+	}
+	g.Seed = binary.BigEndian.Uint64(i64[:])
+	return nil
+}
+
+// readVolume reads a float64 that must be a finite, non-negative byte
+// volume — a cheap sanity gate in front of the CRC.
+func readVolume(cr *crcReader, what string) (float64, error) {
+	v, err := capture.ReadFloat64(cr, what)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("rollup: %s %v is not a byte volume", what, v)
+	}
+	return v, nil
+}
+
+// readCell decodes one cell, validating every field against the
+// snapshot's own tables.
+func readCell(cr *crcReader, numServices int) (Cell, error) {
+	var c Cell
+	dir, err := cr.ReadByte()
+	if err != nil {
+		return c, fmt.Errorf("rollup: truncated cell direction: %w", err)
+	}
+	if int(dir) >= services.NumDirections {
+		return c, fmt.Errorf("rollup: cell direction %d out of range", dir)
+	}
+	c.Dir = dir
+	svc, err := capture.ReadUvarint(cr, uint64(numServices), "cell service id")
+	if err != nil {
+		return c, err
+	}
+	if int(svc) >= numServices {
+		return c, fmt.Errorf("rollup: cell service id %d outside table of %d", svc, numServices)
+	}
+	c.Svc = uint32(svc)
+	commune, err := capture.ReadUvarint(cr, MaxCommunes, "cell commune id")
+	if err != nil {
+		return c, err
+	}
+	c.Commune = int32(commune)
+	c.Bytes, err = readVolume(cr, "cell bytes")
+	return c, err
+}
+
+// WriteFile persists the partial to path, creating or truncating it.
+func WriteFile(path string, p *Partial) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a snapshot from path.
+func ReadFile(path string) (*Partial, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

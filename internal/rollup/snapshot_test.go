@@ -1,0 +1,192 @@
+package rollup
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/geo"
+	"repro/internal/probe"
+	"repro/internal/services"
+	"repro/internal/timeseries"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenPartial is a small handcrafted partial covering every format
+// feature: overflow epoch, several services, both directions, counters
+// and totals.
+func goldenPartial() *Partial {
+	cfg := Config{
+		Start: timeseries.StudyStart,
+		Step:  15 * time.Minute,
+		Bins:  4,
+		Geo:   geo.Config{NumCommunes: 400, NumCities: 6, Population: 10_000_000, OperatorShare: 0.47, Seed: 1},
+	}
+	b := NewBuilder(cfg)
+	at := func(bin int) time.Time { return cfg.Start.Add(time.Duration(bin) * cfg.Step) }
+	b.Observe(probe.Observation{At: at(0), Dir: services.DL, Service: "YouTube", Commune: 3, Bytes: 1400})
+	b.Observe(probe.Observation{At: at(0), Dir: services.UL, Service: "YouTube", Commune: 3, Bytes: 52})
+	b.Observe(probe.Observation{At: at(2), Dir: services.DL, Service: "Facebook", Commune: 19, Bytes: 800})
+	b.Observe(probe.Observation{At: at(0).Add(-time.Hour), Dir: services.DL, Service: "iCloud", Commune: 7, Bytes: 99})
+	p := b.Seal()
+	p.TotalBytes = [services.NumDirections]float64{2500, 60}
+	p.ClassifiedBytes = [services.NumDirections]float64{2299, 52}
+	p.Counters = Counters{DecodeErrors: 1, UnknownTEID: 2, UnknownCell: 3, ControlMessages: 4, UserPlanePackets: 5}
+	return p
+}
+
+// TestSnapshotRoundTrip writes a partial and reads it back untouched.
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := goldenPartial()
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lateness and LateFrames are ingest diagnostics, not data; they
+	// are not persisted.
+	p.Cfg.Lateness = 0
+	p.LateFrames = 0
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mutated the partial:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+// TestSnapshotGolden pins the on-disk format: the encoding is
+// canonical, so the golden bytes must never change without a version
+// bump.
+func TestSnapshotGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, goldenPartial()); err != nil {
+		t.Fatal(err)
+	}
+	got := hex.EncodeToString(buf.Bytes())
+	path := filepath.Join("testdata", "snapshot_v1.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(want)) != got {
+		t.Fatalf("snapshot bytes diverge from the v1 golden (format drift needs a version bump)\n got %s\nwant %s",
+			got, strings.TrimSpace(string(want)))
+	}
+}
+
+// TestSnapshotFileRoundTrip exercises the WriteFile/ReadFile pair.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	p := goldenPartial()
+	path := filepath.Join(t.TempDir(), "x.roll")
+	if err := WriteFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Cfg.Lateness = 0
+	p.LateFrames = 0
+	if !reflect.DeepEqual(got, p) {
+		t.Fatal("file round trip mutated the partial")
+	}
+}
+
+// TestSnapshotTruncation cuts the snapshot at every byte boundary; the
+// reader must error (never panic, never succeed) on each prefix.
+func TestSnapshotTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, goldenPartial()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := Read(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", n, len(full))
+		}
+	}
+}
+
+// TestSnapshotBitFlips flips each byte once; the CRC (or a structural
+// guard before it) must reject every corruption.
+func TestSnapshotBitFlips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, goldenPartial()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := range full {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x40
+		if _, err := Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at byte %d decoded cleanly", i)
+		}
+	}
+}
+
+// TestSnapshotOversizeFields checks both guard directions: the writer
+// refuses over-limit partials, and the reader's limit fires on a
+// stream whose CRC is valid but whose declared service count lies —
+// before anything gets allocated for it.
+func TestSnapshotOversizeFields(t *testing.T) {
+	huge := goldenPartial()
+	huge.Cfg.Bins = MaxBins + 1
+	if err := Write(io.Discard, huge); err == nil {
+		t.Fatal("writer accepted an over-limit bin count")
+	}
+
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	bw.Write(snapshotMagic[:])
+	cw := &crcWriter{w: bw}
+	var b8 [8]byte
+	binary.BigEndian.PutUint64(b8[:], uint64(timeseries.StudyStart.UnixNano()))
+	cw.Write(b8[:])
+	for _, v := range []uint64{uint64(15 * time.Minute), 4, 400, 6, 10_000_000} {
+		capture.WriteUvarint(cw, v)
+	}
+	capture.WriteFloat64(cw, 0.47)
+	binary.BigEndian.PutUint64(b8[:], 1)
+	cw.Write(b8[:])
+	for i := 0; i < 5; i++ {
+		capture.WriteUvarint(cw, 0)
+	}
+	for i := 0; i < 2*services.NumDirections; i++ {
+		capture.WriteFloat64(cw, 0)
+	}
+	capture.WriteUvarint(cw, MaxServices+1) // lying service count
+	binary.BigEndian.PutUint32(b8[:4], cw.crc)
+	bw.Write(b8[:4])
+	bw.Flush()
+	_, err := Read(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversize service count: want a limit error, got %v", err)
+	}
+}
+
+// TestSnapshotBadMagic rejects foreign files outright.
+func TestSnapshotBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("GTPCAP\x00\x01notasnapshot"))); err == nil {
+		t.Fatal("trace magic accepted as a snapshot")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

@@ -24,6 +24,7 @@
 //	internal/geo          spatial substrate
 //	internal/services     20-service calibrated catalogue
 //	internal/capture      streaming frame transport + binary trace format
+//	internal/rollup       epoch-sealed rollup store: online aggregation, snapshots, Open → Dataset
 //	internal/pkt,gtpsim,
 //	internal/dpi,probe    packet-level measurement pipeline (TEID-sharded)
 //	internal/dsp,mat,
