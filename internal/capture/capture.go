@@ -27,13 +27,37 @@ type Frame struct {
 //
 // Next returns the next frame in capture order and io.EOF after the
 // last one (any other error means the stream broke mid-capture, e.g. a
-// truncated trace file). Implementations hand off ownership of the
-// returned Data: it must remain valid after subsequent Next calls, so
-// consumers may retain or process frames asynchronously without
-// copying. Sources are single-use and not safe for concurrent Next
+// truncated trace file).
+//
+// Ownership: the returned Frame's Data is only guaranteed valid until
+// the next Next call — sources may (and the hot ones do) serialize
+// into reused scratch buffers. A consumer that retains a frame or
+// processes it asynchronously must copy Data first; in the probe
+// pipeline the router is the single place that copies, into pooled
+// batch arenas. Sources whose frames are immortal (materialized
+// slices) can advertise it via StableSource so consumers skip the
+// copy. Sources are single-use and not safe for concurrent Next
 // calls; fan-out is the consumer's job (see probe.Pipeline).
 type Source interface {
 	Next() (Frame, error)
+}
+
+// StableSource is implemented by sources whose frames' Data stays
+// valid for the life of the source — there is no buffer reuse to
+// defend against, so consumers may alias instead of copying.
+type StableSource interface {
+	Source
+	// StableData reports whether every returned Frame.Data remains
+	// valid after subsequent Next calls.
+	StableData() bool
+}
+
+// IsStable reports whether src guarantees immortal frame data — the
+// one probe every copying consumer should use to decide whether the
+// defensive copy is needed.
+func IsStable(src Source) bool {
+	ss, ok := src.(StableSource)
+	return ok && ss.StableData()
 }
 
 // SliceSource streams a materialized frame slice. It is the adapter
@@ -60,10 +84,17 @@ func (s *SliceSource) Next() (Frame, error) {
 	return f, nil
 }
 
+// StableData implements StableSource: slice frames are materialized,
+// never reused, so consumers may alias them without copying.
+func (s *SliceSource) StableData() bool { return true }
+
 // Collect drains src into a slice — the materializing wrapper for
 // consumers that genuinely need the whole capture at once (tests,
-// sorting). It defeats the purpose of streaming for anything large.
+// sorting). Frame data is copied out of unstable sources (the Source
+// ownership contract), so the result owns every byte. It defeats the
+// purpose of streaming for anything large.
 func Collect(src Source) ([]Frame, error) {
+	stable := IsStable(src)
 	var frames []Frame
 	for {
 		f, err := src.Next()
@@ -72,6 +103,9 @@ func Collect(src Source) ([]Frame, error) {
 		}
 		if err != nil {
 			return frames, err
+		}
+		if !stable {
+			f.Data = append([]byte(nil), f.Data...)
 		}
 		frames = append(frames, f)
 	}

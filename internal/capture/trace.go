@@ -78,9 +78,13 @@ func Copy(tw *Writer, src Source) (int, error) {
 	}
 }
 
-// Reader replays a binary trace as a Source.
+// Reader replays a binary trace as a Source. Records decode into one
+// reused buffer (the Source ownership contract: a frame's Data is
+// valid only until the next call), so replay allocates nothing per
+// frame in steady state.
 type Reader struct {
 	r   *bufio.Reader
+	buf []byte
 	err error
 }
 
@@ -98,10 +102,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: br}, nil
 }
 
-// Next implements Source. Every frame's Data is freshly allocated, so
-// frames remain valid after subsequent calls (the Source ownership
-// contract). A trace that ends mid-record returns a truncation error
-// rather than io.EOF.
+// Next implements Source. The returned Data aliases the reader's
+// reused decode buffer and is valid only until the next call (the
+// Source ownership contract); consumers that retain frames must copy.
+// A trace that ends mid-record returns a truncation error rather than
+// io.EOF.
 func (tr *Reader) Next() (Frame, error) {
 	if tr.err != nil {
 		return Frame{}, tr.err
@@ -121,7 +126,10 @@ func (tr *Reader) Next() (Frame, error) {
 		tr.err = err
 		return Frame{}, tr.err
 	}
-	data := make([]byte, length)
+	if uint32(cap(tr.buf)) < length {
+		tr.buf = make([]byte, length)
+	}
+	data := tr.buf[:length]
 	if err := ReadFull(tr.r, data, "trace record body"); err != nil {
 		tr.err = err
 		return Frame{}, tr.err

@@ -46,57 +46,86 @@ var UnknownPrefix = [2]byte{198, 51}
 // MMSPort is the legacy MMSC port classified by the port heuristic.
 const MMSPort = 8190
 
-// Classifier matches flows to service names.
+// Classifier matches flows to services. Matches are reported as dense
+// services.ID values from the classifier's interning table (the
+// canonical ID namespace of a measurement run), so the probe's hot
+// path never touches a string; the interned name rides along in the
+// Result for the export boundary.
 type Classifier struct {
-	bySuffix map[string]string
-	byPrefix map[[2]byte]string
-	byPort   map[uint16]string
+	names    *services.Names
+	bySuffix map[string]services.ID
+	byPrefix map[[2]byte]services.ID
+	byPort   map[uint16]services.ID
 }
 
 // NewClassifier builds the fingerprint tables for the given catalogue.
+// IDs are assigned in catalogue order.
 func NewClassifier(catalog []services.Service) *Classifier {
 	c := &Classifier{
-		bySuffix: make(map[string]string, len(catalog)),
-		byPrefix: make(map[[2]byte]string, len(catalog)),
-		byPort:   map[uint16]string{},
+		names:    services.NamesOf(catalog),
+		bySuffix: make(map[string]services.ID, len(catalog)),
+		byPrefix: make(map[[2]byte]services.ID, len(catalog)),
+		byPort:   map[uint16]services.ID{},
 	}
 	for i := range catalog {
+		id := services.ID(i)
 		name := catalog[i].Name
-		c.bySuffix[ServiceHost(name)] = name
-		c.byPrefix[PrefixFor(i)] = name
+		c.bySuffix[ServiceHost(name)] = id
+		c.byPrefix[PrefixFor(i)] = id
 		if name == "MMS" {
-			c.byPort[MMSPort] = name
+			c.byPort[MMSPort] = id
 		}
 	}
 	return c
 }
 
+// Names returns the classifier's interning table: the ID namespace
+// every Result.ID indexes. Shared read-only with the probes.
+func (c *Classifier) Names() *services.Names { return c.names }
+
 // Result is a classification outcome.
 type Result struct {
+	// ID is the matched service in the classifier's ID namespace, or
+	// services.NoID when unclassified. The hot path keys on this.
+	ID services.ID
+	// Service is the interned service name ("" when unclassified).
 	Service string
 	// Stage records which fingerprint matched: "sni", "ip", "port" or
 	// "" when unclassified.
 	Stage string
 }
 
+func (c *Classifier) result(id services.ID, stage string) Result {
+	return Result{ID: id, Service: c.names.Name(id), Stage: stage}
+}
+
 // Classify inspects one subscriber packet: the inner IP header, the
 // server-side port, and the transport payload of the first packets of
 // the flow (empty for pure ACKs). serverIP is the non-UE endpoint.
 func (c *Classifier) Classify(serverIP [4]byte, serverPort uint16, payload []byte) Result {
-	if host, ok := ParseClientHelloSNI(payload); ok {
-		for suffix, svc := range c.bySuffix {
-			if host == suffix || strings.HasSuffix(host, "."+suffix) {
-				return Result{Service: svc, Stage: "sni"}
+	if host, ok := clientHelloSNI(payload); ok {
+		// Exact hostname first, then every dot-delimited parent suffix:
+		// O(labels) map lookups instead of a walk over the whole table.
+		// The host stays a byte view of the payload — the string
+		// conversions below compile to allocation-free map probes.
+		if id, ok := c.bySuffix[string(host)]; ok {
+			return c.result(id, "sni")
+		}
+		for i := 0; i < len(host); i++ {
+			if host[i] == '.' {
+				if id, ok := c.bySuffix[string(host[i+1:])]; ok {
+					return c.result(id, "sni")
+				}
 			}
 		}
 	}
-	if svc, ok := c.byPrefix[[2]byte{serverIP[0], serverIP[1]}]; ok {
-		return Result{Service: svc, Stage: "ip"}
+	if id, ok := c.byPrefix[[2]byte{serverIP[0], serverIP[1]}]; ok {
+		return c.result(id, "ip")
 	}
-	if svc, ok := c.byPort[serverPort]; ok {
-		return Result{Service: svc, Stage: "port"}
+	if id, ok := c.byPort[serverPort]; ok {
+		return c.result(id, "port")
 	}
-	return Result{}
+	return Result{ID: services.NoID}
 }
 
 // tlsContentTypeHandshake et al. describe the minimal TLS framing the
@@ -155,69 +184,79 @@ func BuildClientHello(host string) []byte {
 // record, returning ok=false for anything that is not a well-formed
 // ClientHello with a server_name extension.
 func ParseClientHelloSNI(data []byte) (string, bool) {
-	if len(data) < 5 || data[0] != tlsContentTypeHandshake {
+	host, ok := clientHelloSNI(data)
+	if !ok {
 		return "", false
+	}
+	return string(host), true
+}
+
+// clientHelloSNI is the allocation-free core of ParseClientHelloSNI:
+// the returned hostname aliases data.
+func clientHelloSNI(data []byte) ([]byte, bool) {
+	if len(data) < 5 || data[0] != tlsContentTypeHandshake {
+		return nil, false
 	}
 	recLen := int(data[3])<<8 | int(data[4])
 	if len(data) < 5+recLen {
-		return "", false
+		return nil, false
 	}
 	hs := data[5 : 5+recLen]
 	if len(hs) < 4 || hs[0] != tlsHandshakeClientHello {
-		return "", false
+		return nil, false
 	}
 	bodyLen := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
 	if len(hs) < 4+bodyLen {
-		return "", false
+		return nil, false
 	}
 	body := hs[4 : 4+bodyLen]
 	// version(2) + random(32)
 	if len(body) < 35 {
-		return "", false
+		return nil, false
 	}
 	pos := 34
 	// session id
 	sidLen := int(body[pos])
 	pos += 1 + sidLen
 	if len(body) < pos+2 {
-		return "", false
+		return nil, false
 	}
 	csLen := int(body[pos])<<8 | int(body[pos+1])
 	pos += 2 + csLen
 	if len(body) < pos+1 {
-		return "", false
+		return nil, false
 	}
 	compLen := int(body[pos])
 	pos += 1 + compLen
 	if len(body) < pos+2 {
-		return "", false
+		return nil, false
 	}
 	extLen := int(body[pos])<<8 | int(body[pos+1])
 	pos += 2
 	if len(body) < pos+extLen {
-		return "", false
+		return nil, false
 	}
 	exts := body[pos : pos+extLen]
 	for len(exts) >= 4 {
 		typ := int(exts[0])<<8 | int(exts[1])
 		l := int(exts[2])<<8 | int(exts[3])
 		if len(exts) < 4+l {
-			return "", false
+			return nil, false
 		}
 		bodyExt := exts[4 : 4+l]
 		if typ == tlsExtServerName {
 			if len(bodyExt) < 5 {
-				return "", false
+				return nil, false
 			}
 			nameLen := int(bodyExt[3])<<8 | int(bodyExt[4])
 			if len(bodyExt) < 5+nameLen {
-				return "", false
+				return nil, false
 			}
-			return string(bodyExt[5 : 5+nameLen]), true
+			return bodyExt[5 : 5+nameLen], true
 		}
 		exts = exts[4+l:]
 	}
-	return "", false
+	return nil, false
 }
 
 // FlowCache remembers per-flow classifications so only the first

@@ -112,7 +112,38 @@ type Simulator struct {
 	profCumul  [][]float64 // per-service cumulative profile for start times
 	ulOverDL   []float64   // per-service UL/DL byte ratio
 	seqCounter uint32
+
+	// Per-session serialization state, reused across sessions so the
+	// steady-state frame path allocates nothing: frames serialize into
+	// one arena per session (invalidated when the next session starts —
+	// the capture.Source ownership contract), with fixed scratch
+	// buffers for the intermediate layers and a cache of the
+	// deterministic per-service ClientHello bytes.
+	arena    []byte
+	refs     []frameRef
+	frames   []Frame
+	bufTCP   []byte
+	bufInner []byte
+	bufGTP   []byte
+	bufSeg   []byte
+	hellos   [][]byte
 }
+
+// frameRef records one frame's timestamp and its byte range in the
+// session arena; Data slices are materialized only once the arena has
+// reached its final size, so arena growth can never dangle them.
+type frameRef struct {
+	at         time.Time
+	start, end int
+}
+
+// zeroPayload backs every synthetic data segment: payload content is
+// zeros, so all emits share one read-only buffer.
+var zeroPayload [2048]byte
+
+// unclassifiableHello is the opaque, SNI-free handshake opener of
+// unfingerprinted sessions. Read-only.
+var unclassifiableHello = []byte{0x16, 0x03, 0x01, 0x00, 0x02, 0xff, 0xff}
 
 // New builds a simulator over the given country and catalogue.
 func New(country *geo.Country, catalog []services.Service, cfg Config) (*Simulator, error) {
@@ -197,6 +228,12 @@ func (s *Simulator) Run() ([]Frame, *Stats) {
 // the data frames it splits) is preserved, which is all the probe's
 // attribution state depends on.
 //
+// Frame data is serialized into a per-session arena that is reused by
+// the next session: per the capture.Source ownership contract, a
+// frame's Data is valid only until Next generates the following
+// session. Consumers that retain frames (capture.Collect, the
+// pipeline router) copy.
+//
 // A Simulator is single-use: Run and Stream consume the same
 // underlying random stream, so create a fresh Simulator per run.
 func (s *Simulator) Stream() *Stream {
@@ -242,8 +279,13 @@ func (st *Stream) Next() (Frame, error) {
 // totals are complete once Next has returned io.EOF.
 func (st *Stream) Stats() *Stats { return st.stats }
 
-// session generates one full session lifecycle.
+// session generates one full session lifecycle. The returned slice
+// and the frame data it references are owned by the simulator and
+// reused by the next session call.
 func (s *Simulator) session(stats *Stats) []Frame {
+	s.arena = s.arena[:0]
+	s.refs = s.refs[:0]
+
 	communeIdx := s.drawIndex(s.comCumul)
 	commune := &s.Country.Communes[communeIdx]
 	svcIdx := s.drawIndex(s.svcCumul)
@@ -278,9 +320,8 @@ func (s *Simulator) session(stats *Stats) []Frame {
 	ueIP := s.ueIP()
 	serverIP := s.serverIP(svcIdx, unclassifiable)
 
-	var frames []Frame
 	uli := pkt.ULI{AreaCode: cell.AreaCode, CellID: cell.ID}
-	frames = append(frames, s.controlFrames(start, is4G, false, ctrlTEID, dataTEID, subID, uli)...)
+	s.controlFrames(start, is4G, false, ctrlTEID, dataTEID, subID, uli)
 
 	// Traffic: DL-heavy with the per-service UL/DL ratio.
 	dlBytes := s.cfg.MeanSessionKB * 1024 * math.Exp(s.rng.NormFloat64()*0.8-0.32)
@@ -302,22 +343,30 @@ func (s *Simulator) session(stats *Stats) []Frame {
 		stats.Handovers++
 	}
 
-	frames = append(frames, s.dataFrames(start, sessionLife, svcIdx, unclassifiable,
-		dataTEID, ueIP, serverIP, dlBytes, ulBytes)...)
+	s.dataFrames(start, sessionLife, svcIdx, unclassifiable,
+		dataTEID, ueIP, serverIP, dlBytes, ulBytes)
 
 	if !handoverAt.IsZero() {
 		// Move to another cell ~5 km away; may cross commune borders.
 		newPos := geo.Point{X: truePos.X + 5, Y: truePos.Y}
 		newCell := s.Cells.Nearest(newPos)
-		frames = append(frames, s.controlFrames(handoverAt, is4G, true, ctrlTEID, dataTEID, subID,
-			pkt.ULI{AreaCode: newCell.AreaCode, CellID: newCell.ID})...)
+		s.controlFrames(handoverAt, is4G, true, ctrlTEID, dataTEID, subID,
+			pkt.ULI{AreaCode: newCell.AreaCode, CellID: newCell.ID})
 	}
 
-	frames = append(frames, s.deleteFrames(start.Add(sessionLife), is4G, ctrlTEID)...)
+	s.deleteFrames(start.Add(sessionLife), is4G, ctrlTEID)
+
+	// Materialize the Frame views only now, once the arena has its
+	// final backing array.
+	s.frames = s.frames[:0]
+	for _, ref := range s.refs {
+		s.frames = append(s.frames, Frame{Time: ref.at, Data: s.arena[ref.start:ref.end:ref.end]})
+	}
 	// Emit the session's frames in observation order. Stable, so a data
 	// frame and a handover update landing on the same instant keep
 	// their causal order, and streaming consumers see exactly the
 	// per-tunnel sequence the materialized (globally sorted) path sees.
+	frames := s.frames
 	sort.SliceStable(frames, func(a, b int) bool { return frames[a].Time.Before(frames[b].Time) })
 	return frames
 }
@@ -337,9 +386,8 @@ func (s *Simulator) serverIP(svcIdx int, unclassifiable bool) [4]byte {
 }
 
 // controlFrames emits a Create (or Modify/Update, when modify is true)
-// exchange carrying the ULI.
-func (s *Simulator) controlFrames(at time.Time, is4G, modify bool, ctrlTEID, dataTEID uint32, subID uint64, uli pkt.ULI) []Frame {
-	var req, resp []byte
+// exchange carrying the ULI into the session arena.
+func (s *Simulator) controlFrames(at time.Time, is4G, modify bool, ctrlTEID, dataTEID uint32, subID uint64, uli pkt.ULI) {
 	if is4G {
 		m := &pkt.GTPv2C{
 			MessageType: pkt.GTPv2MsgCreateSessionRequest,
@@ -351,9 +399,11 @@ func (s *Simulator) controlFrames(at time.Time, is4G, modify bool, ctrlTEID, dat
 		if modify {
 			m.MessageType = pkt.GTPv2MsgModifyBearerRequest
 		}
-		req = m.SerializeTo(nil, nil)
+		s.bufGTP = m.SerializeTo(s.bufGTP[:0], nil)
+		s.wrap(at, AccessGW, CoreGW, pkt.PortGTPC, s.bufGTP)
 		r := &pkt.GTPv2C{MessageType: m.MessageType + 1, TEID: ctrlTEID, Sequence: m.Sequence}
-		resp = r.SerializeTo(nil, nil)
+		s.bufGTP = r.SerializeTo(s.bufGTP[:0], nil)
+		s.wrap(at.Add(20*time.Millisecond), CoreGW, AccessGW, pkt.PortGTPC, s.bufGTP)
 	} else {
 		m := &pkt.GTPv1C{
 			MessageType: pkt.GTPv1MsgCreatePDPRequest,
@@ -365,33 +415,42 @@ func (s *Simulator) controlFrames(at time.Time, is4G, modify bool, ctrlTEID, dat
 		if modify {
 			m.MessageType = pkt.GTPv1MsgUpdatePDPRequest
 		}
-		req = m.SerializeTo(nil, nil)
+		s.bufGTP = m.SerializeTo(s.bufGTP[:0], nil)
+		s.wrap(at, AccessGW, CoreGW, pkt.PortGTPC, s.bufGTP)
 		r := &pkt.GTPv1C{MessageType: m.MessageType + 1, TEID: ctrlTEID, Sequence: m.Sequence}
-		resp = r.SerializeTo(nil, nil)
-	}
-	return []Frame{
-		{Time: at, Data: s.wrap(AccessGW, CoreGW, pkt.PortGTPC, req)},
-		{Time: at.Add(20 * time.Millisecond), Data: s.wrap(CoreGW, AccessGW, pkt.PortGTPC, resp)},
+		s.bufGTP = r.SerializeTo(s.bufGTP[:0], nil)
+		s.wrap(at.Add(20*time.Millisecond), CoreGW, AccessGW, pkt.PortGTPC, s.bufGTP)
 	}
 }
 
-func (s *Simulator) deleteFrames(at time.Time, is4G bool, ctrlTEID uint32) []Frame {
-	var req []byte
+func (s *Simulator) deleteFrames(at time.Time, is4G bool, ctrlTEID uint32) {
 	if is4G {
 		m := &pkt.GTPv2C{MessageType: pkt.GTPv2MsgDeleteSessionRequest, TEID: ctrlTEID, Sequence: s.seq()}
-		req = m.SerializeTo(nil, nil)
+		s.bufGTP = m.SerializeTo(s.bufGTP[:0], nil)
 	} else {
 		m := &pkt.GTPv1C{MessageType: pkt.GTPv1MsgDeletePDPRequest, TEID: ctrlTEID, Sequence: uint16(s.seq())}
-		req = m.SerializeTo(nil, nil)
+		s.bufGTP = m.SerializeTo(s.bufGTP[:0], nil)
 	}
-	return []Frame{{Time: at, Data: s.wrap(AccessGW, CoreGW, pkt.PortGTPC, req)}}
+	s.wrap(at, AccessGW, CoreGW, pkt.PortGTPC, s.bufGTP)
 }
 
-// dataFrames emits the tunnelled user traffic of a session. The first
-// uplink packet carries the TLS ClientHello with the service SNI
-// (except for unclassifiable sessions).
+// helloFor returns the (deterministic) TLS ClientHello bytes of a
+// catalogue service, built once and cached. Read-only for callers.
+func (s *Simulator) helloFor(svcIdx int) []byte {
+	if s.hellos == nil {
+		s.hellos = make([][]byte, len(s.Catalog))
+	}
+	if s.hellos[svcIdx] == nil {
+		s.hellos[svcIdx] = dpi.BuildClientHello(dpi.ServiceHost(s.Catalog[svcIdx].Name))
+	}
+	return s.hellos[svcIdx]
+}
+
+// dataFrames emits the tunnelled user traffic of a session into the
+// session arena. The first uplink packet carries the TLS ClientHello
+// with the service SNI (except for unclassifiable sessions).
 func (s *Simulator) dataFrames(start time.Time, life time.Duration, svcIdx int, unclassifiable bool,
-	dataTEID uint32, ueIP, serverIP [4]byte, dlBytes, ulBytes float64) []Frame {
+	dataTEID uint32, ueIP, serverIP [4]byte, dlBytes, ulBytes float64) {
 
 	const mss = 1340
 	uePort := uint16(40000 + s.rng.IntN(20000))
@@ -400,27 +459,25 @@ func (s *Simulator) dataFrames(start time.Time, life time.Duration, svcIdx int, 
 		serverPort = dpi.MMSPort
 	}
 
-	var frames []Frame
 	emit := func(at time.Time, srcIP, dstIP [4]byte, srcPort, dstPort uint16, payload []byte, uplink bool) {
 		tcp := &pkt.TCP{SrcPort: srcPort, DstPort: dstPort, Flags: pkt.TCPAck, Window: 65535}
 		tcp.SetChecksumIPs(srcIP, dstIP)
-		seg := tcp.SerializeTo(nil, payload)
-		inner := (&pkt.IPv4{TTL: 60, Protocol: pkt.IPProtoTCP, SrcIP: srcIP, DstIP: dstIP}).SerializeTo(nil, seg)
+		s.bufTCP = tcp.SerializeTo(s.bufTCP[:0], payload)
+		inner := &pkt.IPv4{TTL: 60, Protocol: pkt.IPProtoTCP, SrcIP: srcIP, DstIP: dstIP}
+		s.bufInner = inner.SerializeTo(s.bufInner[:0], s.bufTCP)
 		gtpu := &pkt.GTPv1U{MessageType: pkt.GTPMsgGPDU, TEID: dataTEID}
-		tun := gtpu.SerializeTo(nil, inner)
+		s.bufGTP = gtpu.SerializeTo(s.bufGTP[:0], s.bufInner)
 		outerSrc, outerDst := AccessGW, CoreGW
 		if !uplink {
 			outerSrc, outerDst = CoreGW, AccessGW
 		}
-		frames = append(frames, Frame{Time: at, Data: s.wrap(outerSrc, outerDst, pkt.PortGTPU, tun)})
+		s.wrap(at, outerSrc, outerDst, pkt.PortGTPU, s.bufGTP)
 	}
 
 	// First uplink packet: the TLS handshake opener.
-	var hello []byte
-	if unclassifiable {
-		hello = []byte{0x16, 0x03, 0x01, 0x00, 0x02, 0xff, 0xff} // opaque, SNI-free
-	} else {
-		hello = dpi.BuildClientHello(dpi.ServiceHost(s.Catalog[svcIdx].Name))
+	hello := unclassifiableHello
+	if !unclassifiable {
+		hello = s.helloFor(svcIdx)
 	}
 	emit(start.Add(50*time.Millisecond), ueIP, serverIP, uePort, serverPort, hello, true)
 
@@ -434,7 +491,7 @@ func (s *Simulator) dataFrames(start time.Time, life time.Duration, svcIdx int, 
 			break
 		}
 		at := start.Add(time.Duration(float64(life) * float64(i+1) / float64(nDL+1)))
-		emit(at, serverIP, ueIP, serverPort, uePort, make([]byte, size), false)
+		emit(at, serverIP, ueIP, serverPort, uePort, zeroPayload[:size], false)
 	}
 	// Uplink data rides in full segments (posts, uploads, ACK piggyback
 	// is ignored): one packet per MSS, so small uplink volumes become a
@@ -447,16 +504,19 @@ func (s *Simulator) dataFrames(start time.Time, life time.Duration, svcIdx int, 
 			size = ulRemaining
 		}
 		at := start.Add(time.Duration(float64(life) * float64(i+1) / float64(nUL+1))).Add(3 * time.Millisecond)
-		emit(at, ueIP, serverIP, uePort, serverPort, make([]byte, size), true)
+		emit(at, ueIP, serverIP, uePort, serverPort, zeroPayload[:size], true)
 		ulRemaining -= size
 	}
-	return frames
 }
 
-// wrap encapsulates a GTP message in UDP/IP between the gateways.
-func (s *Simulator) wrap(src, dst [4]byte, dstPort uint16, gtp []byte) []byte {
+// wrap encapsulates a GTP message in UDP/IP between the gateways,
+// serializing the outer layers straight into the session arena and
+// recording the frame's byte range.
+func (s *Simulator) wrap(at time.Time, src, dst [4]byte, dstPort uint16, gtp []byte) {
 	udp := &pkt.UDP{SrcPort: uint16(32000 + s.rng.IntN(1000)), DstPort: dstPort}
-	seg := udp.SerializeTo(nil, gtp)
+	s.bufSeg = udp.SerializeTo(s.bufSeg[:0], gtp)
 	ip := &pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoUDP, SrcIP: src, DstIP: dst}
-	return ip.SerializeTo(nil, seg)
+	start := len(s.arena)
+	s.arena = ip.SerializeTo(s.arena, s.bufSeg)
+	s.refs = append(s.refs, frameRef{at: at, start: start, end: len(s.arena)})
 }

@@ -55,7 +55,7 @@ func FromProbe(rep *probe.Report, country *geo.Country, catalog []services.Servi
 	}
 	var kept []services.Service
 	for _, svc := range catalog {
-		if rep.SvcBytes[services.DL][svc.Name] > 0 || rep.SvcBytes[services.UL][svc.Name] > 0 {
+		if rep.BytesOf(services.DL, svc.Name) > 0 || rep.BytesOf(services.UL, svc.Name) > 0 {
 			kept = append(kept, svc)
 		}
 	}
@@ -77,7 +77,7 @@ func FromProbe(rep *probe.Report, country *geo.Country, catalog []services.Servi
 			// zeroed week when the direction carried nothing. The
 			// report's binning must agree with the requested step, or
 			// the dataset would mix time resolutions.
-			if meas := rep.SvcSeries[dir][svc.Name]; meas != nil {
+			if meas := rep.SeriesOf(dir, svc.Name); meas != nil {
 				if meas.Step != step || !meas.Start.Equal(timeseries.StudyStart) {
 					return nil, fmt.Errorf("measured: report bins %s at %v from %v, want %v from %v — pass the probe's configured step",
 						svc.Name, meas.Step, meas.Start, step, timeseries.StudyStart)
@@ -86,13 +86,12 @@ func FromProbe(rep *probe.Report, country *geo.Country, catalog []services.Servi
 			} else {
 				d.national[dir][s] = timeseries.New(timeseries.StudyStart, step, bins)
 			}
-			// Spatial vector from the per-commune accounting.
+			// Spatial vector from the dense per-commune accounting (the
+			// report's commune space matches the geography on every
+			// sane wiring; copy defensively and size to the country).
 			spatial := make([]float64, nCommunes)
-			for commune, v := range rep.SvcCommuneBytes[dir][svc.Name] {
-				if commune >= 0 && commune < nCommunes {
-					spatial[commune] += v
-				}
-			}
+			per := rep.CommuneBytesOf(dir, svc.Name)
+			copy(spatial, per)
 			d.spatial[dir][s] = spatial
 			d.group[dir][s] = groupSeriesFor(rep, dir, svc.Name, d.national[dir][s], spatial, country)
 		}
@@ -110,7 +109,7 @@ func groupSeriesFor(rep *probe.Report, dir services.Direction, name string,
 	national *timeseries.Series, spatial []float64, country *geo.Country) [geo.NumUrbanization]*timeseries.Series {
 
 	var out [geo.NumUrbanization]*timeseries.Series
-	if cls := rep.SvcClassSeries[dir][name]; cls != nil {
+	if cls := rep.ClassSeriesOf(dir, name); cls != nil {
 		for u := 0; u < geo.NumUrbanization; u++ {
 			out[u] = cls[u].Clone()
 		}

@@ -87,7 +87,8 @@ func (g *GTPv1U) SerializeTo(buf []byte, payload []byte) []byte {
 		optLen = 4
 	}
 	length := uint16(optLen + len(payload))
-	hdr := make([]byte, 8+optLen)
+	var hdrArr [12]byte
+	hdr := hdrArr[:8+optLen]
 	hdr[0] = flags
 	hdr[1] = g.MessageType
 	put16(hdr[2:], length)

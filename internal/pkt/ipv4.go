@@ -81,7 +81,9 @@ func (ip *IPv4) DecodeFromBytes(data []byte) error {
 }
 
 // SerializeTo implements SerializableLayer: it writes the header with
-// recomputed Length and Checksum, then the payload.
+// recomputed Length and Checksum, then the payload. The header builds
+// in a stack buffer (IHL bounds it at 60 bytes), so serialization
+// itself never allocates — growth is the caller's append.
 func (ip *IPv4) SerializeTo(buf []byte, payload []byte) []byte {
 	hdrLen := 20 + len(ip.Options)
 	if hdrLen%4 != 0 {
@@ -91,8 +93,13 @@ func (ip *IPv4) SerializeTo(buf []byte, payload []byte) []byte {
 		hdrLen += pad
 	}
 	total := hdrLen + len(payload)
-	start := len(buf)
-	hdr := make([]byte, hdrLen)
+	var hdrArr [60]byte
+	var hdr []byte
+	if hdrLen <= len(hdrArr) {
+		hdr = hdrArr[:hdrLen]
+	} else {
+		hdr = make([]byte, hdrLen) // options beyond the IHL bound; cold
+	}
 	hdr[0] = 4<<4 | uint8(hdrLen/4)
 	hdr[1] = ip.TOS
 	put16(hdr[2:], uint16(total))
@@ -107,9 +114,7 @@ func (ip *IPv4) SerializeTo(buf []byte, payload []byte) []byte {
 	cs := Checksum(hdr)
 	put16(hdr[10:], cs)
 	buf = append(buf, hdr...)
-	buf = append(buf, payload...)
-	_ = start
-	return buf
+	return append(buf, payload...)
 }
 
 // Checksum computes the RFC 1071 Internet checksum of data: the 16-bit

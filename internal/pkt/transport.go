@@ -73,7 +73,8 @@ func (u *UDP) VerifyChecksum(ip *IPv4) bool {
 // UDP over IPv4).
 func (u *UDP) SerializeTo(buf []byte, payload []byte) []byte {
 	length := 8 + len(payload)
-	hdr := make([]byte, 8)
+	var hdrArr [8]byte
+	hdr := hdrArr[:]
 	put16(hdr, u.SrcPort)
 	put16(hdr[2:], u.DstPort)
 	put16(hdr[4:], uint16(length))
@@ -175,7 +176,13 @@ func (t *TCP) SerializeTo(buf []byte, payload []byte) []byte {
 		opts = append(append([]byte(nil), opts...), make([]byte, 4-len(opts)%4)...)
 	}
 	hdrLen := 20 + len(opts)
-	hdr := make([]byte, hdrLen)
+	var hdrArr [60]byte
+	var hdr []byte
+	if hdrLen <= len(hdrArr) {
+		hdr = hdrArr[:hdrLen]
+	} else {
+		hdr = make([]byte, hdrLen) // options beyond the data-offset bound; cold
+	}
 	put16(hdr, t.SrcPort)
 	put16(hdr[2:], t.DstPort)
 	put32(hdr[4:], t.Seq)

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/capture"
 	"repro/internal/dpi"
@@ -21,9 +23,18 @@ import (
 // TEID across N single-threaded probe shards. Control frames carrying
 // an F-TEID are routed to the shard that owns that data TEID, so the
 // TEID→commune state every shard keeps is strictly shard-local and
-// never needs locking; frames the router cannot key (decode failures,
+// never needs locking; frames no shard can key (decode failures,
 // control messages without a data TEID) all land on shard 0, which
 // accounts them exactly as a single probe would.
+//
+// The router goroutine does the minimum a serial stage must: it pulls
+// frames from the (single-use) source, copies them into pooled batch
+// arenas — the one copy the Source ownership contract requires — and
+// broadcasts each sealed batch to every shard. Shard keying runs on
+// the workers themselves: each worker keys every frame of a batch with
+// a cheap fixed-offset peek and handles only its own, so the serial
+// stage no longer bounds multi-core scaling. Batches and arenas
+// recycle through a sync.Pool; steady-state routing allocates nothing.
 //
 // The shard reports combine exactly (see Report.Merge): all byte
 // accounting sums integer-valued packet lengths, and each frame's
@@ -63,48 +74,129 @@ func (pl *Pipeline) WithSinks(factory func(shard int) Sink) *Pipeline {
 	return pl
 }
 
-// routeBatch bounds how many frames the router accumulates per shard
-// before handing them to the worker; it amortizes channel overhead
-// without adding meaningful latency at capture rates.
-const routeBatch = 256
+// routeBatch bounds how many frames the router accumulates before
+// broadcasting the batch to the shards; routeBytes bounds the batch
+// arena so in-flight memory stays small whatever the frame sizes.
+// Together they amortize channel overhead without adding meaningful
+// latency at capture rates.
+const (
+	routeBatch = 512
+	routeBytes = 1 << 19 // 512 KiB arena per batch
+)
 
-// Run pulls frames from src until io.EOF, routing each to its shard,
-// and returns the merged report. Nothing materializes the stream:
-// in-flight memory is bounded by the per-shard batches.
+// batch is one router→shards unit: a frame slice whose Data either
+// aliases a stable source directly or points into the batch's own
+// arena. Batches are broadcast to every shard and recycled once the
+// last shard releases them.
+type batch struct {
+	frames []capture.Frame
+	arena  []byte
+	refs   atomic.Int32
+}
+
+// batchPool recycles batches (and their arenas) across Run calls, so
+// steady-state routing performs no allocation.
+var batchPool = sync.Pool{New: func() any {
+	return &batch{
+		frames: make([]capture.Frame, 0, routeBatch),
+		arena:  make([]byte, 0, routeBytes),
+	}
+}}
+
+// add appends one frame. When copy is set the frame data is copied
+// into the arena (the router's obligation under the capture.Source
+// ownership contract); the arena's capacity is fixed, so earlier
+// frames' Data slices stay valid as the batch fills. full reports that
+// the batch should be sealed before the next frame.
+func (b *batch) add(f capture.Frame, copyData bool) {
+	if copyData && len(f.Data) > 0 {
+		if len(f.Data) > cap(b.arena)-len(b.arena) {
+			// A frame larger than the whole arena: the batch is empty
+			// (full() sealed it), so growing cannot dangle earlier Data.
+			b.arena = append(b.arena[:0], f.Data...)
+			f.Data = b.arena
+		} else {
+			start := len(b.arena)
+			b.arena = append(b.arena, f.Data...)
+			f.Data = b.arena[start:len(b.arena):len(b.arena)]
+		}
+	}
+	b.frames = append(b.frames, f)
+}
+
+func (b *batch) full(next int) bool {
+	return len(b.frames) >= routeBatch || len(b.arena)+next > cap(b.arena)
+}
+
+func (b *batch) release(pool *sync.Pool) {
+	if b.refs.Add(-1) == 0 {
+		// Drop the Data pointers before truncating: a pooled batch must
+		// not pin the capture's buffers (stable sources alias them).
+		clear(b.frames)
+		b.frames = b.frames[:0]
+		b.arena = b.arena[:0]
+		pool.Put(b)
+	}
+}
+
+// Run pulls frames from src until io.EOF and returns the merged
+// report. Nothing materializes the stream: in-flight memory is bounded
+// by a handful of pooled batches.
 //
 // On a source error (e.g. a truncated trace) Run drains the shards and
 // returns the merged report of everything consumed so far alongside
 // the error, so a broken capture still yields its measurements.
 func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
+	// Sources that guarantee immortal frame data (materialized slices)
+	// skip the defensive copy; streaming sources (the simulator, trace
+	// replay) reuse their buffers and must be copied out of.
+	stable := capture.IsStable(src)
+
 	probes := make([]*Probe, pl.shards)
-	chans := make([]chan []capture.Frame, pl.shards)
+	chans := make([]chan *batch, pl.shards)
 	var wg sync.WaitGroup
 	for i := range probes {
 		probes[i] = New(pl.cfg, pl.registry, pl.classifier)
 		if pl.sinks != nil {
 			probes[i].SetSink(pl.sinks(i))
 		}
-		chans[i] = make(chan []capture.Frame, 8)
+		chans[i] = make(chan *batch, 4)
 		wg.Add(1)
-		go func(p *Probe, ch <-chan []capture.Frame) {
+		go func(me int, p *Probe, ch <-chan *batch) {
 			defer wg.Done()
-			for batch := range ch {
-				for _, f := range batch {
-					p.HandleFrame(f.Time, f.Data)
+			nShards := uint32(pl.shards)
+			var rt router
+			for b := range ch {
+				for _, f := range b.frames {
+					// Every worker keys every frame identically; exactly
+					// one claims it. The peek is a few header loads —
+					// cheap enough to replicate, and it takes the serial
+					// router stage off the critical path.
+					shard := 0
+					if key, ok := rt.key(f.Data); ok {
+						shard = int(mix32(key) % nShards)
+					}
+					if shard == me {
+						p.HandleFrame(f.Time, f.Data)
+					}
 				}
+				b.release(&batchPool)
 			}
-		}(probes[i], chans[i])
+		}(i, probes[i], chans[i])
 	}
 
-	batches := make([][]capture.Frame, pl.shards)
-	flush := func(i int) {
-		if len(batches[i]) > 0 {
-			chans[i] <- batches[i]
-			batches[i] = nil
+	cur := batchPool.Get().(*batch)
+	publish := func() {
+		if len(cur.frames) == 0 {
+			return
 		}
+		cur.refs.Store(int32(pl.shards))
+		for _, ch := range chans {
+			ch <- cur
+		}
+		cur = batchPool.Get().(*batch)
 	}
 	var srcErr error
-	var rt router
 	for {
 		f, err := src.Next()
 		if err == io.EOF {
@@ -114,18 +206,18 @@ func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
 			srcErr = err
 			break
 		}
-		shard := 0
-		if key, ok := rt.key(f.Data); ok {
-			shard = int(mix32(key) % uint32(pl.shards))
+		if cur.full(len(f.Data)) {
+			publish()
 		}
-		batches[shard] = append(batches[shard], f)
-		if len(batches[shard]) >= routeBatch {
-			flush(shard)
-		}
+		cur.add(f, !stable)
 	}
-	for i := range chans {
-		flush(i)
-		close(chans[i])
+	publish()
+	// The final (empty) batch goes straight back to the pool, through
+	// the same reset path the workers use.
+	cur.refs.Store(1)
+	cur.release(&batchPool)
+	for _, ch := range chans {
+		close(ch)
 	}
 	wg.Wait()
 
@@ -155,7 +247,8 @@ func mix32(v uint32) uint32 {
 // the (rare) control messages, whose F-TEID IE names the data tunnel.
 // It deliberately validates less than the probe's parser — any frame
 // the probe can decode, the router can key; frames it cannot key go to
-// shard 0 where the probe accounts the failure.
+// shard 0 where the probe accounts the failure. Each shard worker owns
+// one router instance, so the decoder scratch state needs no locking.
 type router struct {
 	v1 pkt.GTPv1C
 	v2 pkt.GTPv2C
@@ -199,10 +292,30 @@ func (rt *router) key(data []byte) (uint32, bool) {
 // Merge folds the measurements of o into r, mutating r; o is left
 // untouched. Shard reports merge exactly: every total is a sum of
 // integer-valued per-frame contributions, so float accumulation order
-// cannot change the result. Series merge element-wise and must share
+// cannot change the result. The reports must share an ID namespace
+// (shards built from one classifier always do) and series must share
 // r's binning (shards built from one Config always do); a mismatch
 // returns an error with r partially merged.
 func (r *Report) Merge(o *Report) error {
+	if r.Names != o.Names && !slices.Equal(r.Names.All(), o.Names.All()) {
+		return fmt.Errorf("probe: merging reports over different ID namespaces (%d vs %d services)",
+			r.Names.Len(), o.Names.Len())
+	}
+	if o.Communes > r.Communes {
+		// Commune spaces may differ in tail size; merge into the union
+		// and re-establish the dense-vector invariant (every non-nil
+		// vector has exactly Communes entries) for r's own services.
+		r.Communes = o.Communes
+		for d := services.Direction(0); d < services.NumDirections; d++ {
+			for svc, per := range r.SvcCommuneBytes[d] {
+				if per != nil && len(per) < r.Communes {
+					grown := make([]float64, r.Communes)
+					copy(grown, per)
+					r.SvcCommuneBytes[d][svc] = grown
+				}
+			}
+		}
+	}
 	for d := services.Direction(0); d < services.NumDirections; d++ {
 		r.TotalBytes[d] += o.TotalBytes[d]
 		r.ClassifiedBytes[d] += o.ClassifiedBytes[d]
@@ -210,9 +323,14 @@ func (r *Report) Merge(o *Report) error {
 			r.SvcBytes[d][svc] += v
 		}
 		for svc, per := range o.SvcCommuneBytes[d] {
+			if per == nil {
+				continue
+			}
 			dst := r.SvcCommuneBytes[d][svc]
-			if dst == nil {
-				dst = make(map[int]float64, len(per))
+			if len(dst) < r.Communes || len(dst) < len(per) {
+				grown := make([]float64, max(r.Communes, len(per)))
+				copy(grown, dst)
+				dst = grown
 				r.SvcCommuneBytes[d][svc] = dst
 			}
 			for commune, v := range per {
@@ -220,15 +338,21 @@ func (r *Report) Merge(o *Report) error {
 			}
 		}
 		for svc, s := range o.SvcSeries[d] {
+			if s == nil {
+				continue
+			}
 			if cur := r.SvcSeries[d][svc]; cur != nil {
 				if err := cur.Add(s); err != nil {
-					return fmt.Errorf("probe: merging %v series of %s: %w", d, svc, err)
+					return fmt.Errorf("probe: merging %v series of %s: %w", d, o.Names.Name(services.ID(svc)), err)
 				}
 			} else {
 				r.SvcSeries[d][svc] = s.Clone()
 			}
 		}
 		for svc, cls := range o.SvcClassSeries[d] {
+			if cls == nil {
+				continue
+			}
 			cur := r.SvcClassSeries[d][svc]
 			if cur == nil {
 				cur = new([geo.NumUrbanization]*timeseries.Series)
@@ -240,7 +364,7 @@ func (r *Report) Merge(o *Report) error {
 			}
 			for u := range cur {
 				if err := cur[u].Add(cls[u]); err != nil {
-					return fmt.Errorf("probe: merging %v class series of %s: %w", d, svc, err)
+					return fmt.Errorf("probe: merging %v class series of %s: %w", d, o.Names.Name(services.ID(svc)), err)
 				}
 			}
 		}

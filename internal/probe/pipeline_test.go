@@ -194,15 +194,11 @@ func TestPipelineDefaultShards(t *testing.T) {
 // TestMergeRejectsMisalignedSeries pins the Merge error contract on
 // reports binned differently.
 func TestMergeRejectsMisalignedSeries(t *testing.T) {
+	names := services.NewNames([]string{"YouTube"})
+	yt, _ := names.Lookup("YouTube")
 	mk := func(step int) *Report {
-		rep := &Report{}
-		for d := services.Direction(0); d < services.NumDirections; d++ {
-			rep.SvcBytes[d] = map[string]float64{}
-			rep.SvcCommuneBytes[d] = map[string]map[int]float64{}
-			rep.SvcSeries[d] = map[string]*timeseries.Series{}
-			rep.SvcClassSeries[d] = map[string]*[geo.NumUrbanization]*timeseries.Series{}
-		}
-		rep.SvcSeries[DL]["YouTube"] = timeseries.New(timeseries.StudyStart, timeseries.DefaultStep*2, step)
+		rep := NewReport(names, 0)
+		rep.SvcSeries[DL][yt] = timeseries.New(timeseries.StudyStart, timeseries.DefaultStep*2, step)
 		return rep
 	}
 	a, b := mk(10), mk(20)
@@ -211,26 +207,55 @@ func TestMergeRejectsMisalignedSeries(t *testing.T) {
 	}
 	// Aligned reports merge, and values sum.
 	c, d := mk(10), mk(10)
-	c.SvcSeries[DL]["YouTube"].Values[3] = 5
-	d.SvcSeries[DL]["YouTube"].Values[3] = 7
+	c.SvcSeries[DL][yt].Values[3] = 5
+	d.SvcSeries[DL][yt].Values[3] = 7
 	d.UserPlanePackets = 2
 	if err := c.Merge(d); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.SvcSeries[DL]["YouTube"].Values[3]; got != 12 {
+	if got := c.SvcSeries[DL][yt].Values[3]; got != 12 {
 		t.Errorf("merged sample = %v, want 12", got)
 	}
 	if c.UserPlanePackets != 2 {
 		t.Errorf("merged UserPlanePackets = %d, want 2", c.UserPlanePackets)
 	}
 	// Merge must not alias the source's series.
-	d.SvcSeries[DL]["YouTube"].Values[4] = 99
+	d.SvcSeries[DL][yt].Values[4] = 99
 	e := mk(10)
 	if err := e.Merge(d); err != nil {
 		t.Fatal(err)
 	}
-	d.SvcSeries[DL]["YouTube"].Values[4] = 1
-	if e.SvcSeries[DL]["YouTube"].Values[4] != 99 {
+	d.SvcSeries[DL][yt].Values[4] = 1
+	if e.SvcSeries[DL][yt].Values[4] != 99 {
 		t.Error("merged report aliases the source series")
+	}
+}
+
+// TestMergeGrowsCommuneSpace pins the dense-vector robustness: merging
+// a report over a larger commune space grows the destination's
+// vectors instead of indexing out of range (the map representation
+// accepted any commune key; the slices must too).
+func TestMergeGrowsCommuneSpace(t *testing.T) {
+	names := services.NewNames([]string{"YouTube"})
+	yt, _ := names.Lookup("YouTube")
+	small := NewReport(names, 2)
+	small.SvcCommuneBytes[DL][yt] = []float64{1, 2}
+	big := NewReport(names, 5)
+	big.SvcCommuneBytes[DL][yt] = []float64{0, 0, 0, 0, 7}
+	if err := small.Merge(big); err != nil {
+		t.Fatal(err)
+	}
+	got := small.SvcCommuneBytes[DL][yt]
+	want := []float64{1, 2, 0, 0, 7}
+	if len(got) != len(want) {
+		t.Fatalf("merged commune vector has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged commune vector %v, want %v", got, want)
+		}
+	}
+	if small.Communes != 5 {
+		t.Errorf("merged Communes = %d, want 5", small.Communes)
 	}
 }

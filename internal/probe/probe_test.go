@@ -87,7 +87,7 @@ func TestPerServiceSharesMatch(t *testing.T) {
 		if tv < truthTotal*0.01 {
 			continue // tiny services are statistically unstable here
 		}
-		mv := rep.SvcBytes[DL][svc]
+		mv := rep.BytesOf(DL, svc)
 		truthShare := tv / truthTotal
 		measShare := mv / measTotal
 		if math.Abs(measShare-truthShare) > 0.25*truthShare+0.005 {
@@ -164,7 +164,7 @@ func TestMeasuredSeriesAlignsWithProfile(t *testing.T) {
 	catalog := services.Catalog()
 	yt := services.ByName(catalog, "YouTube")
 	prof := services.WeeklyProfile(yt, timeseries.DefaultStep, services.DL)
-	meas := rep.SvcSeries[DL]["YouTube"]
+	meas := rep.SeriesOf(DL, "YouTube")
 	if meas == nil {
 		t.Fatal("no measured YouTube series")
 	}
@@ -232,7 +232,7 @@ func TestHandoverRelocatesTraffic(t *testing.T) {
 	p.HandleFrame(t0.Add(3*time.Second), data(500))
 
 	rep := p.Report()
-	per := rep.SvcCommuneBytes[DL]["YouTube"]
+	per := rep.CommuneBytesOf(DL, "YouTube")
 	if per == nil {
 		t.Fatal("no YouTube commune bytes")
 	}
@@ -268,8 +268,10 @@ func TestUnknownTEIDCounted(t *testing.T) {
 	if rep.TotalBytes[DL] == 0 {
 		t.Error("unattributed traffic should still count toward totals")
 	}
-	if len(rep.SvcCommuneBytes[DL]) != 0 {
-		t.Error("unattributed traffic must not reach commune accounting")
+	for svc, per := range rep.SvcCommuneBytes[DL] {
+		if per != nil {
+			t.Errorf("unattributed traffic reached commune accounting of %s", rep.Names.Name(services.ID(svc)))
+		}
 	}
 }
 
@@ -373,12 +375,13 @@ func BenchmarkProbePipeline(b *testing.B) {
 	for _, f := range frames {
 		totalBytes += int64(len(f.Data))
 	}
+	cls := dpi.NewClassifier(catalog)
 	for _, shards := range shardSweep() {
 		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(totalBytes)
 			for i := 0; i < b.N; i++ {
-				pl := NewPipeline(DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog), shards)
+				pl := NewPipeline(DefaultConfig(), sim.Cells, cls, shards)
 				if _, err := pl.Run(capture.NewSliceSource(frames)); err != nil {
 					b.Fatal(err)
 				}
@@ -406,26 +409,35 @@ func TestClassSeriesMeasured(t *testing.T) {
 		p.HandleFrame(f.Time, f.Data)
 	}
 	rep := p.Report()
-	if len(rep.SvcClassSeries[DL]) == 0 {
-		t.Fatal("no per-class series despite CommuneClasses")
-	}
-	for name, cls := range rep.SvcClassSeries[DL] {
+	populated := 0
+	for svc, cls := range rep.SvcClassSeries[DL] {
+		if cls == nil {
+			continue
+		}
+		populated++
 		var classTotal float64
 		for u := range cls {
 			classTotal += cls[u].Total()
 		}
-		nat := rep.SvcSeries[DL][name].Total()
+		nat := rep.SvcSeries[DL][svc].Total()
 		if math.Abs(classTotal-nat) > 1e-6*nat {
-			t.Errorf("%s: class totals %v != national series total %v", name, classTotal, nat)
+			t.Errorf("%s: class totals %v != national series total %v",
+				rep.Names.Name(services.ID(svc)), classTotal, nat)
 		}
+	}
+	if populated == 0 {
+		t.Fatal("no per-class series despite CommuneClasses")
 	}
 	// Without the registry the probe keeps its old behaviour.
 	p2 := New(DefaultConfig(), sim.Cells, dpi.NewClassifier(catalog))
 	for _, f := range frames {
 		p2.HandleFrame(f.Time, f.Data)
 	}
-	if len(p2.Report().SvcClassSeries[DL]) != 0 {
-		t.Error("class series populated without CommuneClasses")
+	for _, cls := range p2.Report().SvcClassSeries[DL] {
+		if cls != nil {
+			t.Error("class series populated without CommuneClasses")
+			break
+		}
 	}
 }
 

@@ -23,7 +23,30 @@ func (p *Partial) Report(country *geo.Country) (*probe.Report, error) {
 		return nil, fmt.Errorf("rollup: geography has %d communes, snapshot was built over %d",
 			len(country.Communes), p.Cfg.Geo.NumCommunes)
 	}
-	rep := probe.NewReport()
+	// The ID namespace of the reconstructed report is the default DPI
+	// catalogue — exactly the classifier namespace the live path ran
+	// under — extended with any snapshot-only names so no cell is
+	// dropped. For snapshots of catalogue traffic (every live run) the
+	// table is identical to the live classifier's, which is what makes
+	// the reconstruction DeepEqual the live report.
+	names := services.DefaultNames()
+	var extra []string
+	for _, name := range p.Services {
+		if _, ok := names.Lookup(name); !ok {
+			extra = append(extra, name)
+		}
+	}
+	if extra != nil {
+		names = services.NewNames(append(append([]string(nil), names.All()...), extra...))
+	}
+	// Map each snapshot service index straight to its report ID.
+	toID := make([]services.ID, len(p.Services))
+	for i, name := range p.Services {
+		id, _ := names.Lookup(name)
+		toID[i] = id
+	}
+
+	rep := probe.NewReport(names, len(country.Communes))
 	for d := 0; d < services.NumDirections; d++ {
 		rep.TotalBytes[d] = p.TotalBytes[d]
 		rep.ClassifiedBytes[d] = p.ClassifiedBytes[d]
@@ -37,34 +60,31 @@ func (p *Partial) Report(country *geo.Country) (*probe.Report, error) {
 	for _, ep := range p.Epochs {
 		for _, c := range ep.Cells {
 			dir := services.Direction(c.Dir)
-			name := p.Services[c.Svc]
+			svc := toID[c.Svc]
 			commune := int(c.Commune)
 			if commune >= len(country.Communes) {
 				return nil, fmt.Errorf("rollup: cell commune %d outside the %d-commune geography", commune, len(country.Communes))
 			}
-			rep.SvcBytes[dir][name] += c.Bytes
-			perCommune := rep.SvcCommuneBytes[dir][name]
+			rep.SvcBytes[dir][svc] += c.Bytes
+			perCommune := rep.SvcCommuneBytes[dir][svc]
 			if perCommune == nil {
-				perCommune = map[int]float64{}
-				rep.SvcCommuneBytes[dir][name] = perCommune
+				perCommune = make([]float64, len(country.Communes))
+				rep.SvcCommuneBytes[dir][svc] = perCommune
 			}
 			perCommune[commune] += c.Bytes
 
 			// The probe creates a service's series on first classified
 			// packet even when the packet falls outside the binning, so
 			// mirror that here before the overflow check.
-			series := rep.SvcSeries[dir][name]
+			series := rep.SvcSeries[dir][svc]
 			if series == nil {
 				series = timeseries.New(p.Cfg.Start, p.Cfg.Step, p.Cfg.Bins)
-				rep.SvcSeries[dir][name] = series
+				rep.SvcSeries[dir][svc] = series
 			}
-			cls := rep.SvcClassSeries[dir][name]
+			cls := rep.SvcClassSeries[dir][svc]
 			if cls == nil {
-				cls = new([geo.NumUrbanization]*timeseries.Series)
-				for u := range cls {
-					cls[u] = timeseries.New(p.Cfg.Start, p.Cfg.Step, p.Cfg.Bins)
-				}
-				rep.SvcClassSeries[dir][name] = cls
+				cls = probe.NewClassSeries(p.Cfg.Start, p.Cfg.Step, p.Cfg.Bins)
+				rep.SvcClassSeries[dir][svc] = cls
 			}
 			if ep.Bin == OverflowBin {
 				continue

@@ -19,7 +19,7 @@ package rollup
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/geo"
@@ -95,15 +95,29 @@ type Cell struct {
 	Bytes   float64
 }
 
-func cellLess(a, b Cell) bool {
+// cellCompare is the canonical (Dir, Svc, Commune) ordering as a
+// three-way comparison — the single definition both the sorts
+// (slices.SortFunc) and cellLess derive from.
+func cellCompare(a, b Cell) int {
 	if a.Dir != b.Dir {
-		return a.Dir < b.Dir
+		return int(a.Dir) - int(b.Dir)
 	}
 	if a.Svc != b.Svc {
-		return a.Svc < b.Svc
+		if a.Svc < b.Svc {
+			return -1
+		}
+		return 1
 	}
-	return a.Commune < b.Commune
+	if a.Commune != b.Commune {
+		if a.Commune < b.Commune {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
+
+func cellLess(a, b Cell) bool { return cellCompare(a, b) < 0 }
 
 // Epoch is one sealed time window: an immutable, compact cell list.
 type Epoch struct {
@@ -150,26 +164,34 @@ type Partial struct {
 	LateFrames int
 }
 
-// cellKey is the open-epoch accumulator key.
-type cellKey struct {
-	dir     uint8
-	svc     uint32
-	commune int32
-}
-
 // Builder accumulates one shard's observations into epoch-sealed
 // rollups. It implements probe.Sink; attach one per shard via
 // probe.Pipeline.WithSinks. Not safe for concurrent use — by the sink
 // contract a builder only ever sees its own shard's single-threaded
 // event stream.
+//
+// The ingest path is steady-state allocation-free: each open epoch is
+// an open-addressing cellTable keyed by the (direction, services.ID,
+// commune) triple packed into one uint64 — no struct hashing, no
+// string interning per event — tables recycle through a free list as
+// epochs seal, and sealed cell lists carve out of a slab arena. The
+// only per-event costs are one integer hash probe and an in-place +=.
 type Builder struct {
-	cfg      Config
-	svcIndex map[string]uint32
-	svcNames []string
+	cfg Config
+	// names and seen are indexed by services.ID: the builder records
+	// each ID's interned name on first sight and compacts the table to
+	// observed services at Seal time.
+	names []string
+	seen  []bool
 
-	open      map[int]map[cellKey]float64
+	open      map[int]*cellTable
+	lastBin   int        // 1-entry lookup cache: consecutive
+	lastTab   *cellTable // observations usually share a bin
+	free      []*cellTable
 	sealed    []Epoch // may hold several generations of one bin
 	everSeal  map[int]bool
+	arena     []Cell // slab the sealed cell lists carve from
+	arenaUsed int
 	watermark int
 	late      int
 	done      bool
@@ -179,17 +201,19 @@ type Builder struct {
 func NewBuilder(cfg Config) *Builder {
 	return &Builder{
 		cfg:       cfg,
-		svcIndex:  map[string]uint32{},
-		open:      map[int]map[cellKey]float64{},
+		open:      map[int]*cellTable{},
 		everSeal:  map[int]bool{},
+		lastBin:   OverflowBin - 1,
 		watermark: -1,
 	}
 }
 
 // Observe implements probe.Sink: it folds one classified accounting
 // event into the epoch accumulators and advances the sealing
-// watermark. An observation for a bin that already sealed reopens a
-// fresh generation (counted in LateFrames); generations of one bin
+// watermark. Events are keyed by the observation's dense service ID
+// (Observation.Svc); the name rides along once, for the snapshot's
+// service table. An observation for a bin that already sealed reopens
+// a fresh generation (counted in LateFrames); generations of one bin
 // merge exactly at Seal time, so out-of-order arrival never loses or
 // double-counts a byte.
 func (b *Builder) Observe(o probe.Observation) {
@@ -197,21 +221,34 @@ func (b *Builder) Observe(o probe.Observation) {
 		panic("rollup: Observe after Seal")
 	}
 	bin := b.cfg.binOf(o.At)
-	svc, ok := b.svcIndex[o.Service]
-	if !ok {
-		svc = uint32(len(b.svcNames))
-		b.svcIndex[o.Service] = svc
-		b.svcNames = append(b.svcNames, o.Service)
-	}
-	cells := b.open[bin]
-	if cells == nil {
-		cells = map[cellKey]float64{}
-		b.open[bin] = cells
-		if b.everSeal[bin] {
-			b.late++
+	if int(o.Svc) >= len(b.seen) {
+		grown := int(o.Svc) + 1
+		if grown < 2*len(b.seen) {
+			grown = 2 * len(b.seen)
 		}
+		names := make([]string, grown)
+		seen := make([]bool, grown)
+		copy(names, b.names)
+		copy(seen, b.seen)
+		b.names, b.seen = names, seen
 	}
-	cells[cellKey{dir: uint8(o.Dir), svc: svc, commune: int32(o.Commune)}] += o.Bytes
+	if !b.seen[o.Svc] {
+		b.seen[o.Svc] = true
+		b.names[o.Svc] = o.Service
+	}
+	tab := b.lastTab
+	if tab == nil || b.lastBin != bin {
+		tab = b.open[bin]
+		if tab == nil {
+			tab = b.newTable()
+			b.open[bin] = tab
+			if b.everSeal[bin] {
+				b.late++
+			}
+		}
+		b.lastBin, b.lastTab = bin, tab
+	}
+	tab.add(packCell(uint8(o.Dir), o.Svc, int32(o.Commune)), o.Bytes)
 
 	if bin > b.watermark {
 		b.watermark = bin
@@ -219,6 +256,32 @@ func (b *Builder) Observe(o probe.Observation) {
 			b.advance(b.watermark - lat)
 		}
 	}
+}
+
+func (b *Builder) newTable() *cellTable {
+	if n := len(b.free); n > 0 {
+		t := b.free[n-1]
+		b.free = b.free[:n-1]
+		return t
+	}
+	return &cellTable{}
+}
+
+// carve returns an empty n-capacity cell slice out of the slab arena
+// (full slice expression, so a sealed epoch can never grow into its
+// neighbour's cells).
+func (b *Builder) carve(n int) []Cell {
+	if n > len(b.arena)-b.arenaUsed {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		b.arena = make([]Cell, size)
+		b.arenaUsed = 0
+	}
+	out := b.arena[b.arenaUsed:b.arenaUsed : b.arenaUsed+n]
+	b.arenaUsed += n
+	return out
 }
 
 // advance seals every open epoch strictly below the horizon bin (the
@@ -232,20 +295,25 @@ func (b *Builder) advance(horizon int) {
 	}
 }
 
-// sealBin compacts one open epoch into an immutable sorted cell list.
+// sealBin compacts one open epoch into an immutable sorted cell list
+// and recycles its accumulator table.
 func (b *Builder) sealBin(bin int) {
-	cells := b.open[bin]
-	delete(b.open, bin)
-	if len(cells) == 0 {
+	tab := b.open[bin]
+	if tab == nil {
 		return
 	}
-	ep := Epoch{Bin: bin, Cells: make([]Cell, 0, len(cells))}
-	for k, v := range cells {
-		ep.Cells = append(ep.Cells, Cell{Dir: k.dir, Svc: k.svc, Commune: k.commune, Bytes: v})
+	delete(b.open, bin)
+	if b.lastBin == bin {
+		b.lastTab = nil
 	}
-	sort.Slice(ep.Cells, func(i, j int) bool { return cellLess(ep.Cells[i], ep.Cells[j]) })
-	b.sealed = append(b.sealed, ep)
-	b.everSeal[bin] = true
+	if tab.n > 0 {
+		cells := tab.appendCells(b.carve(tab.n))
+		slices.SortFunc(cells, cellCompare)
+		b.sealed = append(b.sealed, Epoch{Bin: bin, Cells: cells})
+		b.everSeal[bin] = true
+	}
+	tab.reset()
+	b.free = append(b.free, tab)
 }
 
 // SealedEpochs returns how many epoch generations have been sealed so
@@ -253,9 +321,9 @@ func (b *Builder) sealBin(bin int) {
 // until Seal folds them).
 func (b *Builder) SealedEpochs() int { return len(b.sealed) }
 
-// Seal flushes every open epoch and returns the builder's normalized
-// partial. The builder is spent afterwards: further Observe calls
-// panic.
+// Seal flushes every open epoch, compacts the service table to the
+// IDs actually observed, and returns the builder's normalized partial.
+// The builder is spent afterwards: further Observe calls panic.
 func (b *Builder) Seal() *Partial {
 	if b.done {
 		panic("rollup: Seal called twice")
@@ -264,9 +332,25 @@ func (b *Builder) Seal() *Partial {
 	for bin := range b.open {
 		b.sealBin(bin)
 	}
+	// Compact the sparse ID namespace to the observed services. The
+	// remap is monotonic in ID, so sorted cell lists stay sorted.
+	remap := make([]uint32, len(b.seen))
+	var svcNames []string
+	for id, ok := range b.seen {
+		if ok {
+			remap[id] = uint32(len(svcNames))
+			svcNames = append(svcNames, b.names[id])
+		}
+	}
+	for e := range b.sealed {
+		cells := b.sealed[e].Cells
+		for i := range cells {
+			cells[i].Svc = remap[cells[i].Svc]
+		}
+	}
 	p := &Partial{
 		Cfg:        b.cfg,
-		Services:   b.svcNames,
+		Services:   svcNames,
 		Epochs:     foldGenerations(b.sealed),
 		LateFrames: b.late,
 	}
@@ -277,7 +361,7 @@ func (b *Builder) Seal() *Partial {
 // foldGenerations merges same-bin epoch generations into one epoch per
 // bin and sorts epochs by bin.
 func foldGenerations(eps []Epoch) []Epoch {
-	sort.SliceStable(eps, func(i, j int) bool { return eps[i].Bin < eps[j].Bin })
+	slices.SortStableFunc(eps, func(a, b Epoch) int { return a.Bin - b.Bin })
 	out := eps[:0]
 	for _, ep := range eps {
 		if n := len(out); n > 0 && out[n-1].Bin == ep.Bin {
@@ -323,7 +407,7 @@ func mergeCells(a, b []Cell) []Cell {
 func (p *Partial) normalize() {
 	remap := make([]uint32, len(p.Services))
 	sorted := append([]string(nil), p.Services...)
-	sort.Strings(sorted)
+	slices.Sort(sorted)
 	idx := make(map[string]uint32, len(sorted))
 	for i, name := range sorted {
 		idx[name] = uint32(i)
@@ -336,7 +420,7 @@ func (p *Partial) normalize() {
 		}
 	}
 	p.Services = sorted
-	sort.SliceStable(p.Epochs, func(i, j int) bool { return p.Epochs[i].Bin < p.Epochs[j].Bin })
+	slices.SortStableFunc(p.Epochs, func(a, b Epoch) int { return a.Bin - b.Bin })
 	if identity {
 		return
 	}
@@ -345,7 +429,7 @@ func (p *Partial) normalize() {
 		for i := range cells {
 			cells[i].Svc = remap[cells[i].Svc]
 		}
-		sort.Slice(cells, func(i, j int) bool { return cellLess(cells[i], cells[j]) })
+		slices.SortFunc(cells, cellCompare)
 	}
 }
 
@@ -416,7 +500,7 @@ func remapCells(cells []Cell, remap []uint32) []Cell {
 	for i := range out {
 		out[i].Svc = remap[out[i].Svc]
 	}
-	sort.Slice(out, func(i, j int) bool { return cellLess(out[i], out[j]) })
+	slices.SortFunc(out, cellCompare)
 	return out
 }
 

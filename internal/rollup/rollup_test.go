@@ -23,8 +23,16 @@ func tinyConfig() Config {
 	}
 }
 
+// testNames is the ID namespace of handcrafted observations: the
+// default catalogue, exactly what a live classifier would assign.
+var testNames = services.DefaultNames()
+
 func obs(at time.Time, dir services.Direction, svc string, commune int, bytes float64) probe.Observation {
-	return probe.Observation{At: at, Dir: dir, Service: svc, Commune: commune, Bytes: bytes}
+	id, ok := testNames.Lookup(svc)
+	if !ok {
+		panic("rollup test: observation for a non-catalogue service " + svc)
+	}
+	return probe.Observation{At: at, Dir: dir, Svc: id, Service: svc, Commune: commune, Bytes: bytes}
 }
 
 // TestBinEdges pins the epoch grid arithmetic to
@@ -164,14 +172,14 @@ func TestMergeRejectsMismatchedGrids(t *testing.T) {
 func TestCollectorInvariant(t *testing.T) {
 	col := NewCollector(tinyConfig(), 2)
 	col.Sink(0).Observe(obs(timeseries.StudyStart, services.DL, "Facebook", 0, 42))
-	rep := probe.NewReport()
+	rep := probe.NewReport(testNames, 0)
 	rep.ClassifiedBytes[services.DL] = 42
 	if _, err := col.Finish(rep); err != nil {
 		t.Fatalf("matching totals rejected: %v", err)
 	}
 
 	col2 := NewCollector(tinyConfig(), 1)
-	rep2 := probe.NewReport()
+	rep2 := probe.NewReport(testNames, 0)
 	rep2.ClassifiedBytes[services.DL] = 42 // report saw traffic the sink never did
 	if _, err := col2.Finish(rep2); err == nil {
 		t.Fatal("mismatched totals not rejected")

@@ -16,7 +16,6 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/geo"
-	"repro/internal/probe"
 	"repro/internal/services"
 	"repro/internal/timeseries"
 )
@@ -35,10 +34,10 @@ func goldenPartial() *Partial {
 	}
 	b := NewBuilder(cfg)
 	at := func(bin int) time.Time { return cfg.Start.Add(time.Duration(bin) * cfg.Step) }
-	b.Observe(probe.Observation{At: at(0), Dir: services.DL, Service: "YouTube", Commune: 3, Bytes: 1400})
-	b.Observe(probe.Observation{At: at(0), Dir: services.UL, Service: "YouTube", Commune: 3, Bytes: 52})
-	b.Observe(probe.Observation{At: at(2), Dir: services.DL, Service: "Facebook", Commune: 19, Bytes: 800})
-	b.Observe(probe.Observation{At: at(0).Add(-time.Hour), Dir: services.DL, Service: "iCloud", Commune: 7, Bytes: 99})
+	b.Observe(obs(at(0), services.DL, "YouTube", 3, 1400))
+	b.Observe(obs(at(0), services.UL, "YouTube", 3, 52))
+	b.Observe(obs(at(2), services.DL, "Facebook", 19, 800))
+	b.Observe(obs(at(0).Add(-time.Hour), services.DL, "iCloud", 7, 99))
 	p := b.Seal()
 	p.TotalBytes = [services.NumDirections]float64{2500, 60}
 	p.ClassifiedBytes = [services.NumDirections]float64{2299, 52}

@@ -1,0 +1,123 @@
+package rollup
+
+import "repro/internal/services"
+
+// cellKey packs one accumulator key — (direction, service ID, commune)
+// — into a single uint64: dir at bit 48, the dense services.ID in bits
+// 32..47, the commune in the low 32. One integer key means the open
+// epoch accumulators hash a word instead of a struct (and never a
+// string), which is what makes Builder.Observe allocation-free.
+func packCell(dir uint8, svc services.ID, commune int32) uint64 {
+	return uint64(dir)<<48 | uint64(svc)<<32 | uint64(uint32(commune))
+}
+
+func unpackCell(key uint64, bytes float64) Cell {
+	return Cell{
+		Dir:     uint8(key >> 48),
+		Svc:     uint32(key>>32) & 0xffff,
+		Commune: int32(uint32(key)),
+		Bytes:   bytes,
+	}
+}
+
+// hashCell is a splitmix64-style finalizer over the packed key.
+func hashCell(key uint64) uint64 {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return key
+}
+
+// cellTable is an open-addressing accumulator map from packed cell
+// keys to byte volumes: linear probing, power-of-two capacity, keys
+// stored as key+1 so the zero slot marks empty (a packed key of 0 —
+// direction 0, service 0, commune 0 — is valid). Tables are owned by
+// one Builder, recycled across epochs through its free list, and only
+// ever grow on the slow path; the steady-state add is a probe and an
+// in-place +=, no allocation.
+type cellTable struct {
+	keys []uint64 // key+1; 0 = empty slot
+	vals []float64
+	n    int
+}
+
+const cellTableMinSize = 64
+
+// add folds v into the accumulator of key. Growth happens only on the
+// insert path: a pure update of an existing cell never rehashes, even
+// at the load threshold. The table is kept strictly below full by the
+// pre-insert check, so probes always terminate.
+func (t *cellTable) add(key uint64, v float64) {
+	if t.keys == nil {
+		t.grow()
+	}
+	stored := key + 1
+	mask := uint64(len(t.keys) - 1)
+	i := hashCell(key) & mask
+	for {
+		switch t.keys[i] {
+		case 0:
+			// New cell: grow at 3/4 load before inserting, then re-probe
+			// for the slot in the rehashed table.
+			if 4*(t.n+1) > 3*len(t.keys) {
+				t.grow()
+				mask = uint64(len(t.keys) - 1)
+				i = hashCell(key) & mask
+				for t.keys[i] != 0 {
+					i = (i + 1) & mask
+				}
+			}
+			t.keys[i] = stored
+			t.vals[i] = v
+			t.n++
+			return
+		case stored:
+			t.vals[i] += v
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the table (or seeds it) and rehashes every live slot.
+func (t *cellTable) grow() {
+	size := cellTableMinSize
+	if len(t.keys) > 0 {
+		size = 2 * len(t.keys)
+	}
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, size)
+	t.vals = make([]float64, size)
+	mask := uint64(size - 1)
+	for j, stored := range oldKeys {
+		if stored == 0 {
+			continue
+		}
+		i := hashCell(stored-1) & mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = stored
+		t.vals[i] = oldVals[j]
+	}
+}
+
+// reset empties the table for reuse, keeping its capacity. Values need
+// no clearing: a slot's value is only read after its key is set, and
+// setting a key always writes the value first.
+func (t *cellTable) reset() {
+	clear(t.keys)
+	t.n = 0
+}
+
+// appendCells unpacks every live slot onto dst (unsorted).
+func (t *cellTable) appendCells(dst []Cell) []Cell {
+	for i, stored := range t.keys {
+		if stored != 0 {
+			dst = append(dst, unpackCell(stored-1, t.vals[i]))
+		}
+	}
+	return dst
+}

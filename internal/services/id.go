@@ -1,0 +1,78 @@
+package services
+
+import "fmt"
+
+// ID is a dense service identifier: the index of a service name in a
+// Names table. The packet plane works exclusively in IDs — the DPI
+// classifier returns them, the probe's accumulators are ID-indexed
+// slices, the rollup builder packs them into its cell keys — and names
+// materialize only at the export boundary (measured datasets, engine
+// JSON, snapshots). uint16 bounds the namespace at 65535 services,
+// comfortably above the paper's ~500-service population.
+type ID uint16
+
+// NoID is the sentinel for "no service": the classifier returns it for
+// unclassified traffic. It is deliberately the top of the ID range so
+// a zero-valued Result cannot be mistaken for service 0.
+const NoID ID = 0xffff
+
+// Names is an immutable interning table mapping service names to dense
+// IDs and back. Build one per catalogue (the classifier owns the
+// canonical instance for a measurement run) and share it read-only:
+// lookups never mutate, so a Names is safe for concurrent use.
+type Names struct {
+	list  []string
+	index map[string]ID
+}
+
+// NewNames builds an interning table over the given name list; IDs are
+// assigned in list order. Duplicate names or more than NoID entries
+// panic — tables describe a fixed catalogue, not arbitrary input.
+func NewNames(list []string) *Names {
+	if len(list) >= int(NoID) {
+		panic(fmt.Sprintf("services: %d names exceed the ID namespace", len(list)))
+	}
+	n := &Names{
+		list:  append([]string(nil), list...),
+		index: make(map[string]ID, len(list)),
+	}
+	for i, name := range n.list {
+		if _, dup := n.index[name]; dup {
+			panic(fmt.Sprintf("services: duplicate name %q", name))
+		}
+		n.index[name] = ID(i)
+	}
+	return n
+}
+
+// NamesOf builds the interning table of a catalogue, in catalogue
+// order: ID i names catalog[i].
+func NamesOf(catalog []Service) *Names {
+	list := make([]string, len(catalog))
+	for i := range catalog {
+		list[i] = catalog[i].Name
+	}
+	return NewNames(list)
+}
+
+// DefaultNames returns the interning table of the default catalogue —
+// the namespace snapshot reconstruction uses, matching the live
+// classifier built over Catalog().
+func DefaultNames() *Names { return NamesOf(Catalog()) }
+
+// Len returns the number of interned names.
+func (n *Names) Len() int { return len(n.list) }
+
+// Name returns the name of id; it panics on an out-of-range id (NoID
+// included — callers must gate on NoID before resolving).
+func (n *Names) Name(id ID) string { return n.list[id] }
+
+// Lookup returns the ID of name.
+func (n *Names) Lookup(name string) (ID, bool) {
+	id, ok := n.index[name]
+	return id, ok
+}
+
+// All returns the interned names in ID order. The slice is shared:
+// callers must not mutate it.
+func (n *Names) All() []string { return n.list }
