@@ -10,9 +10,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/capture"
 	"repro/internal/dpi"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/rollup"
 	"repro/internal/services"
 	"repro/internal/synth"
+	"repro/internal/timeseries"
 )
 
 var (
@@ -276,6 +280,64 @@ func BenchmarkSnapshotCodec(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSnapshotMerge times the streaming k-way merger on the
+// multi-day shape: two half-week snapshots of windowed captures merged
+// onto the union week grid. Allocations are the headline — they must
+// stay constant in snapshot length (the merger holds one epoch of
+// cells per source), which internal/rollup's memory-bound test pins.
+func BenchmarkSnapshotMerge(b *testing.B) {
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	weekBins := int(timeseries.Week / timeseries.DefaultStep)
+	half := weekBins / 2
+	dir := b.TempDir()
+	var srcs []string
+	var totalBytes int64
+	for i, win := range [][2]int{{0, half}, {half, weekBins}} {
+		cfg := gtpsim.DefaultConfig()
+		cfg.Sessions = 400
+		cfg.Seed = 11
+		cfg.Start = timeseries.StudyStart.Add(time.Duration(win[0]) * timeseries.DefaultStep)
+		cfg.Duration = time.Duration(win[1]-win[0]) * timeseries.DefaultStep
+		sim, err := gtpsim.New(country, catalog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pcfg := probe.ConfigFor(country)
+		pcfg.Start = cfg.Start
+		pcfg.Bins = min(win[1]-win[0]+3, weekBins-win[0])
+		pl := probe.NewPipeline(pcfg, sim.Cells, dpi.NewClassifier(catalog), 2)
+		col := rollup.NewCollector(rollup.ConfigFrom(pcfg, geo.SmallConfig()), pl.Shards())
+		rep, err := pl.WithSinks(col.Sink).Run(sim.Stream())
+		if err != nil {
+			b.Fatal(err)
+		}
+		part, err := col.Finish(rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("half-%d.roll", i))
+		if err := rollup.WriteFile(path, part); err != nil {
+			b.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalBytes += fi.Size()
+		srcs = append(srcs, path)
+	}
+	dst := filepath.Join(dir, "merged.roll")
+	b.ReportAllocs()
+	b.SetBytes(totalBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rollup.MergeFiles(dst, srcs...); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Ablation benches (DESIGN.md §4) ---------------------------------

@@ -15,7 +15,11 @@
 // With -snapshot the dataset comes from a rollup snapshot produced by
 // cmd/probesim -snapshot instead of the synthetic generator: the
 // produce-once, analyze-many workflow — no simulator, no probe, no raw
-// trace between the file and the figures.
+// trace between the file and the figures. -window A:B restricts the
+// snapshot to a bin subrange (a day, the weekend, the working week) of
+// a merged multi-day rollup — see cmd/rollupctl for the merge side —
+// and -ids selects a subset of experiments, which slice views usually
+// want (the calendar experiments assume a whole study week).
 package main
 
 import (
@@ -24,8 +28,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/rollup"
 	"repro/internal/synth"
 )
 
@@ -43,17 +49,32 @@ Dataset sources (flag defaults below):
 	scale := flag.String("scale", "small", "dataset scale: small | full (ignored with -snapshot)")
 	seed := flag.Uint64("seed", 1, "generator seed; with -snapshot it drives only the stochastic analysis steps")
 	snapshot := flag.String("snapshot", "", "analyze a rollup snapshot file (see cmd/probesim -snapshot) instead of generating data")
+	window := flag.String("window", "", "with -snapshot: analyze only bins A:B of the grid (e.g. 0:192 for the weekend at the 15-minute step)")
+	ids := flag.String("ids", "", "comma-separated experiment ids to run (default: every registered experiment)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results for every registered experiment")
 	concurrency := flag.Int("concurrency", 0, "parallel experiment workers (0 = NumCPU)")
 	flag.Parse()
 
 	var env *experiments.Env
 	var err error
+	if *window != "" && *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "analyze: -window requires -snapshot")
+		os.Exit(2)
+	}
 	if *snapshot != "" {
 		if !*jsonOut {
 			fmt.Printf("Loading rollup snapshot %s (seed %d)...\n", *snapshot, *seed)
 		}
-		env, err = experiments.NewEnvFromSnapshot(*snapshot, *seed)
+		if *window != "" {
+			from, to, perr := rollup.ParseBinRange(*window)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "analyze: -window wants A:B bin indices, got %q\n", *window)
+				os.Exit(2)
+			}
+			env, err = experiments.NewEnvFromSnapshotWindow(*snapshot, from, to, *seed)
+		} else {
+			env, err = experiments.NewEnvFromSnapshot(*snapshot, *seed)
+		}
 	} else {
 		cfg := synth.SmallConfig()
 		if *scale == "full" {
@@ -71,8 +92,16 @@ Dataset sources (flag defaults below):
 		os.Exit(1)
 	}
 
+	var runIDs []string
+	if *ids != "" {
+		for _, id := range strings.Split(*ids, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				runIDs = append(runIDs, id)
+			}
+		}
+	}
 	eng := experiments.NewEngine(env)
-	results, err := eng.Run(context.Background(), experiments.Options{Concurrency: *concurrency})
+	results, err := eng.Run(context.Background(), experiments.Options{Concurrency: *concurrency, IDs: runIDs})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

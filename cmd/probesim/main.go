@@ -19,6 +19,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/capture"
 	"repro/internal/core"
@@ -41,6 +42,11 @@ Modes:
   (default)            simulate -sessions IP sessions and measure them live
   -trace file          replay a recorded binary trace (see tracegen -trace)
 
+With -window A:B the simulated sessions start only inside bins [A, B)
+of the study week (15-minute bins, 672 per week) and the probe's grid
+covers that range plus spill slack: the per-day / per-slice collection
+unit whose -snapshot outputs rollupctl merges into longer rollups.
+
 Flag defaults are shown below; -seed and -shards are shared with
 tracegen and analyze, and -quiet reduces output to the essentials for
 CI use.
@@ -52,6 +58,7 @@ CI use.
 	seed := flag.Uint64("seed", 1, "simulation seed (for -trace: the seed the trace was recorded with)")
 	shards := flag.Int("shards", runtime.NumCPU(), "probe pipeline shards (frames hash-partitioned by TEID)")
 	trace := flag.String("trace", "", "replay a binary trace file (see cmd/tracegen -trace) instead of simulating")
+	window := flag.String("window", "", "simulate only bins A:B of the study week and bin the rollup on that range")
 	snapshot := flag.String("snapshot", "", "persist the run as a rollup snapshot to this file (analyze with cmd/analyze -snapshot)")
 	quiet := flag.Bool("quiet", false, "print only the essential summary lines (CI mode)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the capture run to this file (inspect with go tool pprof)")
@@ -78,6 +85,28 @@ CI use.
 
 	country := geo.Generate(geo.SmallConfig())
 	catalog := services.Catalog()
+
+	// The observation window: the whole study week by default, one
+	// bin range of it with -window. The probe grid covers the window
+	// plus slack for session tails (a session lives under half an
+	// hour), clamped to the week so windowed grids stay sub-grids of
+	// the full-week grid and their snapshots merge back onto it.
+	weekBins := int(timeseries.Week / timeseries.DefaultStep)
+	winFrom, winTo := 0, weekBins
+	if *window != "" {
+		var err error
+		if winFrom, winTo, err = rollup.ParseBinRange(*window); err != nil {
+			fail(fmt.Errorf("-window wants A:B bin indices, got %q", *window))
+		}
+		if winFrom < 0 || winTo > weekBins || winFrom >= winTo {
+			fail(fmt.Errorf("-window %d:%d outside the %d-bin study week", winFrom, winTo, weekBins))
+		}
+		if *trace != "" {
+			fail(fmt.Errorf("-window shapes the simulation; it cannot re-window a recorded -trace"))
+		}
+	}
+	const spillSlackBins = 3 // sessions live < 30 min ≈ 2 bins; +1 margin
+	gridTo := min(winTo+spillSlackBins, weekBins)
 
 	// Assemble the frame source: a live streaming simulation, or a
 	// trace replayed from disk. Either way the probe consumes frames
@@ -106,6 +135,8 @@ CI use.
 		cfg := gtpsim.DefaultConfig()
 		cfg.Sessions = *sessions
 		cfg.Seed = *seed
+		cfg.Start = timeseries.StudyStart.Add(time.Duration(winFrom) * timeseries.DefaultStep)
+		cfg.Duration = time.Duration(winTo-winFrom) * timeseries.DefaultStep
 		sim, err := gtpsim.New(country, catalog, cfg)
 		if err != nil {
 			fail(err)
@@ -113,11 +144,13 @@ CI use.
 		cells = sim.Cells
 		stream = sim.Stream()
 		src = stream
-		say("Streaming %d sessions over %d communes (%d cells) into %d probe shards...\n",
-			*sessions, len(country.Communes), len(cells.Cells), *shards)
+		say("Streaming %d sessions (bins %d:%d of the week) over %d communes (%d cells) into %d probe shards...\n",
+			*sessions, winFrom, winTo, len(country.Communes), len(cells.Cells), *shards)
 	}
 
 	pcfg := probe.ConfigFor(country)
+	pcfg.Start = timeseries.StudyStart.Add(time.Duration(winFrom) * timeseries.DefaultStep)
+	pcfg.Bins = gridTo - winFrom
 	pl := probe.NewPipeline(pcfg, cells, dpi.NewClassifier(catalog), *shards)
 	var col *rollup.Collector
 	if *snapshot != "" {
@@ -181,7 +214,7 @@ CI use.
 	// Materialize the merged measurement and rank it through the
 	// analysis API — next to the ground truth when it exists (live
 	// simulation; a replayed trace carries no generator state).
-	mds, err := measured.FromProbe(rep, country, catalog, timeseries.DefaultStep)
+	mds, err := measured.FromProbeGrid(rep, country, catalog, pcfg.Start, pcfg.Step, pcfg.Bins)
 	if err != nil {
 		fail(err)
 	}

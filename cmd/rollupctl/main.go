@@ -1,0 +1,218 @@
+// Command rollupctl operates on rollup snapshots: the snapshot
+// algebra from the shell. Collection happens in units — one probe run,
+// one day, one region (see probesim -snapshot and -window) — and
+// rollupctl combines and slices those units without touching a
+// simulator, a probe or a raw trace:
+//
+//	rollupctl info day1.roll day2.roll
+//	rollupctl verify day1.roll
+//	rollupctl merge -o week.roll day1.roll day2.roll ...
+//	rollupctl window -from 0 -to 336 -o sat.roll week.roll
+//	rollupctl window -day 3 -o tuesday.roll week.roll
+//
+// merge streams the sources through the k-way snapshot merger
+// (rollup.MergeFiles): sources with aligned grids — adjacent days,
+// disjoint regions of one geography, even overlapping reruns — are
+// re-binned onto their union grid and summed exactly, with live
+// memory bounded by one epoch of cells per source, never a whole
+// snapshot. window cuts a bin subrange back out as its own snapshot;
+// analyze -snapshot (optionally with -window) runs the experiment
+// engine over any of these files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/rollup"
+	"repro/internal/services"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "info":
+		err = runInfo(rest)
+	case "verify":
+		err = runVerify(rest)
+	case "merge":
+		err = runMerge(rest)
+	case "window":
+		err = runWindow(rest)
+	default:
+		fmt.Fprintf(os.Stderr, "rollupctl: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rollupctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(flag.CommandLine.Output(), `rollupctl: operate on rollup snapshots (the snapshot algebra)
+
+Commands:
+  info    file...                      print grid, geography, totals and counters
+  verify  file...                      decode fully (orderings + CRC) and cross-check
+                                       cell sums against the recorded totals
+  merge   -o out file...               k-way streaming merge onto the union grid
+  window  -from A -to B -o out file    cut bins [A, B) out as a new snapshot
+  window  -day N -o out file           cut calendar day N (day 0 = grid start)
+
+Produce snapshots with probesim -snapshot (add -window A:B for one slice of the
+study week); analyze them with analyze -snapshot [-window A:B].
+`)
+}
+
+func runInfo(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("info: no snapshot files given")
+	}
+	for _, path := range paths {
+		p, err := rollup.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		cells := 0
+		for _, ep := range p.Epochs {
+			cells += len(ep.Cells)
+		}
+		overflow := "no"
+		if len(p.Epochs) > 0 && p.Epochs[0].Bin == rollup.OverflowBin {
+			overflow = fmt.Sprintf("yes (%d cells)", len(p.Epochs[0].Cells))
+		}
+		fmt.Printf("%s:\n", path)
+		fmt.Printf("  grid       %d bins of %v from %v\n", p.Cfg.Bins, p.Cfg.Step, p.Cfg.Start.Format("2006-01-02 15:04:05 MST"))
+		fmt.Printf("  geography  %d communes, %d cities, population %d, operator share %.2f, seed %d\n",
+			p.Cfg.Geo.NumCommunes, p.Cfg.Geo.NumCities, p.Cfg.Geo.Population, p.Cfg.Geo.OperatorShare, p.Cfg.Geo.Seed)
+		fmt.Printf("  data       %d services, %d epochs (overflow: %s), %d cells\n",
+			len(p.Services), len(p.Epochs), overflow, cells)
+		fmt.Printf("  volume     total DL %s UL %s, classified DL %s UL %s\n",
+			report.Bytes(p.TotalBytes[services.DL]), report.Bytes(p.TotalBytes[services.UL]),
+			report.Bytes(p.ClassifiedBytes[services.DL]), report.Bytes(p.ClassifiedBytes[services.UL]))
+		fmt.Printf("  counters   %d control msgs, %d user-plane pkts, %d decode errors, %d unknown TEID, %d unknown cell\n",
+			p.Counters.ControlMessages, p.Counters.UserPlanePackets,
+			p.Counters.DecodeErrors, p.Counters.UnknownTEID, p.Counters.UnknownCell)
+	}
+	return nil
+}
+
+func runVerify(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("verify: no snapshot files given")
+	}
+	for _, path := range paths {
+		// ReadFile already enforces the structural invariants: magic,
+		// limits, strict orderings, CRC, clean EOF.
+		p, err := rollup.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		cellTotals := p.CellTotals()
+		for d := 0; d < services.NumDirections; d++ {
+			got, want := cellTotals[d], p.ClassifiedBytes[d]
+			// Both sums are exact integers below 2^53 (cell values are
+			// sums of integer packet lengths), so any difference there
+			// is corruption or a producer bug; beyond it allow last-bit
+			// float drift.
+			const exactLimit = float64(1 << 53)
+			if got != want &&
+				(got < exactLimit && want < exactLimit ||
+					math.Abs(got-want) > 1e-9*math.Max(got, want)) {
+				return fmt.Errorf("%s: cells sum to %.0f classified %v bytes, header records %.0f",
+					path, got, services.Direction(d), want)
+			}
+			if p.TotalBytes[d] < p.ClassifiedBytes[d] {
+				return fmt.Errorf("%s: classified %v volume %.0f exceeds the total %.0f",
+					path, services.Direction(d), p.ClassifiedBytes[d], p.TotalBytes[d])
+			}
+		}
+		fmt.Printf("%s: ok (%d services, %d epochs, %s classified)\n",
+			path, len(p.Services), len(p.Epochs),
+			report.Bytes(cellTotals[services.DL]+cellTotals[services.UL]))
+	}
+	return nil
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "", "output snapshot file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("merge: -o output file is required")
+	}
+	srcs := fs.Args()
+	if len(srcs) == 0 {
+		return fmt.Errorf("merge: no source snapshots given")
+	}
+	if err := rollup.MergeFiles(*out, srcs...); err != nil {
+		return err
+	}
+	// Summarize from the header alone: re-reading the whole file would
+	// materialize every epoch and defeat the merger's streaming memory
+	// bound on outputs bigger than RAM.
+	f, err := os.Open(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec, err := rollup.NewDecoder(f)
+	if err != nil {
+		return err
+	}
+	p := dec.Header()
+	fmt.Printf("merged %d snapshots into %s: %d bins of %v from %v, %d services, %d epochs\n",
+		len(srcs), *out, p.Cfg.Bins, p.Cfg.Step, p.Cfg.Start.Format("2006-01-02 15:04:05 MST"),
+		len(p.Services), dec.EpochCount())
+	return nil
+}
+
+func runWindow(args []string) error {
+	fs := flag.NewFlagSet("window", flag.ExitOnError)
+	from := fs.Int("from", -1, "first bin of the window (inclusive)")
+	to := fs.Int("to", -1, "end bin of the window (exclusive)")
+	day := fs.Int("day", -1, "calendar day to cut (day 0 starts at the grid start; overrides -from/-to)")
+	out := fs.String("o", "", "output snapshot file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("window: -o output file is required")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("window: exactly one source snapshot expected, got %d", fs.NArg())
+	}
+	p, err := rollup.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var w *rollup.Partial
+	if *day >= 0 {
+		w, err = p.DayWindow(*day)
+	} else {
+		if *from < 0 || *to < 0 {
+			return fmt.Errorf("window: give -from and -to (bins), or -day")
+		}
+		w, err = p.Window(*from, *to)
+	}
+	if err != nil {
+		return err
+	}
+	if err := rollup.WriteFile(*out, w); err != nil {
+		return err
+	}
+	fmt.Printf("wrote window of %s to %s: %d bins of %v from %v, %d services, %d epochs\n",
+		fs.Arg(0), *out, w.Cfg.Bins, w.Cfg.Step, w.Cfg.Start.Format("2006-01-02 15:04:05 MST"),
+		len(w.Services), len(w.Epochs))
+	return nil
+}

@@ -19,8 +19,13 @@ type Options struct {
 	// order; nil or empty runs every registered experiment.
 	IDs []string
 	// Seed overrides the environment's seed for the stochastic
-	// analysis steps; 0 keeps the environment's own seed.
+	// analysis steps. A non-zero Seed always overrides; the zero value
+	// alone keeps the environment's own seed (the historic contract),
+	// so a caller who needs to force seed 0 must set HasSeed.
 	Seed uint64
+	// HasSeed marks Seed as an explicit override whatever its value —
+	// the escape hatch from Seed's zero-means-unset sentinel.
+	HasSeed bool
 }
 
 // Engine executes registered experiments over one shared environment.
@@ -47,7 +52,7 @@ func (eng *Engine) Run(ctx context.Context, opts Options) ([]Result, error) {
 		return nil, err
 	}
 	env := eng.env
-	if opts.Seed != 0 && opts.Seed != env.Seed {
+	if (opts.HasSeed || opts.Seed != 0) && opts.Seed != env.Seed {
 		clone := *env
 		clone.Seed = opts.Seed
 		env = &clone

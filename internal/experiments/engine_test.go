@@ -90,6 +90,54 @@ func TestEngineRunnerErrorPropagates(t *testing.T) {
 	}
 }
 
+// TestSeedOverrideSemantics pins the Options.Seed sentinel fix: a
+// non-zero Seed overrides, a bare zero keeps the environment's seed,
+// and HasSeed forces any value — including the previously unreachable
+// seed 0.
+func TestSeedOverrideSemantics(t *testing.T) {
+	// Well-formed result (title, text): registry-wide tests run every
+	// registered runner, this one included. Register only once — the
+	// registry is process-global, and -count=2 reruns this test body.
+	echo := Runner{ID: "zz-seed-echo", Title: "seed echo", Run: func(ctx context.Context, e *Env) (Result, error) {
+		return Result{
+			ID:      "zz-seed-echo",
+			Title:   "seed echo",
+			Metrics: map[string]float64{"seed": float64(e.Seed)},
+			Text:    "echoes the effective seed back as a metric\n",
+		}, nil
+	}}
+	if _, err := ByID(echo.ID); err != nil {
+		if err := Register(echo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env := &Env{Seed: 42}
+	run := func(opts Options) float64 {
+		t.Helper()
+		opts.IDs = []string{"zz-seed-echo"}
+		out, err := NewEngine(env).Run(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0].Metrics["seed"]
+	}
+	if got := run(Options{}); got != 42 {
+		t.Errorf("no override: runner saw seed %v, want the env's 42", got)
+	}
+	if got := run(Options{Seed: 7}); got != 7 {
+		t.Errorf("non-zero Seed: runner saw seed %v, want 7", got)
+	}
+	if got := run(Options{Seed: 0}); got != 42 {
+		t.Errorf("bare zero Seed: runner saw seed %v, want the env's 42", got)
+	}
+	if got := run(Options{Seed: 0, HasSeed: true}); got != 0 {
+		t.Errorf("HasSeed with zero: runner saw seed %v, want the forced 0", got)
+	}
+	if env.Seed != 42 {
+		t.Errorf("override mutated the shared environment's seed to %d", env.Seed)
+	}
+}
+
 func TestRegisterValidation(t *testing.T) {
 	fig2 := func(ctx context.Context, e *Env) (Result, error) { return e.Fig2(ctx) }
 	if err := Register(Runner{ID: "", Run: fig2}); err == nil {

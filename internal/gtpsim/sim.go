@@ -110,6 +110,8 @@ type Simulator struct {
 	comCumul   []float64 // cumulative subscriber share for commune draw
 	profiles   []*timeseries.Series
 	profCumul  [][]float64 // per-service cumulative profile for start times
+	binLo      int         // session starts draw from profile bins
+	binHi      int         // [binLo, binHi): the cfg observation window
 	ulOverDL   []float64   // per-service UL/DL byte ratio
 	seqCounter uint32
 
@@ -164,18 +166,42 @@ func New(country *geo.Country, catalog []services.Service, cfg Config) (*Simulat
 		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x73696d)), // "sim"
 		nextTEID: 100,
 	}
+	// The observation window maps onto the weekly profile grid: session
+	// start times draw only from bins wholly inside
+	// [cfg.Start, cfg.Start+cfg.Duration). Out-of-window bins keep
+	// their slots in the cumulative tables with zero weight, so a
+	// full-week window reproduces the unwindowed draw sequence bit for
+	// bit — windowing is opt-in, never a behavior change.
+	const profStep = 15 * time.Minute
+	gridBins := int(timeseries.Week / profStep)
+	winStart, winEnd := cfg.Start, cfg.Start.Add(cfg.Duration)
+	s.binLo = int((winStart.Sub(timeseries.StudyStart) + profStep - 1) / profStep)
+	s.binHi = int(winEnd.Sub(timeseries.StudyStart) / profStep)
+	s.binLo = max(s.binLo, 0)
+	s.binHi = min(s.binHi, gridBins)
+	if s.binLo >= s.binHi {
+		return nil, fmt.Errorf("gtpsim: observation window [%v, %v) covers no whole bin of the study week",
+			winStart, winEnd)
+	}
+
 	// Service draw: combined DL volume share.
 	var cum float64
 	for i := range catalog {
 		cum += catalog[i].DLShare
 		s.svcCumul = append(s.svcCumul, cum)
-		prof := services.WeeklyProfile(&catalog[i], 15*time.Minute, services.DL)
+		prof := services.WeeklyProfile(&catalog[i], profStep, services.DL)
 		s.profiles = append(s.profiles, prof)
 		pc := make([]float64, prof.Len())
 		var c float64
 		for j, v := range prof.Values {
-			c += v
+			if j >= s.binLo && j < s.binHi {
+				c += v
+			}
 			pc[j] = c
+		}
+		if c <= 0 {
+			return nil, fmt.Errorf("gtpsim: %s has no profile mass in the observation window [%v, %v)",
+				catalog[i].Name, winStart, winEnd)
 		}
 		s.profCumul = append(s.profCumul, pc)
 		ratio := catalog[i].ULShare * services.ULToDLRatio / catalog[i].DLShare
@@ -293,9 +319,12 @@ func (s *Simulator) session(stats *Stats) []Frame {
 
 	unclassifiable := s.rng.Float64() < s.cfg.UnclassifiableShare
 
-	// Start time from the service's weekly profile.
+	// Start time from the service's weekly profile, clamped into the
+	// observation window (the draw can only leave it on the measure-
+	// zero x == 0 edge of the cumulative search).
 	pc := s.profCumul[svcIdx]
 	binIdx := s.drawIndex(pc)
+	binIdx = min(max(binIdx, s.binLo), s.binHi-1)
 	prof := s.profiles[svcIdx]
 	start := prof.TimeAt(binIdx).Add(time.Duration(s.rng.Float64() * float64(prof.Step)))
 	sessionLife := time.Duration(1+s.rng.IntN(25)) * time.Minute

@@ -39,19 +39,34 @@ type Dataset struct {
 
 var _ core.Dataset = (*Dataset)(nil)
 
-// FromProbe builds a dataset from a probe measurement report. Only
-// services of the catalogue the probe actually observed (non-zero
-// classified bytes in either direction) enter the dataset, preserving
-// catalogue order. step defaults to timeseries.DefaultStep.
+// FromProbe builds a dataset from a probe measurement report over the
+// default grid — the study week from timeseries.StudyStart. step
+// defaults to timeseries.DefaultStep. See FromProbeGrid.
+func FromProbe(rep *probe.Report, country *geo.Country, catalog []services.Service, step time.Duration) (*Dataset, error) {
+	if step <= 0 {
+		step = timeseries.DefaultStep
+	}
+	return FromProbeGrid(rep, country, catalog, timeseries.StudyStart, step, int(timeseries.Week/step))
+}
+
+// FromProbeGrid builds a dataset from a probe measurement report on an
+// explicit time grid: bins samples of step starting at start. The
+// windowed dataset views of the rollup store (rollup.Window) use it to
+// materialize per-day or per-weekend slices whose series do not start
+// at the study epoch. Only services of the catalogue the probe
+// actually observed (non-zero classified bytes in either direction)
+// enter the dataset, preserving catalogue order.
 //
 // Group (per-urbanization-class) series come straight from the
 // report when the probe was configured with probe.ConfigFor (i.e.
 // Report.SvcClassSeries is populated); otherwise each class series is
 // approximated as the national series scaled by the class's share of
 // the service's spatial volume.
-func FromProbe(rep *probe.Report, country *geo.Country, catalog []services.Service, step time.Duration) (*Dataset, error) {
-	if step <= 0 {
-		step = timeseries.DefaultStep
+func FromProbeGrid(rep *probe.Report, country *geo.Country, catalog []services.Service,
+	start time.Time, step time.Duration, bins int) (*Dataset, error) {
+
+	if step <= 0 || bins <= 0 {
+		return nil, fmt.Errorf("measured: grid of %d bins at step %v is not a time binning", bins, step)
 	}
 	var kept []services.Service
 	for _, svc := range catalog {
@@ -67,24 +82,23 @@ func FromProbe(rep *probe.Report, country *geo.Country, catalog []services.Servi
 	for i := range country.Communes {
 		d.classSubs[country.Communes[i].Urbanization] += country.Communes[i].Subscribers
 	}
-	bins := int(timeseries.Week / step)
 	for dir := services.Direction(0); dir < services.NumDirections; dir++ {
 		d.national[dir] = make([]*timeseries.Series, len(kept))
 		d.group[dir] = make([][geo.NumUrbanization]*timeseries.Series, len(kept))
 		d.spatial[dir] = make([][]float64, len(kept))
 		for s, svc := range kept {
 			// National series: the measured time-binned volume; a
-			// zeroed week when the direction carried nothing. The
-			// report's binning must agree with the requested step, or
+			// zeroed grid when the direction carried nothing. The
+			// report's binning must agree with the requested grid, or
 			// the dataset would mix time resolutions.
 			if meas := rep.SeriesOf(dir, svc.Name); meas != nil {
-				if meas.Step != step || !meas.Start.Equal(timeseries.StudyStart) {
-					return nil, fmt.Errorf("measured: report bins %s at %v from %v, want %v from %v — pass the probe's configured step",
-						svc.Name, meas.Step, meas.Start, step, timeseries.StudyStart)
+				if meas.Step != step || !meas.Start.Equal(start) {
+					return nil, fmt.Errorf("measured: report bins %s at %v from %v, want %v from %v — pass the probe's configured grid",
+						svc.Name, meas.Step, meas.Start, step, start)
 				}
 				d.national[dir][s] = meas.Clone()
 			} else {
-				d.national[dir][s] = timeseries.New(timeseries.StudyStart, step, bins)
+				d.national[dir][s] = timeseries.New(start, step, bins)
 			}
 			// Spatial vector from the dense per-commune accounting (the
 			// report's commune space matches the geography on every

@@ -327,6 +327,45 @@ func TestFromProbeStepMismatch(t *testing.T) {
 	}
 }
 
+// TestFromProbeGridWindowStart: the grid-parameterized constructor
+// accepts a report binned off the study epoch — the windowed dataset
+// views of the rollup store — and pins the grid onto every series,
+// while the plain FromProbe keeps rejecting such a report.
+func TestFromProbeGridWindowStart(t *testing.T) {
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	start := timeseries.StudyStart.Add(24 * time.Hour) // day 1, not the epoch
+	const bins = 96
+	cfg := probe.ConfigFor(country)
+	cfg.Start, cfg.Bins = start, bins
+	simCfg := gtpsim.DefaultConfig()
+	simCfg.Sessions = 150
+	simCfg.Start, simCfg.Duration = start, time.Duration(bins)*timeseries.DefaultStep
+	sim, err := gtpsim.New(country, catalog, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := sim.Run()
+	p := probe.New(cfg, sim.Cells, dpi.NewClassifier(catalog))
+	for _, f := range frames {
+		p.HandleFrame(f.Time, f.Data)
+	}
+	ds, err := measured.FromProbeGrid(p.Report(), country, catalog, start, timeseries.DefaultStep, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.NationalSeries(services.DL, 0)
+	if !s.Start.Equal(start) || s.Len() != bins {
+		t.Errorf("windowed series grid %v/%d, want %v/%d", s.Start, s.Len(), start, bins)
+	}
+	if _, err := measured.FromProbe(p.Report(), country, catalog, timeseries.DefaultStep); err == nil {
+		t.Error("FromProbe accepted a report binned off the study epoch")
+	}
+	if _, err := measured.FromProbeGrid(p.Report(), country, catalog, start, timeseries.DefaultStep, 0); err == nil {
+		t.Error("FromProbeGrid accepted a zero-bin grid")
+	}
+}
+
 // TestFromProbeEmptyReport rejects a report with no classified
 // traffic.
 func TestFromProbeEmptyReport(t *testing.T) {

@@ -1,0 +1,394 @@
+package rollup
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/services"
+	"repro/internal/timeseries"
+)
+
+// dayConfig is an 8-bin grid starting day days after the study epoch —
+// the per-day collection unit of the time-extension tests.
+func dayConfig(day int) Config {
+	cfg := tinyConfig()
+	cfg.Bins = 8
+	cfg.Start = cfg.Start.Add(time.Duration(day) * 8 * cfg.Step)
+	return cfg
+}
+
+// buildOn seals a partial over the given grid from handcrafted
+// observations.
+func buildOn(cfg Config, events ...[5]float64) *Partial {
+	// events: {bin, dir, service index, commune, bytes}.
+	svcs := []string{"Facebook", "YouTube", "Netflix", "iCloud"}
+	b := NewBuilder(cfg)
+	for _, e := range events {
+		at := cfg.Start.Add(time.Duration(e[0])*cfg.Step + time.Minute)
+		if e[0] < 0 { // overflow: before the grid
+			at = cfg.Start.Add(-time.Hour)
+		}
+		b.Observe(obs(at, services.Direction(int(e[1])), svcs[int(e[2])], int(e[3]), e[4]))
+	}
+	return b.Seal()
+}
+
+// TestAppendAdjacentDays pins the time-extension merge: two per-day
+// partials with adjacent grids concatenate onto the union grid exactly
+// as if one builder had seen the whole period, overflow epochs fold
+// into the union overflow, and the result is byte-identical to the
+// single-run snapshot.
+func TestAppendAdjacentDays(t *testing.T) {
+	day0, day1 := dayConfig(0), dayConfig(1)
+	full := day0
+	full.Bins = 16
+
+	mkObs := func(cfg Config, bin int, svc string, commune int, vol float64) func(*Builder) {
+		return func(b *Builder) {
+			at := cfg.Start.Add(time.Duration(bin)*cfg.Step + time.Minute)
+			if bin < 0 {
+				at = day0.Start.Add(-time.Hour) // before every grid
+			}
+			b.Observe(obs(at, services.DL, svc, commune, vol))
+		}
+	}
+	// The same event stream, split by day vs observed whole.
+	events0 := []func(*Builder){
+		mkObs(day0, 0, "Facebook", 1, 100),
+		mkObs(day0, 7, "YouTube", 2, 50),
+		mkObs(day0, -1, "Netflix", 3, 11), // overflow
+	}
+	events1 := []func(*Builder){
+		mkObs(day1, 0, "Facebook", 1, 30), // union bin 8
+		mkObs(day1, 3, "iCloud", 4, 70),   // union bin 11
+	}
+	seal := func(cfg Config, evs ...[]func(*Builder)) *Partial {
+		b := NewBuilder(cfg)
+		for _, group := range evs {
+			for _, ev := range group {
+				ev(b)
+			}
+		}
+		return b.Seal()
+	}
+	a := seal(day0, events0)
+	bp := seal(day1, events1)
+	if err := a.Append(bp); err != nil {
+		t.Fatal(err)
+	}
+	want := seal(full, events0, events1)
+	// The day-split totals: the builders never see report totals, so
+	// both sides carry zero totals; compare the structural aggregate.
+	if !reflect.DeepEqual(a.Epochs, want.Epochs) || !reflect.DeepEqual(a.Services, want.Services) {
+		t.Fatalf("appended days diverge from the single run:\n got %+v\nwant %+v", a, want)
+	}
+	if !a.Cfg.sameGrid(want.Cfg) {
+		t.Fatalf("union grid %+v, want %+v", a.Cfg, want.Cfg)
+	}
+	var got, exp bytes.Buffer
+	if err := Write(&got, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&exp, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), exp.Bytes()) {
+		t.Fatal("appended snapshot bytes differ from the single-run snapshot")
+	}
+	if a.Epochs[0].Bin != OverflowBin {
+		t.Fatalf("overflow epoch did not fold first: %+v", a.Epochs[0])
+	}
+}
+
+// TestAppendDisjointRangesAndGap checks a merge across a one-day gap:
+// the union grid spans the hole, and no epoch lands in it.
+func TestAppendDisjointRangesAndGap(t *testing.T) {
+	a := buildOn(dayConfig(0), [5]float64{0, 0, 0, 1, 10})
+	b := buildOn(dayConfig(2), [5]float64{2, 1, 1, 5, 20})
+	if err := a.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cfg.Bins != 24 {
+		t.Fatalf("union of days 0 and 2 has %d bins, want 24", a.Cfg.Bins)
+	}
+	wantBins := []int{0, 18} // day-2 bin 2 = union bin 16+2
+	for i, ep := range a.Epochs {
+		if ep.Bin != wantBins[i] {
+			t.Fatalf("epoch %d at bin %d, want %d", i, ep.Bin, wantBins[i])
+		}
+	}
+}
+
+// TestMergeOverlappingRanges: overlapping grids sum cell-wise where
+// they overlap — the shape of a day run whose sessions spill into the
+// next day's range.
+func TestMergeOverlappingRanges(t *testing.T) {
+	cfgA := tinyConfig() // bins 0..3
+	cfgB := tinyConfig()
+	cfgB.Start = cfgB.Start.Add(2 * cfgB.Step)      // bins 2..5
+	a := buildOn(cfgA, [5]float64{2, 0, 0, 1, 100}) // union bin 2
+	b := buildOn(cfgB, [5]float64{0, 0, 0, 1, 40})  // also union bin 2
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cfg.Bins != 6 {
+		t.Fatalf("union grid %d bins, want 6", a.Cfg.Bins)
+	}
+	if len(a.Epochs) != 1 || a.Epochs[0].Bin != 2 || len(a.Epochs[0].Cells) != 1 {
+		t.Fatalf("overlap did not merge into one cell: %+v", a.Epochs)
+	}
+	if got := a.Epochs[0].Cells[0].Bytes; got != 140 {
+		t.Fatalf("overlapping cell sums to %v, want 140", got)
+	}
+}
+
+// TestMergeRegionUnion: two probes over disjoint commune sets of the
+// same geography merge into the national view — identical to one probe
+// having seen everything.
+func TestMergeRegionUnion(t *testing.T) {
+	cfg := tinyConfig()
+	north := buildOn(cfg,
+		[5]float64{0, 0, 0, 1, 10}, [5]float64{1, 1, 1, 2, 20}, [5]float64{3, 0, 2, 3, 30})
+	south := buildOn(cfg,
+		[5]float64{0, 0, 0, 101, 5}, [5]float64{1, 1, 1, 102, 7}, [5]float64{3, 0, 2, 103, 9})
+	national := buildOn(cfg,
+		[5]float64{0, 0, 0, 1, 10}, [5]float64{1, 1, 1, 2, 20}, [5]float64{3, 0, 2, 3, 30},
+		[5]float64{0, 0, 0, 101, 5}, [5]float64{1, 1, 1, 102, 7}, [5]float64{3, 0, 2, 103, 9})
+	if err := north.Merge(south); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(north.Epochs, national.Epochs) || !reflect.DeepEqual(north.Services, national.Services) {
+		t.Fatalf("region union diverges from the national run:\n got %+v\nwant %+v", north, national)
+	}
+}
+
+// TestLateReopenSurvivesExtensionMerge: a builder that sealed, then
+// reopened a bin for late traffic, merges into a longer range without
+// losing or double-counting the late generation.
+func TestLateReopenSurvivesExtensionMerge(t *testing.T) {
+	day0 := dayConfig(0) // lateness 1
+	b := NewBuilder(day0)
+	at := func(bin int) time.Time { return day0.Start.Add(time.Duration(bin) * day0.Step) }
+	b.Observe(obs(at(0), services.DL, "Facebook", 7, 100))
+	b.Observe(obs(at(3), services.UL, "YouTube", 2, 5))                   // seals bin 0
+	b.Observe(obs(at(0).Add(time.Minute), services.DL, "Facebook", 7, 1)) // late reopen
+	p := b.Seal()
+	if p.LateFrames != 1 {
+		t.Fatalf("fixture did not exercise a late reopen (LateFrames=%d)", p.LateFrames)
+	}
+	next := buildOn(dayConfig(1), [5]float64{0, 0, 0, 7, 40})
+	if err := p.Append(next); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, ep := range p.Epochs {
+		if ep.Bin == 0 {
+			if len(ep.Cells) != 1 || ep.Cells[0].Bytes != 101 {
+				t.Fatalf("late generation lost in extension merge: %+v", ep)
+			}
+		}
+		for _, c := range ep.Cells {
+			sum += c.Bytes
+		}
+	}
+	if sum != 100+5+1+40 {
+		t.Fatalf("extension merge total %v, want 146", sum)
+	}
+}
+
+// TestMergeServiceTableCap pins the overflow bugfix: a union service
+// table that would wrap the services.ID namespace errors instead of
+// silently misattributing traffic, and the receiver stays unchanged.
+func TestMergeServiceTableCap(t *testing.T) {
+	mk := func(prefix string, n int) *Partial {
+		p := &Partial{Cfg: tinyConfig()}
+		for i := 0; i < n; i++ {
+			p.Services = append(p.Services, fmt.Sprintf("%s-%06d", prefix, i))
+		}
+		p.Epochs = []Epoch{{Bin: 0, Cells: []Cell{{Dir: 0, Svc: 0, Commune: 1, Bytes: 1}}}}
+		return p
+	}
+	a := mk("alpha", 40_000)
+	b := mk("beta", 40_000)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging past the 65534-service ID namespace did not error")
+	}
+	if len(a.Services) != 40_000 {
+		t.Fatalf("failed merge mutated the service table to %d entries", len(a.Services))
+	}
+	// Under the cap the same disjoint union merges fine.
+	small := mk("alpha", 100)
+	other := mk("beta", 100)
+	if err := small.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Services) != 200 {
+		t.Fatalf("disjoint union kept %d services, want 200", len(small.Services))
+	}
+}
+
+// TestWindowAlgebra pins the closure property the CI smoke relies on:
+// merging the [a,b) and [b,c) windows of one partial reproduces the
+// [a,c) window bit for bit, and windows drop overflow, compact the
+// service table and recompute totals from cells.
+func TestWindowAlgebra(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Bins = 8
+	p := buildOn(cfg,
+		[5]float64{0, 0, 0, 1, 100}, [5]float64{1, 1, 1, 2, 20}, [5]float64{4, 0, 2, 3, 30},
+		[5]float64{6, 0, 3, 4, 40}, [5]float64{-1, 0, 0, 5, 999})
+	p.TotalBytes = [services.NumDirections]float64{5000, 5000}
+	p.Counters.DecodeErrors = 7
+
+	w1, err := p.Window(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := p.Window(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Append(w2); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := p.Window(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := Write(&got, w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&want, whole); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("merge of two windows is not the whole window")
+	}
+
+	// Windows are views of binned classified traffic only.
+	for _, ep := range whole.Epochs {
+		if ep.Bin == OverflowBin {
+			t.Fatal("window kept the overflow epoch")
+		}
+	}
+	if whole.Counters != (Counters{}) {
+		t.Fatalf("window kept run counters: %+v", whole.Counters)
+	}
+	if whole.TotalBytes != whole.CellTotals() || whole.ClassifiedBytes != whole.CellTotals() {
+		t.Fatalf("window totals not recomputed from cells: %+v", whole.TotalBytes)
+	}
+	// Service compaction: the 999-byte overflow service (Facebook slot
+	// in the rotation) may drop if it only appears out of range.
+	sub, err := p.Window(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Services) != 2 {
+		t.Fatalf("window of 2 bins kept %d services, want 2", len(sub.Services))
+	}
+
+	// Bounds.
+	for _, rng := range [][2]int{{-1, 4}, {0, 9}, {3, 3}, {5, 2}} {
+		if _, err := p.Window(rng[0], rng[1]); err == nil {
+			t.Fatalf("window [%d, %d) accepted", rng[0], rng[1])
+		}
+	}
+}
+
+// TestDayWindow checks the calendar-day convenience, including the
+// clipped final day.
+func TestDayWindow(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Step = 6 * time.Hour // 4 bins per day
+	cfg.Bins = 10            // 2.5 days
+	p := buildOn(cfg, [5]float64{0, 0, 0, 1, 10}, [5]float64{5, 0, 1, 2, 20}, [5]float64{9, 0, 2, 3, 30})
+	d1, err := p.DayWindow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Cfg.Bins != 4 || !d1.Cfg.Start.Equal(cfg.Start.Add(24*time.Hour)) {
+		t.Fatalf("day 1 grid %+v", d1.Cfg)
+	}
+	if got := d1.CellTotals()[services.DL]; got != 20 {
+		t.Fatalf("day 1 volume %v, want 20", got)
+	}
+	d2, err := p.DayWindow(2) // clipped: bins 8..9
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Cfg.Bins != 2 {
+		t.Fatalf("clipped day has %d bins, want 2", d2.Cfg.Bins)
+	}
+	if _, err := p.DayWindow(3); err == nil {
+		t.Fatal("day beyond the grid accepted")
+	}
+	bad := tinyConfig()
+	bad.Step = 7 * time.Hour
+	if _, err := (&Partial{Cfg: bad}).DayWindow(0); err == nil {
+		t.Fatal("non-day-tiling step accepted")
+	}
+}
+
+// TestWindowDataset materializes a windowed view through core.Dataset
+// and checks the series grid is the window's, not the study week's.
+func TestWindowDataset(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Bins = 8
+	p := buildOn(cfg,
+		[5]float64{0, 0, 0, 1, 1000}, [5]float64{1, 0, 0, 1, 500},
+		[5]float64{4, 0, 1, 2, 2000}, [5]float64{5, 0, 2, 2, 700})
+	ds, err := Window(p, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ds.Services()); got != 2 {
+		t.Fatalf("windowed dataset has %d services, want 2", got)
+	}
+	s := ds.NationalSeries(services.DL, 0)
+	if s.Len() != 4 || !s.Start.Equal(cfg.Start.Add(4*cfg.Step)) || s.Step != cfg.Step {
+		t.Fatalf("windowed series grid %v/%v/%d, want window start, %v, 4", s.Start, s.Step, s.Len(), cfg.Step)
+	}
+	var total float64
+	for _, svc := range []int{0, 1} {
+		total += ds.NationalTotal(services.DL, svc)
+	}
+	if total != 2700 {
+		t.Fatalf("windowed national volume %v, want 2700", total)
+	}
+}
+
+// TestWindowWeekendWeekday slices a study-week grid the way the
+// engine's weekend/weekday views do and checks the slices partition
+// the binned volume.
+func TestWindowWeekendWeekday(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Step = timeseries.DefaultStep
+	cfg.Bins = int(timeseries.Week / cfg.Step)
+	bpd, err := cfg.DayBins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildOn(cfg,
+		[5]float64{10, 0, 0, 1, 100},                 // Saturday
+		[5]float64{float64(bpd + 3), 0, 1, 2, 200},   // Sunday
+		[5]float64{float64(3*bpd + 5), 0, 2, 3, 400}, // Tuesday
+	)
+	weekend, err := p.Window(0, 2*bpd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weekdays, err := p.Window(2*bpd, cfg.Bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := weekend.CellTotals()[services.DL]; got != 300 {
+		t.Fatalf("weekend volume %v, want 300", got)
+	}
+	if got := weekdays.CellTotals()[services.DL]; got != 400 {
+		t.Fatalf("weekday volume %v, want 400", got)
+	}
+}

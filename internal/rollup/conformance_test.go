@@ -3,9 +3,11 @@ package rollup_test
 import (
 	"bytes"
 	"context"
+	"os"
 	"reflect"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/capture"
 	"repro/internal/core"
@@ -165,6 +167,106 @@ func TestEndToEndIdentity(t *testing.T) {
 	}
 	if !bytes.Equal(prevSnap, streamBuf.Bytes()) {
 		t.Error("session-ordered stream at 5 shards yields different snapshot bytes than the time-ordered sweep")
+	}
+}
+
+// TestMultiDaySplitCaptureIdentity is the acceptance gate of the
+// snapshot algebra: a capture split into two per-half-week collection
+// runs — each simulated in its own observation window, measured by its
+// own probe pipeline on its own sub-grid, sealed into its own snapshot
+// — streams through rollup.MergeFiles into a snapshot byte-identical
+// to the one full-period run over the concatenated frames, and the
+// engine JSON of the merged snapshot matches the legacy
+// measured.FromProbe path of that full run.
+func TestMultiDaySplitCaptureIdentity(t *testing.T) {
+	country := geo.Generate(geo.SmallConfig())
+	catalog := services.Catalog()
+	weekBins := int(timeseries.Week / timeseries.DefaultStep)
+	half := weekBins / 2
+	// Sessions spill up to a session lifetime past their window, so a
+	// window's probe grid extends by slack bins, clamped to the week —
+	// windowed grids stay sub-grids of the full-week grid.
+	const slack = 3
+
+	// Two windowed simulations with one seed: identical cell
+	// registries and TEID sequences, sessions drawn inside each half.
+	halfSim := func(winFrom, winTo int) []capture.Frame {
+		cfg := gtpsim.DefaultConfig()
+		cfg.Sessions = 300
+		cfg.Seed = 11
+		cfg.Start = timeseries.StudyStart.Add(time.Duration(winFrom) * timeseries.DefaultStep)
+		cfg.Duration = time.Duration(winTo-winFrom) * timeseries.DefaultStep
+		sim, err := gtpsim.New(country, catalog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames, _ := sim.Run()
+		return frames
+	}
+	frames1 := halfSim(0, half)
+	frames2 := halfSim(half, weekBins)
+	cells := gtpsim.BuildCells(country, 11)
+
+	runOn := func(frames []capture.Frame, startBin, bins int) (*probe.Report, *rollup.Partial) {
+		pcfg := probe.ConfigFor(country)
+		pcfg.Start = timeseries.StudyStart.Add(time.Duration(startBin) * timeseries.DefaultStep)
+		pcfg.Bins = bins
+		pl := probe.NewPipeline(pcfg, cells, dpi.NewClassifier(catalog), 2)
+		col := rollup.NewCollector(rollup.ConfigFrom(pcfg, geo.SmallConfig()), pl.Shards())
+		rep, err := pl.WithSinks(col.Sink).Run(capture.NewSliceSource(frames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := col.Finish(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, part
+	}
+
+	// The full-period reference: one pipeline, one week grid, the
+	// concatenated capture.
+	fullRep, fullPart := runOn(append(append([]capture.Frame(nil), frames1...), frames2...), 0, weekBins)
+	var fullSnap bytes.Buffer
+	if err := rollup.Write(&fullSnap, fullPart); err != nil {
+		t.Fatal(err)
+	}
+
+	// The split collection: each half measured independently on its
+	// windowed grid (plus spill slack, clamped to the week).
+	_, part1 := runOn(frames1, 0, min(half+slack, weekBins))
+	_, part2 := runOn(frames2, half, weekBins-half)
+	dir := t.TempDir()
+	day1, day2, merged := dir+"/h1.roll", dir+"/h2.roll", dir+"/merged.roll"
+	if err := rollup.WriteFile(day1, part1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rollup.WriteFile(day2, part2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rollup.MergeFiles(merged, day1, day2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fullSnap.Bytes()) {
+		t.Fatal("merged per-half snapshots are not byte-identical to the full-period run")
+	}
+
+	// And the analysis cannot tell the difference: engine JSON off the
+	// merged snapshot equals the legacy measured path of the full run.
+	legacy, err := measured.FromProbe(fullRep, country, catalog, timeseries.DefaultStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedDS, err := rollup.Open(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(engineJSON(t, mergedDS), engineJSON(t, legacy)) {
+		t.Fatal("engine JSON diverges between the merged split capture and the full-period run")
 	}
 }
 

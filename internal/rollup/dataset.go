@@ -37,6 +37,13 @@ func (p *Partial) Report(country *geo.Country) (*probe.Report, error) {
 		}
 	}
 	if extra != nil {
+		// Guard the ID namespace before interning: NewNames panics past
+		// it, and a merged snapshot's union table can legitimately be
+		// bigger than any single capture's.
+		if total := names.Len() + len(extra); total >= int(services.NoID) {
+			return nil, fmt.Errorf("rollup: snapshot needs %d service IDs, the namespace holds %d",
+				total, int(services.NoID)-1)
+		}
 		names = services.NewNames(append(append([]string(nil), names.All()...), extra...))
 	}
 	// Map each snapshot service index straight to its report ID.
@@ -109,7 +116,7 @@ func (p *Partial) Dataset() (core.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return measured.FromProbe(rep, country, services.Catalog(), p.Cfg.Step)
+	return measured.FromProbeGrid(rep, country, services.Catalog(), p.Cfg.Start, p.Cfg.Step, p.Cfg.Bins)
 }
 
 // Open loads a snapshot file and returns it as a core.Dataset, ready

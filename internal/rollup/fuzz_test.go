@@ -2,6 +2,7 @@ package rollup
 
 import (
 	"bytes"
+	"os"
 	"reflect"
 	"testing"
 
@@ -79,6 +80,77 @@ func FuzzSnapshotReader(f *testing.F) {
 		}
 		if !reflect.DeepEqual(p, q) {
 			t.Fatal("decode∘encode is not the identity on an accepted snapshot")
+		}
+	})
+}
+
+// FuzzSnapshotMerge drives the merge algebra with pseudo-random
+// partial pairs — disjoint and overlapping grids, distinct service
+// subsets, overflow epochs — and checks the invariants every merge
+// must keep: commutativity (after normalization the two orders are
+// structurally identical), exact volume conservation, and the
+// streaming file merger agreeing byte for byte with the in-memory
+// fold.
+func FuzzSnapshotMerge(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint8(0), uint8(8), uint8(8), uint8(8))
+	f.Add(uint64(3), uint64(4), uint8(0), uint8(0), uint8(4), uint8(4))   // same grid
+	f.Add(uint64(5), uint64(6), uint8(0), uint8(4), uint8(8), uint8(16))  // overlap
+	f.Add(uint64(7), uint64(8), uint8(0), uint8(200), uint8(8), uint8(2)) // far gap
+	f.Fuzz(func(t *testing.T, seedA, seedB uint64, startA, startB, binsA, binsB uint8) {
+		if binsA == 0 || binsB == 0 {
+			return
+		}
+		mk := func() (*Partial, *Partial) {
+			return randomPartial(seedA, int(startA), int(binsA)),
+				randomPartial(seedB, int(startB), int(binsB))
+		}
+		a1, b1 := mk()
+		wantTotals := a1.CellTotals()
+		for d, v := range b1.CellTotals() {
+			wantTotals[d] += v
+		}
+		if err := a1.Merge(b1); err != nil {
+			t.Fatalf("merge of aligned grids errored: %v", err)
+		}
+		a2, b2 := mk()
+		if err := b2.Merge(a2); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a1, b2) {
+			t.Fatalf("merge not commutative:\n a·b %+v\n b·a %+v", a1, b2)
+		}
+		if got := a1.CellTotals(); got != wantTotals {
+			t.Fatalf("merge lost volume: %v, want %v", got, wantTotals)
+		}
+		// The streaming merger must produce the same bytes.
+		a3, b3 := mk()
+		dir := t.TempDir()
+		paths := writeSnapshots(t, dir, a3, b3)
+		dst := dir + "/m.roll"
+		if err := MergeFiles(dst, paths...); err != nil {
+			t.Fatal(err)
+		}
+		ra, err := ReadFile(paths[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := ReadFile(paths[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ra.Merge(rb); err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := Write(&want, ra); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatal("MergeFiles bytes differ from the in-memory merge")
 		}
 	})
 }

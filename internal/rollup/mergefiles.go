@@ -1,0 +1,309 @@
+package rollup
+
+import (
+	"fmt"
+	"os"
+	"slices"
+
+	"repro/internal/services"
+)
+
+// MergeFiles merges k snapshot files into one snapshot at dst without
+// ever holding two full partials in RAM: it streams epoch-sorted cell
+// lists through the incremental codec, so live memory is bounded by
+// the source headers (service tables) plus one epoch of cells per
+// source — never the cell total of any file.
+//
+// The sources must be aligned (same step and geography, starts a
+// whole number of steps apart); the output covers their union grid,
+// with per-bin cells summed exactly where ranges overlap and every
+// overflow epoch folded into the union's overflow. Counters and
+// totals add across sources. The result is byte-identical to loading
+// every source and folding them with Partial.Merge — the canonical
+// encoding has exactly one byte representation per aggregate.
+//
+// Two passes over each source keep the memory bound: pass one reads
+// headers and epoch bin lists (verifying each file's CRC end to end),
+// pass two re-streams the cells through the k-way merge. dst must not
+// name any source — the output truncates it — and a source appearing
+// twice is rejected as the file-level shape of the self-merge error.
+func MergeFiles(dst string, srcs ...string) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("rollup: MergeFiles needs at least one source snapshot")
+	}
+	if err := checkDistinctFiles(dst, srcs); err != nil {
+		return err
+	}
+
+	// Pass 1: headers, bin lists, end-to-end CRC of every source.
+	hdrs := make([]*Partial, len(srcs))
+	bins := make([][]int, len(srcs))
+	var buf []Cell
+	for i, src := range srcs {
+		h, b, reuse, err := scanSnapshot(src, buf)
+		if err != nil {
+			return err
+		}
+		hdrs[i], bins[i], buf = h, b, reuse
+	}
+
+	// The union grid, service table, totals and counters.
+	out := &Partial{Cfg: hdrs[0].Cfg}
+	for i, h := range hdrs[1:] {
+		u, err := out.Cfg.Union(h.Cfg)
+		if err != nil {
+			return fmt.Errorf("rollup: merging %s: %w", srcs[i+1], err)
+		}
+		out.Cfg = u
+	}
+	var names []string
+	for _, h := range hdrs {
+		names = append(names, h.Services...)
+	}
+	slices.Sort(names)
+	names = slices.Compact(names)
+	if len(names) >= int(services.NoID) {
+		return fmt.Errorf("rollup: merged service table of %d names exceeds the %d-service ID namespace",
+			len(names), int(services.NoID)-1)
+	}
+	out.Services = names
+	idx := make(map[string]uint32, len(names))
+	for i, name := range names {
+		idx[name] = uint32(i)
+	}
+	remaps := make([][]uint32, len(srcs))
+	shifts := make([]int, len(srcs))
+	for i, h := range hdrs {
+		remaps[i] = make([]uint32, len(h.Services))
+		for j, name := range h.Services {
+			remaps[i][j] = idx[name]
+		}
+		shifts[i] = h.Cfg.binOffset(out.Cfg)
+		out.absorbSums(h)
+	}
+
+	// The output epoch sequence: the sorted union of the shifted bin
+	// lists (overflow, encoded as -1, naturally sorts first).
+	var outBins []int
+	for i, bl := range bins {
+		for _, b := range bl {
+			outBins = append(outBins, shiftBin(b, shifts[i]))
+		}
+	}
+	slices.Sort(outBins)
+	outBins = slices.Compact(outBins)
+
+	// Pass 2: k-way merge, one epoch live per source.
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc, err := NewEncoder(f, out, len(outBins))
+	if err != nil {
+		return err
+	}
+	m := &kwayMerger{decs: make([]*mergeSource, len(srcs))}
+	for i, src := range srcs {
+		ms, err := openMergeSource(src, remaps[i], shifts[i])
+		if err != nil {
+			return err
+		}
+		defer ms.close()
+		m.decs[i] = ms
+	}
+	for _, bin := range outBins {
+		cells, err := m.epoch(bin)
+		if err != nil {
+			return err
+		}
+		if err := enc.WriteEpoch(Epoch{Bin: bin, Cells: cells}); err != nil {
+			return err
+		}
+	}
+	for _, ms := range m.decs {
+		if err := ms.drain(); err != nil {
+			return err
+		}
+	}
+	if err := enc.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// checkDistinctFiles rejects dst aliasing a source and duplicate
+// sources: the streaming writer truncates dst, and a source counted
+// twice is the file-level self-merge double-count.
+func checkDistinctFiles(dst string, srcs []string) error {
+	infos := make([]os.FileInfo, len(srcs))
+	for i, src := range srcs {
+		fi, err := os.Stat(src)
+		if err != nil {
+			return err
+		}
+		infos[i] = fi
+		for j := 0; j < i; j++ {
+			if os.SameFile(infos[j], fi) {
+				return fmt.Errorf("rollup: source %s repeats %s — merging a snapshot with itself would double-count every cell",
+					src, srcs[j])
+			}
+		}
+	}
+	if dfi, err := os.Stat(dst); err == nil {
+		for i, fi := range infos {
+			if os.SameFile(dfi, fi) {
+				return fmt.Errorf("rollup: destination %s is source %s — the merge would truncate its own input", dst, srcs[i])
+			}
+		}
+	}
+	return nil
+}
+
+// scanSnapshot reads one source end to end, returning its header, its
+// epoch bin list and the reusable cell buffer. The full read verifies
+// the CRC before pass 2 trusts the stream.
+func scanSnapshot(path string, buf []Cell) (*Partial, []int, []Cell, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, buf, err
+	}
+	defer f.Close()
+	dec, err := NewDecoder(f)
+	if err != nil {
+		return nil, nil, buf, fmt.Errorf("%s: %w", path, err)
+	}
+	bins := make([]int, 0, dec.EpochCount())
+	for {
+		ep, ok, err := dec.Next(buf)
+		if err != nil {
+			return nil, nil, buf, fmt.Errorf("%s: %w", path, err)
+		}
+		if !ok {
+			return dec.Header(), bins, buf, nil
+		}
+		bins = append(bins, ep.Bin)
+		buf = ep.Cells
+	}
+}
+
+func shiftBin(bin, shift int) int {
+	if bin == OverflowBin {
+		return OverflowBin
+	}
+	return bin + shift
+}
+
+// mergeSource is one snapshot being streamed through pass 2: a
+// decoder, the source's service remap and bin shift, and the one
+// pending epoch (decoded into a buffer reused across epochs).
+type mergeSource struct {
+	f       *os.File
+	dec     *Decoder
+	remap   []uint32
+	shift   int
+	pending Epoch
+	buf     []Cell
+	has     bool
+	path    string
+}
+
+func openMergeSource(path string, remap []uint32, shift int) (*mergeSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := NewDecoder(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	ms := &mergeSource{f: f, dec: dec, remap: remap, shift: shift, path: path}
+	return ms, ms.advance()
+}
+
+// advance decodes the next epoch, remaps its service ids into the
+// union table and restores cell order (the remap may break it). The
+// cell buffer is reused across epochs, so the source holds exactly
+// one epoch of cells at any time.
+func (ms *mergeSource) advance() error {
+	ep, ok, err := ms.dec.Next(ms.buf[:0:cap(ms.buf)])
+	if err != nil {
+		return fmt.Errorf("%s: %w", ms.path, err)
+	}
+	if !ok {
+		ms.has = false
+		return nil
+	}
+	for i := range ep.Cells {
+		ep.Cells[i].Svc = ms.remap[ep.Cells[i].Svc]
+	}
+	slices.SortFunc(ep.Cells, cellCompare)
+	ep.Bin = shiftBin(ep.Bin, ms.shift)
+	ms.pending, ms.buf, ms.has = ep, ep.Cells, true
+	return nil
+}
+
+// drain verifies the source hit clean EOF (pass 2 consumed every
+// epoch, so the final Next re-verified the CRC) and closes it.
+func (ms *mergeSource) drain() error {
+	if ms.has {
+		return fmt.Errorf("%s: unmerged epochs left behind", ms.path)
+	}
+	return ms.f.Close()
+}
+
+func (ms *mergeSource) close() { ms.f.Close() }
+
+// kwayMerger folds the pending epochs of every source that lands on
+// one output bin into a single sorted cell list, reusing two scratch
+// buffers so steady-state merging allocates nothing.
+type kwayMerger struct {
+	decs    []*mergeSource
+	acc     []Cell
+	scratch []Cell
+}
+
+// epoch merges every source epoch mapping to bin and advances those
+// sources past it.
+func (m *kwayMerger) epoch(bin int) ([]Cell, error) {
+	m.acc = m.acc[:0]
+	for _, ms := range m.decs {
+		if !ms.has || ms.pending.Bin != bin {
+			continue
+		}
+		if len(m.acc) == 0 {
+			m.acc = append(m.acc, ms.pending.Cells...)
+		} else {
+			m.scratch = mergeCellsInto(m.scratch[:0], m.acc, ms.pending.Cells)
+			m.acc, m.scratch = m.scratch, m.acc
+		}
+		if err := ms.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return m.acc, nil
+}
+
+// mergeCellsInto sums two sorted unique cell lists into dst (appended,
+// so callers can recycle its backing array).
+func mergeCellsInto(dst, a, b []Cell) []Cell {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case cellLess(a[i], b[j]):
+			dst = append(dst, a[i])
+			i++
+		case cellLess(b[j], a[i]):
+			dst = append(dst, b[j])
+			j++
+		default:
+			c := a[i]
+			c.Bytes += b[j].Bytes
+			dst = append(dst, c)
+			i, j = i+1, j+1
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}

@@ -80,9 +80,46 @@ func (c Config) binOf(at time.Time) int {
 	return i
 }
 
-// sameGrid reports whether two configs describe mergeable rollups.
+// sameGrid reports whether two configs describe identical rollup
+// grids, the fast path of Merge.
 func (c Config) sameGrid(o Config) bool {
 	return c.Start.Equal(o.Start) && c.Step == o.Step && c.Bins == o.Bins && c.Geo == o.Geo
+}
+
+// Union returns the smallest config covering both grids: the earlier
+// start, the later end, the shared step and geography. It errors when
+// the grids are not aligned (different step or geography, or starts
+// off-lattice) or the union would exceed MaxBins.
+func (c Config) Union(o Config) (Config, error) {
+	if c.Step != o.Step {
+		return Config{}, fmt.Errorf("rollup: cannot union grids with steps %v and %v", c.Step, o.Step)
+	}
+	if c.Geo != o.Geo {
+		return Config{}, fmt.Errorf("rollup: cannot union grids over different geographies (%+v vs %+v)", c.Geo, o.Geo)
+	}
+	if o.Start.Sub(c.Start)%c.Step != 0 {
+		return Config{}, fmt.Errorf("rollup: grid starts %v and %v are not a whole number of %v steps apart",
+			c.Start, o.Start, c.Step)
+	}
+	u := c
+	if o.Start.Before(u.Start) {
+		u.Start = o.Start
+	}
+	end, oEnd := c.Start.Add(time.Duration(c.Bins)*c.Step), o.Start.Add(time.Duration(o.Bins)*o.Step)
+	if oEnd.After(end) {
+		end = oEnd
+	}
+	u.Bins = int(end.Sub(u.Start) / u.Step)
+	if u.Bins > MaxBins {
+		return Config{}, fmt.Errorf("rollup: union grid of %d bins exceeds the limit of %d", u.Bins, MaxBins)
+	}
+	return u, nil
+}
+
+// binOffset returns how many bins c's grid starts after u's. Both
+// configs must be aligned (a Union result and one of its inputs).
+func (c Config) binOffset(u Config) int {
+	return int(c.Start.Sub(u.Start) / c.Step)
 }
 
 // Cell is one accumulator: the bytes a (direction, service, commune)
@@ -279,7 +316,7 @@ func (b *Builder) carve(n int) []Cell {
 		b.arena = make([]Cell, size)
 		b.arenaUsed = 0
 	}
-	out := b.arena[b.arenaUsed:b.arenaUsed : b.arenaUsed+n]
+	out := b.arena[b.arenaUsed : b.arenaUsed : b.arenaUsed+n]
 	b.arenaUsed += n
 	return out
 }
@@ -377,25 +414,7 @@ func foldGenerations(eps []Epoch) []Epoch {
 // unique list. Sums are exact: every cell value is a sum of
 // integer-valued packet lengths.
 func mergeCells(a, b []Cell) []Cell {
-	out := make([]Cell, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case cellLess(a[i], b[j]):
-			out = append(out, a[i])
-			i++
-		case cellLess(b[j], a[i]):
-			out = append(out, b[j])
-			j++
-		default:
-			c := a[i]
-			c.Bytes += b[j].Bytes
-			out = append(out, c)
-			i, j = i+1, j+1
-		}
-	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
+	return mergeCellsInto(make([]Cell, 0, len(a)+len(b)), a, b)
 }
 
 // normalize rewrites the partial into its canonical form: service
@@ -436,18 +455,52 @@ func (p *Partial) normalize() {
 // Merge folds o into p, mutating p; o is left untouched. Partials
 // merge exactly and commutatively — cell sums are sums of
 // integer-valued packet lengths, so accumulation order cannot change a
-// bit — mirroring probe.Report.Merge across shards. The two partials
-// must share a grid (same start, step, bins and geography config).
+// bit — mirroring probe.Report.Merge across shards.
+//
+// Identical grids merge cell-wise, the shard-merge fast path. Grids
+// that are merely aligned — same step and geography, starts a whole
+// number of steps apart — widen onto their union grid first: a Monday
+// snapshot appends to a Tuesday snapshot, two regional probes of one
+// geography union into the national view, and overlapping ranges sum
+// exactly where they overlap. Overflow epochs carry no position in
+// time, so they fold into the union's overflow epoch. Anything else
+// (different step, different geography, off-lattice starts) errors,
+// as does merging a partial into itself — an aliased receiver would
+// double-count every cell — or growing the service union past the
+// services.ID namespace (the uint16 table rollup.Open remaps into).
+// On error p is left unchanged.
 func (p *Partial) Merge(o *Partial) error {
-	if !p.Cfg.sameGrid(o.Cfg) {
-		return fmt.Errorf("rollup: merging mismatched grids (%v/%v/%d bins vs %v/%v/%d bins)",
-			p.Cfg.Start, p.Cfg.Step, p.Cfg.Bins, o.Cfg.Start, o.Cfg.Step, o.Cfg.Bins)
+	if p == o {
+		return fmt.Errorf("rollup: merging a partial into itself would double-count every cell")
 	}
-	// Union the service tables and remap o's cells into it.
+	shiftP, shiftO := 0, 0
+	u := p.Cfg
+	if !p.Cfg.sameGrid(o.Cfg) {
+		var err error
+		if u, err = p.Cfg.Union(o.Cfg); err != nil {
+			return fmt.Errorf("rollup: merging mismatched grids (%v/%v/%d bins vs %v/%v/%d bins): %w",
+				p.Cfg.Start, p.Cfg.Step, p.Cfg.Bins, o.Cfg.Start, o.Cfg.Step, o.Cfg.Bins, err)
+		}
+		shiftP, shiftO = p.Cfg.binOffset(u), o.Cfg.binOffset(u)
+	}
+	// Union the service tables and remap o's cells into it — but guard
+	// the namespace first, before any mutation: rollup.Open remaps the
+	// table into services.ID (uint16, NoID sentinel), so a union past
+	// that limit would silently misattribute traffic downstream.
 	remap := make([]uint32, len(o.Services))
 	idx := make(map[string]uint32, len(p.Services))
 	for i, name := range p.Services {
 		idx[name] = uint32(i)
+	}
+	grown := len(p.Services)
+	for _, name := range o.Services {
+		if _, ok := idx[name]; !ok {
+			grown++
+		}
+	}
+	if grown >= int(services.NoID) {
+		return fmt.Errorf("rollup: merged service table of %d names exceeds the %d-service ID namespace",
+			grown, int(services.NoID)-1)
 	}
 	for i, name := range o.Services {
 		id, ok := idx[name]
@@ -458,27 +511,43 @@ func (p *Partial) Merge(o *Partial) error {
 		}
 		remap[i] = id
 	}
+	p.Cfg = u
+	// Re-bin both epoch streams onto the union grid: a non-overflow bin
+	// shifts by its grid's offset (shiftBin), the overflow epoch stays
+	// overflow. Shifts are non-negative, so both streams stay sorted.
 	merged := make([]Epoch, 0, len(p.Epochs)+len(o.Epochs))
 	i, j := 0, 0
 	for i < len(p.Epochs) && j < len(o.Epochs) {
 		a, b := p.Epochs[i], o.Epochs[j]
+		abin, bbin := shiftBin(a.Bin, shiftP), shiftBin(b.Bin, shiftO)
 		switch {
-		case a.Bin < b.Bin:
-			merged = append(merged, a)
+		case abin < bbin:
+			merged = append(merged, Epoch{Bin: abin, Cells: a.Cells})
 			i++
-		case b.Bin < a.Bin:
-			merged = append(merged, Epoch{Bin: b.Bin, Cells: remapCells(b.Cells, remap)})
+		case bbin < abin:
+			merged = append(merged, Epoch{Bin: bbin, Cells: remapCells(b.Cells, remap)})
 			j++
 		default:
-			merged = append(merged, Epoch{Bin: a.Bin, Cells: mergeCells(a.Cells, remapCells(b.Cells, remap))})
+			merged = append(merged, Epoch{Bin: abin, Cells: mergeCells(a.Cells, remapCells(b.Cells, remap))})
 			i, j = i+1, j+1
 		}
 	}
-	merged = append(merged, p.Epochs[i:]...)
+	for ; i < len(p.Epochs); i++ {
+		merged = append(merged, Epoch{Bin: shiftBin(p.Epochs[i].Bin, shiftP), Cells: p.Epochs[i].Cells})
+	}
 	for ; j < len(o.Epochs); j++ {
-		merged = append(merged, Epoch{Bin: o.Epochs[j].Bin, Cells: remapCells(o.Epochs[j].Cells, remap)})
+		merged = append(merged, Epoch{Bin: shiftBin(o.Epochs[j].Bin, shiftO), Cells: remapCells(o.Epochs[j].Cells, remap)})
 	}
 	p.Epochs = merged
+	p.absorbSums(o)
+	p.normalize()
+	return nil
+}
+
+// absorbSums adds o's totals, counters and late-frame diagnostics
+// into p — the scalar half of a merge, shared with MergeFiles so the
+// two folds cannot drift apart.
+func (p *Partial) absorbSums(o *Partial) {
 	for d := 0; d < services.NumDirections; d++ {
 		p.TotalBytes[d] += o.TotalBytes[d]
 		p.ClassifiedBytes[d] += o.ClassifiedBytes[d]
@@ -489,8 +558,6 @@ func (p *Partial) Merge(o *Partial) error {
 	p.Counters.ControlMessages += o.Counters.ControlMessages
 	p.Counters.UserPlanePackets += o.Counters.UserPlanePackets
 	p.LateFrames += o.LateFrames
-	p.normalize()
-	return nil
 }
 
 // remapCells rewrites cell service ids through remap and restores the

@@ -156,14 +156,44 @@ func TestMergeCommutative(t *testing.T) {
 	}
 }
 
-// TestMergeRejectsMismatchedGrids pins the alignment guard.
+// TestMergeRejectsMismatchedGrids pins the alignment guard: grids that
+// merely extend each other (same lattice, different range) now merge,
+// but a different step, an off-lattice start or another geography is
+// still a hard error — and a failed merge must leave p untouched.
 func TestMergeRejectsMismatchedGrids(t *testing.T) {
-	a := NewBuilder(tinyConfig()).Seal()
-	other := tinyConfig()
-	other.Bins = 8
-	b := NewBuilder(other).Seal()
-	if err := a.Merge(b); err == nil {
-		t.Fatal("merging mismatched grids did not error")
+	mk := func(mut func(*Config)) *Partial {
+		cfg := tinyConfig()
+		mut(&cfg)
+		b := NewBuilder(cfg)
+		b.Observe(obs(cfg.Start, services.DL, "Facebook", 1, 10))
+		return b.Seal()
+	}
+	base := mk(func(*Config) {})
+	cases := map[string]*Partial{
+		"different step":    mk(func(c *Config) { c.Step = 30 * time.Minute }),
+		"off-lattice start": mk(func(c *Config) { c.Start = c.Start.Add(time.Minute) }),
+		"another geography": mk(func(c *Config) { c.Geo.NumCommunes++ }),
+		"over-limit union":  mk(func(c *Config) { c.Start = c.Start.Add(time.Duration(MaxBins+1) * c.Step) }),
+		"aliased receiver":  base,
+	}
+	for name, other := range cases {
+		before := base.CellTotals()
+		if err := base.Merge(other); err == nil {
+			t.Errorf("%s: merge did not error", name)
+		}
+		if got := base.CellTotals(); got != before {
+			t.Errorf("%s: failed merge mutated the receiver (%v -> %v)", name, before, got)
+		}
+	}
+
+	// Same lattice, larger range: the time-extension feature, not an
+	// error.
+	wider := mk(func(c *Config) { c.Bins = 8 })
+	if err := base.Merge(wider); err != nil {
+		t.Fatalf("extending merge rejected: %v", err)
+	}
+	if base.Cfg.Bins != 8 {
+		t.Fatalf("union grid has %d bins, want 8", base.Cfg.Bins)
 	}
 }
 

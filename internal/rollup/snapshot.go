@@ -48,6 +48,12 @@ import (
 // tables and cell lists, and the reader enforces the ordering, so one
 // aggregate has exactly one byte representation — equal captures give
 // byte-identical snapshots at any shard count.
+//
+// The codec is incremental: Encoder emits the header once and then one
+// epoch at a time, Decoder yields one epoch at a time into a reusable
+// cell buffer. Write/Read wrap them for whole-partial use; the
+// streaming k-way merger (MergeFiles) uses them directly so its live
+// memory stays bounded by one epoch of cells, never a whole snapshot.
 var snapshotMagic = [8]byte{'G', 'T', 'P', 'R', 'O', 'L', 'L', 1}
 
 // Decoder limits: declared sizes are checked against these before any
@@ -81,110 +87,186 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 	return cw.w.Write(p)
 }
 
-// Write persists the partial to w in snapshot format v1.
-func Write(w io.Writer, p *Partial) error {
-	if p.Cfg.Bins < 0 || p.Cfg.Bins > MaxBins {
-		return fmt.Errorf("rollup: cannot snapshot %d bins (limit %d)", p.Cfg.Bins, MaxBins)
+// Encoder writes one snapshot incrementally: the header (config,
+// counters, totals, service table, epoch count) at construction, then
+// exactly the declared number of epochs via WriteEpoch, then the CRC
+// trailer at Close. It is the streaming half the k-way merger writes
+// through; Write wraps it for whole-partial encoding.
+type Encoder struct {
+	bw        *bufio.Writer
+	cw        *crcWriter
+	bins      int
+	remaining int
+	prevBin   int
+	closed    bool
+	// scratch batches one epoch's records into a single reused buffer:
+	// the per-field binio helpers cross an io.Writer boundary, which
+	// makes their stack buffers escape — one heap allocation per field,
+	// linear in file size. Appending locally and writing in chunks
+	// keeps WriteEpoch allocation-free, the bound MergeFiles relies on.
+	scratch []byte
+}
+
+// NewEncoder validates hdr (its Epochs field is ignored) and writes
+// the snapshot header declaring exactly epochs epoch records to come.
+func NewEncoder(w io.Writer, hdr *Partial, epochs int) (*Encoder, error) {
+	if hdr.Cfg.Bins < 0 || hdr.Cfg.Bins > MaxBins {
+		return nil, fmt.Errorf("rollup: cannot snapshot %d bins (limit %d)", hdr.Cfg.Bins, MaxBins)
 	}
-	if len(p.Services) > MaxServices {
-		return fmt.Errorf("rollup: cannot snapshot %d services (limit %d)", len(p.Services), MaxServices)
+	if len(hdr.Services) > MaxServices {
+		return nil, fmt.Errorf("rollup: cannot snapshot %d services (limit %d)", len(hdr.Services), MaxServices)
+	}
+	if epochs < 0 || epochs > hdr.Cfg.Bins+1 {
+		return nil, fmt.Errorf("rollup: %d epochs do not fit a grid of %d bins", epochs, hdr.Cfg.Bins)
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
-		return fmt.Errorf("rollup: writing snapshot header: %w", err)
+		return nil, fmt.Errorf("rollup: writing snapshot header: %w", err)
 	}
 	cw := &crcWriter{w: bw}
 	var i64 [8]byte
-	binary.BigEndian.PutUint64(i64[:], uint64(p.Cfg.Start.UnixNano()))
+	binary.BigEndian.PutUint64(i64[:], uint64(hdr.Cfg.Start.UnixNano()))
 	if _, err := cw.Write(i64[:]); err != nil {
-		return err
+		return nil, err
 	}
-	for _, v := range []uint64{uint64(p.Cfg.Step), uint64(p.Cfg.Bins),
-		uint64(p.Cfg.Geo.NumCommunes), uint64(p.Cfg.Geo.NumCities), uint64(p.Cfg.Geo.Population)} {
+	for _, v := range []uint64{uint64(hdr.Cfg.Step), uint64(hdr.Cfg.Bins),
+		uint64(hdr.Cfg.Geo.NumCommunes), uint64(hdr.Cfg.Geo.NumCities), uint64(hdr.Cfg.Geo.Population)} {
 		if err := capture.WriteUvarint(cw, v); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	if err := capture.WriteFloat64(cw, p.Cfg.Geo.OperatorShare); err != nil {
-		return err
+	if err := capture.WriteFloat64(cw, hdr.Cfg.Geo.OperatorShare); err != nil {
+		return nil, err
 	}
-	binary.BigEndian.PutUint64(i64[:], p.Cfg.Geo.Seed)
+	binary.BigEndian.PutUint64(i64[:], hdr.Cfg.Geo.Seed)
 	if _, err := cw.Write(i64[:]); err != nil {
-		return err
+		return nil, err
 	}
-	for _, v := range []int{p.Counters.DecodeErrors, p.Counters.UnknownTEID, p.Counters.UnknownCell,
-		p.Counters.ControlMessages, p.Counters.UserPlanePackets} {
+	for _, v := range []int{hdr.Counters.DecodeErrors, hdr.Counters.UnknownTEID, hdr.Counters.UnknownCell,
+		hdr.Counters.ControlMessages, hdr.Counters.UserPlanePackets} {
 		if err := capture.WriteUvarint(cw, uint64(v)); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	for d := 0; d < services.NumDirections; d++ {
-		if err := capture.WriteFloat64(cw, p.TotalBytes[d]); err != nil {
-			return err
+		if err := capture.WriteFloat64(cw, hdr.TotalBytes[d]); err != nil {
+			return nil, err
 		}
 	}
 	for d := 0; d < services.NumDirections; d++ {
-		if err := capture.WriteFloat64(cw, p.ClassifiedBytes[d]); err != nil {
-			return err
+		if err := capture.WriteFloat64(cw, hdr.ClassifiedBytes[d]); err != nil {
+			return nil, err
 		}
 	}
-	if err := capture.WriteUvarint(cw, uint64(len(p.Services))); err != nil {
-		return err
+	if err := capture.WriteUvarint(cw, uint64(len(hdr.Services))); err != nil {
+		return nil, err
 	}
-	for _, name := range p.Services {
+	for _, name := range hdr.Services {
 		if len(name) == 0 || len(name) > MaxServiceName {
-			return fmt.Errorf("rollup: service name %q not encodable (1..%d bytes)", name, MaxServiceName)
+			return nil, fmt.Errorf("rollup: service name %q not encodable (1..%d bytes)", name, MaxServiceName)
 		}
 		if err := capture.WriteString(cw, name); err != nil {
+			return nil, err
+		}
+	}
+	if err := capture.WriteUvarint(cw, uint64(epochs)); err != nil {
+		return nil, err
+	}
+	return &Encoder{bw: bw, cw: cw, bins: hdr.Cfg.Bins, remaining: epochs, prevBin: OverflowBin - 1}, nil
+}
+
+// WriteEpoch appends one epoch record. Epochs must arrive in strictly
+// ascending bin order (overflow first) with cells already sorted —
+// exactly the invariants normalized partials and the decoder maintain.
+func (e *Encoder) WriteEpoch(ep Epoch) error {
+	if e.remaining <= 0 {
+		return fmt.Errorf("rollup: more epochs written than the header declared")
+	}
+	if ep.Bin < OverflowBin || ep.Bin >= e.bins {
+		return fmt.Errorf("rollup: epoch bin %d outside grid of %d bins", ep.Bin, e.bins)
+	}
+	if ep.Bin <= e.prevBin {
+		return fmt.Errorf("rollup: epoch bin %d not strictly after %d", ep.Bin, e.prevBin)
+	}
+	e.prevBin = ep.Bin
+	e.remaining--
+	if len(ep.Cells) > MaxEpochCells {
+		return fmt.Errorf("rollup: epoch %d has %d cells (limit %d)", ep.Bin, len(ep.Cells), MaxEpochCells)
+	}
+	e.scratch = binary.AppendUvarint(e.scratch[:0], uint64(ep.Bin+1))
+	e.scratch = binary.AppendUvarint(e.scratch, uint64(len(ep.Cells)))
+	for _, c := range ep.Cells {
+		e.scratch = append(e.scratch, c.Dir)
+		e.scratch = binary.AppendUvarint(e.scratch, uint64(c.Svc))
+		e.scratch = binary.AppendUvarint(e.scratch, uint64(c.Commune))
+		e.scratch = binary.BigEndian.AppendUint64(e.scratch, math.Float64bits(c.Bytes))
+		if len(e.scratch) >= 32*1024 {
+			if _, err := e.cw.Write(e.scratch); err != nil {
+				return err
+			}
+			e.scratch = e.scratch[:0]
+		}
+	}
+	if len(e.scratch) > 0 {
+		if _, err := e.cw.Write(e.scratch); err != nil {
 			return err
 		}
 	}
-	if err := capture.WriteUvarint(cw, uint64(len(p.Epochs))); err != nil {
+	return nil
+}
+
+// Close writes the CRC trailer and flushes. Every declared epoch must
+// have been written.
+func (e *Encoder) Close() error {
+	if e.closed {
+		return fmt.Errorf("rollup: encoder closed twice")
+	}
+	e.closed = true
+	if e.remaining != 0 {
+		return fmt.Errorf("rollup: %d declared epochs never written", e.remaining)
+	}
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], e.cw.crc)
+	if _, err := e.bw.Write(b4[:]); err != nil {
 		return err
 	}
-	for _, ep := range p.Epochs {
-		if ep.Bin < OverflowBin || ep.Bin >= p.Cfg.Bins {
-			return fmt.Errorf("rollup: epoch bin %d outside grid of %d bins", ep.Bin, p.Cfg.Bins)
-		}
-		if err := capture.WriteUvarint(cw, uint64(ep.Bin+1)); err != nil {
-			return err
-		}
-		if len(ep.Cells) > MaxEpochCells {
-			return fmt.Errorf("rollup: epoch %d has %d cells (limit %d)", ep.Bin, len(ep.Cells), MaxEpochCells)
-		}
-		if err := capture.WriteUvarint(cw, uint64(len(ep.Cells))); err != nil {
-			return err
-		}
-		for _, c := range ep.Cells {
-			if _, err := cw.Write([]byte{c.Dir}); err != nil {
-				return err
-			}
-			if err := capture.WriteUvarint(cw, uint64(c.Svc)); err != nil {
-				return err
-			}
-			if err := capture.WriteUvarint(cw, uint64(c.Commune)); err != nil {
-				return err
-			}
-			if err := capture.WriteFloat64(cw, c.Bytes); err != nil {
-				return err
-			}
-		}
-	}
-	binary.BigEndian.PutUint32(i64[:4], cw.crc)
-	if _, err := bw.Write(i64[:4]); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
+	if err := e.bw.Flush(); err != nil {
 		return fmt.Errorf("rollup: flushing snapshot: %w", err)
 	}
 	return nil
 }
 
+// Write persists the partial to w in snapshot format v1.
+func Write(w io.Writer, p *Partial) error {
+	enc, err := NewEncoder(w, p, len(p.Epochs))
+	if err != nil {
+		return err
+	}
+	for _, ep := range p.Epochs {
+		if err := enc.WriteEpoch(ep); err != nil {
+			return err
+		}
+	}
+	return enc.Close()
+}
+
 // crcReader sums every byte actually consumed (bufio read-ahead must
 // not contaminate the running CRC, so the tee sits above the buffer).
+// b8 is the persistent fixed-width scratch: per-call stack buffers
+// would escape through the io.Reader boundary and cost one allocation
+// per float, linear in cell count.
 type crcReader struct {
 	br  *bufio.Reader
 	crc uint32
+	b8  [8]byte
+}
+
+// readFloat64 reads one big-endian IEEE-754 value allocation-free.
+func (cr *crcReader) readFloat64(what string) (float64, error) {
+	if err := capture.ReadFull(cr, cr.b8[:], what); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(cr.b8[:])), nil
 }
 
 func (cr *crcReader) Read(p []byte) (int, error) {
@@ -196,16 +278,36 @@ func (cr *crcReader) Read(p []byte) (int, error) {
 func (cr *crcReader) ReadByte() (byte, error) {
 	b, err := cr.br.ReadByte()
 	if err == nil {
-		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, []byte{b})
+		// Through b8, not a literal: crcReader is called through the
+		// io.ByteReader interface (binary.ReadUvarint), where a fresh
+		// one-byte slice would escape — an allocation per varint byte.
+		cr.b8[0] = b
+		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, cr.b8[:1])
 	}
 	return b, err
 }
 
-// Read decodes one snapshot. Every declared size is bounds-checked
-// before allocation, orderings are enforced (the format is canonical),
-// and the trailing CRC must match: a truncated, bit-flipped or
-// oversize-field stream errors, it never panics or over-allocates.
-func Read(r io.Reader) (*Partial, error) {
+// Decoder reads one snapshot incrementally: the header is decoded and
+// validated at construction, then Next yields one epoch at a time —
+// into a caller-reusable cell buffer — enforcing the same orderings
+// and limits the whole-partial Read enforces, and verifying the CRC
+// and clean EOF after the last epoch. Live memory is the header plus
+// one epoch of cells, which is what bounds the k-way merger.
+type Decoder struct {
+	br      *bufio.Reader
+	cr      *crcReader
+	hdr     *Partial
+	nEpochs int
+	read    int
+	prevBin int
+	fin     bool
+}
+
+// NewDecoder consumes and validates the snapshot header (through the
+// epoch count). Every declared size is bounds-checked before
+// allocation; a truncated, bit-flipped or oversize-field stream
+// errors, it never panics or over-allocates.
+func NewDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if err := capture.ReadFull(br, magic[:], "snapshot header"); err != nil {
@@ -281,52 +383,104 @@ func Read(r io.Reader) (*Partial, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.Epochs = make([]Epoch, 0, min(int(nEpochs), cellPrealloc))
-	prevBin := OverflowBin - 1
-	for e := uint64(0); e < nEpochs; e++ {
-		binPlus1, err := capture.ReadUvarint(cr, uint64(p.Cfg.Bins), "snapshot epoch bin")
-		if err != nil {
-			return nil, err
-		}
-		bin := int(binPlus1) - 1
-		if bin <= prevBin {
-			return nil, fmt.Errorf("rollup: epoch bins not strictly ascending at %d", bin)
-		}
-		prevBin = bin
-		nCells, err := capture.ReadUvarint(cr, MaxEpochCells, "snapshot cell count")
-		if err != nil {
-			return nil, err
-		}
-		ep := Epoch{Bin: bin, Cells: make([]Cell, 0, min(int(nCells), cellPrealloc))}
-		var prev Cell
-		for c := uint64(0); c < nCells; c++ {
-			cell, err := readCell(cr, len(p.Services))
-			if err != nil {
-				return nil, err
-			}
-			if c > 0 && !cellLess(prev, cell) {
-				return nil, fmt.Errorf("rollup: epoch %d cells not strictly ascending", bin)
-			}
-			prev = cell
-			ep.Cells = append(ep.Cells, cell)
-		}
-		p.Epochs = append(p.Epochs, ep)
-	}
+	return &Decoder{br: br, cr: cr, hdr: p, nEpochs: int(nEpochs), prevBin: OverflowBin - 1}, nil
+}
 
-	sum := cr.crc
-	if err := capture.ReadFull(br, i64[:4], "snapshot checksum"); err != nil {
-		return nil, err
+// Header returns the decoded header as a partial with no epochs: the
+// config, service table, counters and totals. The decoder retains it;
+// callers who keep it past the decoder's life should not mutate it
+// while still calling Next.
+func (d *Decoder) Header() *Partial { return d.hdr }
+
+// EpochCount returns the number of epoch records the snapshot
+// declares.
+func (d *Decoder) EpochCount() int { return d.nEpochs }
+
+// Next decodes the next epoch into buf (appending from buf[:0]; pass
+// the returned epoch's Cells back in to reuse the allocation, or nil
+// to let Next allocate). After the last epoch it verifies the CRC
+// trailer and clean EOF, and returns ok == false.
+func (d *Decoder) Next(buf []Cell) (ep Epoch, ok bool, err error) {
+	if d.fin {
+		return Epoch{}, false, nil
 	}
-	if got := binary.BigEndian.Uint32(i64[:4]); got != sum {
-		return nil, fmt.Errorf("rollup: snapshot checksum mismatch (stored %08x, computed %08x)", got, sum)
+	if d.read == d.nEpochs {
+		d.fin = true
+		return Epoch{}, false, d.finish()
+	}
+	d.read++
+	binPlus1, err := capture.ReadUvarint(d.cr, uint64(d.hdr.Cfg.Bins), "snapshot epoch bin")
+	if err != nil {
+		return Epoch{}, false, err
+	}
+	bin := int(binPlus1) - 1
+	if bin <= d.prevBin {
+		return Epoch{}, false, fmt.Errorf("rollup: epoch bins not strictly ascending at %d", bin)
+	}
+	d.prevBin = bin
+	nCells, err := capture.ReadUvarint(d.cr, MaxEpochCells, "snapshot cell count")
+	if err != nil {
+		return Epoch{}, false, err
+	}
+	if buf == nil {
+		buf = make([]Cell, 0, min(int(nCells), cellPrealloc))
+	} else {
+		buf = buf[:0]
+	}
+	var prev Cell
+	for c := uint64(0); c < nCells; c++ {
+		cell, err := readCell(d.cr, len(d.hdr.Services))
+		if err != nil {
+			return Epoch{}, false, err
+		}
+		if c > 0 && !cellLess(prev, cell) {
+			return Epoch{}, false, fmt.Errorf("rollup: epoch %d cells not strictly ascending", bin)
+		}
+		prev = cell
+		buf = append(buf, cell)
+	}
+	return Epoch{Bin: bin, Cells: buf}, true, nil
+}
+
+// finish checks the CRC trailer and that the stream ends cleanly.
+func (d *Decoder) finish() error {
+	sum := d.cr.crc
+	var b4 [4]byte
+	if err := capture.ReadFull(d.br, b4[:], "snapshot checksum"); err != nil {
+		return err
+	}
+	if got := binary.BigEndian.Uint32(b4[:]); got != sum {
+		return fmt.Errorf("rollup: snapshot checksum mismatch (stored %08x, computed %08x)", got, sum)
 	}
 	// A snapshot is a whole-stream format: anything after the CRC (a
 	// double Write, a concatenation, a botched transfer) is corruption
 	// and must be flagged, not silently ignored.
-	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("rollup: trailing data after the snapshot checksum")
+	if _, err := d.br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("rollup: trailing data after the snapshot checksum")
 	}
-	return p, nil
+	return nil
+}
+
+// Read decodes one snapshot whole. It is the materializing wrapper
+// over Decoder: every ordering and limit is enforced, and the trailing
+// CRC must match.
+func Read(r io.Reader) (*Partial, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	p := d.Header()
+	p.Epochs = make([]Epoch, 0, min(d.EpochCount(), cellPrealloc))
+	for {
+		ep, ok, err := d.Next(nil)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return p, nil
+		}
+		p.Epochs = append(p.Epochs, ep)
+	}
 }
 
 // readGeoConfig decodes the geography regeneration parameters.
@@ -346,7 +500,7 @@ func readGeoConfig(cr *crcReader, g *geo.Config) error {
 		return err
 	}
 	g.Population = int(pop)
-	share, err := capture.ReadFloat64(cr, "snapshot operator share")
+	share, err := cr.readFloat64("snapshot operator share")
 	if err != nil {
 		return err
 	}
@@ -365,7 +519,7 @@ func readGeoConfig(cr *crcReader, g *geo.Config) error {
 // readVolume reads a float64 that must be a finite, non-negative byte
 // volume — a cheap sanity gate in front of the CRC.
 func readVolume(cr *crcReader, what string) (float64, error) {
-	v, err := capture.ReadFloat64(cr, what)
+	v, err := cr.readFloat64(what)
 	if err != nil {
 		return 0, err
 	}
