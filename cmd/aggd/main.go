@@ -1,0 +1,106 @@
+// Command aggd is the merging aggregator of the distributed-collection
+// plane: it accepts epoch streams from N probed instances, folds them
+// with the exact Partial.Merge/grid-union algebra into per-probe
+// partials, and writes the national-view snapshot when the run drains
+// (every expected probe sent FIN) or on SIGINT/SIGTERM.
+//
+// With -state the aggregation survives restarts: cursors and partials
+// persist to the state file, reconnecting probes resume from their
+// durable sequence, and nothing is double-counted — the mid-run
+// aggregator restart of the conformance suite rides on exactly this.
+// With -ctl a second listener serves the line-oriented admin protocol
+// (snapshot / window A:B / status) that cmd/rollupctl fetch speaks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/epochwire"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `aggd: fold epoch streams from probed instances into one snapshot
+
+Listens on -listen for probe connections; with -probes N it exits 0
+on its own once N distinct probes complete their runs, writing the
+aggregate to -snapshot. SIGINT/SIGTERM also drains gracefully:
+state persists, the snapshot (of whatever has arrived) is written,
+exit 0.
+
+`)
+		flag.PrintDefaults()
+	}
+	listen := flag.String("listen", "127.0.0.1:9900", "address to accept probe connections on")
+	ctl := flag.String("ctl", "", "address for the admin socket (snapshot/window/status; used by rollupctl fetch)")
+	probes := flag.Int("probes", 0, "drain after this many distinct probes complete (0 = run until signalled)")
+	state := flag.String("state", "", "persist aggregation state to this file (enables restart without data loss)")
+	snapshot := flag.String("snapshot", "", "write the folded aggregate snapshot here on drain/shutdown")
+	persistEvery := flag.Int("persist-every", 16, "persist state after this many applied epochs (FIN always persists)")
+	idleTimeout := flag.Duration("idle-timeout", 60*time.Second, "per-connection read deadline (probes ping well inside it)")
+	quiet := flag.Bool("quiet", false, "log only errors and the final summary")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	agg, err := epochwire.NewAggregator(*listen, *ctl, epochwire.AggConfig{
+		Probes:       *probes,
+		StatePath:    *state,
+		PersistEvery: *persistEvery,
+		IdleTimeout:  *idleTimeout,
+		Logf:         logf,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if !*quiet {
+		fmt.Printf("aggd: listening on %s", agg.Addr())
+		if agg.CtlAddr() != "" {
+			fmt.Printf(" (ctl %s)", agg.CtlAddr())
+		}
+		fmt.Println()
+	}
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-agg.Done():
+		if !*quiet {
+			fmt.Println("aggd: all probes complete, draining")
+		}
+	case <-sigCh:
+		fmt.Fprintln(os.Stderr, "aggd: signal received, draining (again to force quit)")
+		go func() {
+			<-sigCh
+			fmt.Fprintln(os.Stderr, "aggd: forced quit")
+			os.Exit(1)
+		}()
+	}
+	agg.Stop()
+	if *snapshot != "" {
+		if err := agg.WriteSnapshot(*snapshot); err != nil {
+			fail(err)
+		}
+		if !*quiet {
+			fmt.Printf("aggd: wrote aggregate snapshot to %s\n", *snapshot)
+		}
+	}
+	st := agg.StatusNow()
+	js, _ := json.Marshal(st)
+	fmt.Printf("aggd: %s\n", js)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -17,8 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/capture"
@@ -148,6 +151,24 @@ CI use.
 			*sessions, winFrom, winTo, len(country.Communes), len(cells.Cells), *shards)
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM cuts the source so
+	// the pipeline drains its normal end-of-stream path — open epochs
+	// seal, the snapshot (of what was measured) is written, exit 0. A
+	// second signal force-exits.
+	stop := capture.NewStopSource(src)
+	var interrupted atomic.Bool
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "probesim: signal received, draining (again to force quit)")
+		interrupted.Store(true)
+		stop.Stop()
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "probesim: forced quit")
+		os.Exit(1)
+	}()
+
 	pcfg := probe.ConfigFor(country)
 	pcfg.Start = timeseries.StudyStart.Add(time.Duration(winFrom) * timeseries.DefaultStep)
 	pcfg.Bins = gridTo - winFrom
@@ -157,7 +178,7 @@ CI use.
 		col = rollup.NewCollector(rollup.ConfigFrom(pcfg, geo.SmallConfig()), pl.Shards())
 		pl.WithSinks(col.Sink)
 	}
-	rep, err := pl.Run(src)
+	rep, err := pl.Run(stop)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "capture broke mid-stream: %v (reporting what was measured)\n", err)
 	}
@@ -205,9 +226,10 @@ CI use.
 		say("wrote heap profile to %s\n", *memprofile)
 	}
 
-	// Quiet mode ends here: the ranking below exists only for display,
-	// so CI runs skip its materialization cost entirely.
-	if *quiet {
+	// Quiet mode and interrupted runs end here: the ranking below
+	// exists only for display, so CI runs skip its materialization
+	// cost and a Ctrl-C'd run stops at its (already written) snapshot.
+	if *quiet || interrupted.Load() {
 		return
 	}
 

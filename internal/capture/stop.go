@@ -1,0 +1,43 @@
+package capture
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// StopSource wraps a Source so the stream can be cut off cleanly from
+// another goroutine — the mechanism behind graceful daemon shutdown:
+// a signal handler calls Stop, the consumer's next Next returns io.EOF
+// as if the capture had ended, and everything downstream (pipeline
+// drain, epoch sealing, snapshot write) runs its normal end-of-stream
+// path instead of being torn down mid-frame.
+//
+// Stop is safe to call concurrently with Next and more than once. The
+// wrapper forwards the underlying source's stability (StableSource):
+// frames already emitted keep whatever lifetime guarantee the inner
+// source gave them, and stopping never invalidates them.
+type StopSource struct {
+	src     Source
+	stopped atomic.Bool
+}
+
+// NewStopSource wraps src. The wrapper assumes ownership of the
+// source's single-use Next stream.
+func NewStopSource(src Source) *StopSource { return &StopSource{src: src} }
+
+// Next implements Source: the inner stream until Stop, then io.EOF.
+func (s *StopSource) Next() (Frame, error) {
+	if s.stopped.Load() {
+		return Frame{}, io.EOF
+	}
+	return s.src.Next()
+}
+
+// Stop makes every subsequent Next return io.EOF. A Next racing the
+// call may still deliver one in-flight frame; the stream is cleanly
+// terminated either way.
+func (s *StopSource) Stop() { s.stopped.Store(true) }
+
+// StableData implements StableSource by forwarding the inner source's
+// guarantee.
+func (s *StopSource) StableData() bool { return IsStable(s.src) }

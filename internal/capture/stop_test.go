@@ -1,0 +1,53 @@
+package capture
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func TestStopSourceCutsStream(t *testing.T) {
+	frames := make([]Frame, 10)
+	for i := range frames {
+		frames[i] = Frame{Time: time.Unix(int64(i), 0), Data: []byte{byte(i)}}
+	}
+	s := NewStopSource(NewSliceSource(frames))
+	if !IsStable(s) {
+		t.Fatal("StopSource over a stable source must stay stable")
+	}
+	for i := 0; i < 4; i++ {
+		f, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data[0] != byte(i) {
+			t.Fatalf("frame %d: got data %v", i, f.Data)
+		}
+	}
+	s.Stop()
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("Next after Stop = %v, want io.EOF", err)
+	}
+	// Stop is idempotent and EOF is sticky.
+	s.Stop()
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("second Next after Stop = %v, want io.EOF", err)
+	}
+}
+
+// unstable is a minimal non-stable source: one reused buffer.
+type unstable struct{ n int }
+
+func (u *unstable) Next() (Frame, error) {
+	if u.n == 0 {
+		return Frame{}, io.EOF
+	}
+	u.n--
+	return Frame{Data: []byte{1}}, nil
+}
+
+func TestStopSourceForwardsInstability(t *testing.T) {
+	if IsStable(NewStopSource(&unstable{n: 3})) {
+		t.Fatal("StopSource must not upgrade an unstable source to stable")
+	}
+}

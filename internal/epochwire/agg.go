@@ -1,0 +1,726 @@
+package epochwire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/rollup"
+)
+
+// AggConfig configures an aggregator.
+type AggConfig struct {
+	// Probes is how many distinct probe IDs constitute a complete run:
+	// once that many have sent FIN, the aggregator drains (closes
+	// Done). Zero means never drain — run until stopped.
+	Probes int
+	// StatePath, when set, persists aggregation state so a restarted
+	// aggregator resumes from its durable cursors instead of zero.
+	StatePath string
+	// PersistEvery is how many applied messages may accumulate before
+	// the state file is rewritten (default 16). FIN always persists
+	// immediately — a probe's Finish returns only once its whole run
+	// is in the state file.
+	PersistEvery int
+	// IdleTimeout is the per-connection read deadline (default 60s);
+	// probes ping well inside it.
+	IdleTimeout time.Duration
+	// Logf, when set, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// probeState is one probe's slice of aggregator state.
+type probeState struct {
+	incarnation uint64
+	applied     uint64 // highest seq folded into part
+	durable     uint64 // highest seq captured by the last persist
+	watermark   uint64 // max received watermark, on the probe's grid
+	cfg         rollup.Config
+	fin         bool
+	part        *rollup.Partial // nil until the first epoch
+	conn        net.Conn        // live connection, if any (latest wins)
+}
+
+// Aggregator accepts probe connections and folds their epoch streams
+// into per-probe partials with the exact Merge algebra. Keeping one
+// partial per probe (folded into the national view only on demand) is
+// what makes probe restarts clean: a reconnect under a new incarnation
+// discards that probe's partial alone and replays, touching nothing
+// already aggregated from its peers.
+type Aggregator struct {
+	cfg AggConfig
+	ln  net.Listener
+	ctl net.Listener
+
+	mu       sync.Mutex
+	base     rollup.Config // union of every accepted grid; adopted from the first Hello
+	haveBase bool
+	probes   map[string]*probeState
+	dirty    int // applied-but-not-persisted message count
+	draining bool
+
+	done     chan struct{} // closed when Probes distinct probes have fin'd
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewAggregator binds addr, loads the state file if one exists, and
+// starts accepting probes. ctlAddr, when non-empty, serves the
+// line-oriented admin protocol (snapshot/window/status) on a second
+// listener.
+func NewAggregator(addr, ctlAddr string, cfg AggConfig) (*Aggregator, error) {
+	if cfg.PersistEvery <= 0 {
+		cfg.PersistEvery = 16
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	a := &Aggregator{
+		cfg:    cfg,
+		probes: make(map[string]*probeState),
+		done:   make(chan struct{}),
+	}
+	if cfg.StatePath != "" {
+		if err := a.loadState(); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a.ln = ln
+	if ctlAddr != "" {
+		ctl, err := net.Listen("tcp", ctlAddr)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		a.ctl = ctl
+		a.wg.Add(1)
+		go a.acceptCtl()
+	}
+	a.mu.Lock()
+	a.checkDrain()
+	a.mu.Unlock()
+	a.wg.Add(1)
+	go a.accept()
+	return a, nil
+}
+
+// Addr returns the probe listener's bound address.
+func (a *Aggregator) Addr() string { return a.ln.Addr().String() }
+
+// CtlAddr returns the admin listener's bound address ("" if none).
+func (a *Aggregator) CtlAddr() string {
+	if a.ctl == nil {
+		return ""
+	}
+	return a.ctl.Addr().String()
+}
+
+// Done is closed once Probes distinct probes have completed their
+// runs (their FINs are durable).
+func (a *Aggregator) Done() <-chan struct{} { return a.done }
+
+// Stop closes the listeners and live connections, persists state, and
+// waits for connection handlers to exit. Safe to call more than once.
+func (a *Aggregator) Stop() {
+	a.stopOnce.Do(func() {
+		a.ln.Close()
+		if a.ctl != nil {
+			a.ctl.Close()
+		}
+		a.mu.Lock()
+		for _, ps := range a.probes {
+			if ps.conn != nil {
+				ps.conn.Close()
+			}
+		}
+		a.persistLocked()
+		a.mu.Unlock()
+	})
+	a.wg.Wait()
+}
+
+func (a *Aggregator) accept() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			if err := a.serve(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				a.cfg.Logf("epochwire: probe connection from %s: %v", conn.RemoteAddr(), err)
+			}
+			conn.Close()
+		}()
+	}
+}
+
+// serve runs one probe connection: handshake, then the epoch/ack loop.
+func (a *Aggregator) serve(conn net.Conn) error {
+	conn.SetReadDeadline(time.Now().Add(a.cfg.IdleTimeout))
+	br := bufio.NewReader(conn)
+	h, err := ReadHello(br)
+	if err != nil {
+		var ve *VersionError
+		if errors.As(err, &ve) {
+			WriteWelcome(conn, &Welcome{Reject: ve.Error()})
+		}
+		return err
+	}
+
+	a.mu.Lock()
+	// Adopt the first grid, union in every later one. A grid that
+	// cannot union (different step or geography, off-lattice start) is
+	// a misconfigured probe: reject it at the door.
+	if !a.haveBase {
+		a.base, a.haveBase = h.Cfg, true
+	} else if u, err := a.base.Union(h.Cfg); err != nil {
+		a.mu.Unlock()
+		WriteWelcome(conn, &Welcome{Reject: err.Error()})
+		return fmt.Errorf("epochwire: rejecting probe %q: %w", h.ProbeID, err)
+	} else {
+		a.base = u
+	}
+	ps := a.probes[h.ProbeID]
+	if ps == nil {
+		ps = &probeState{}
+		a.probes[h.ProbeID] = ps
+	}
+	if old := ps.conn; old != nil {
+		old.Close() // latest connection for a probe ID wins
+	}
+	ps.conn = conn
+	if ps.incarnation != h.Incarnation {
+		// A new probe process: its replayed stream supersedes whatever
+		// the old incarnation delivered. Reset this probe's slice of
+		// state; peers are untouched.
+		if ps.incarnation != 0 || ps.applied != 0 {
+			a.cfg.Logf("epochwire: probe %q restarted (incarnation %x→%x), resetting its stream", h.ProbeID, ps.incarnation, h.Incarnation)
+		}
+		ps.incarnation = h.Incarnation
+		ps.applied, ps.durable, ps.watermark = 0, 0, 0
+		ps.fin = false
+		ps.part = nil
+		a.persistLocked()
+	}
+	ps.cfg = h.Cfg
+	durable := ps.durable
+	a.mu.Unlock()
+
+	if err := WriteWelcome(conn, &Welcome{Durable: durable}); err != nil {
+		return err
+	}
+	a.cfg.Logf("epochwire: probe %q connected from %s (durable %d)", h.ProbeID, conn.RemoteAddr(), durable)
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(a.cfg.IdleTimeout))
+		m, err := ReadMessage(br)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case MsgPing:
+			if err := WriteMessage(conn, &Message{Type: MsgPong}); err != nil {
+				return err
+			}
+		case MsgEpoch, MsgFin:
+			ack, err := a.apply(h.ProbeID, h.Incarnation, m)
+			if err != nil {
+				return err
+			}
+			if err := WriteMessage(conn, ack); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("epochwire: unexpected %q message from probe %q", m.Type, h.ProbeID)
+		}
+	}
+}
+
+// apply folds one epoch/fin message into the probe's partial and
+// returns the ack. Duplicates (seq already applied — a retransmit
+// racing an ack) are acked without re-applying; a sequence gap means
+// the peers disagree about history and kills the connection.
+func (a *Aggregator) apply(probeID string, incarnation uint64, m *Message) (*Message, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ps := a.probes[probeID]
+	if ps == nil || ps.incarnation != incarnation {
+		return nil, fmt.Errorf("epochwire: probe %q state superseded mid-stream", probeID)
+	}
+	if m.Seq <= ps.applied {
+		return &Message{Type: MsgAck, Seq: m.Seq, Durable: ps.durable}, nil
+	}
+	if m.Seq != ps.applied+1 {
+		return nil, fmt.Errorf("epochwire: probe %q sent seq %d after %d", probeID, m.Seq, ps.applied)
+	}
+	part, err := rollup.Read(bytes.NewReader(m.Blob))
+	if err != nil {
+		return nil, fmt.Errorf("epochwire: probe %q seq %d: %w", probeID, m.Seq, err)
+	}
+	if m.Type == MsgEpoch && len(part.Epochs) == 0 {
+		return nil, fmt.Errorf("epochwire: probe %q seq %d: epoch message with no epoch", probeID, m.Seq)
+	}
+	if m.Type == MsgFin && len(part.Epochs) != 0 {
+		return nil, fmt.Errorf("epochwire: probe %q seq %d: fin message carrying %d epochs", probeID, m.Seq, len(part.Epochs))
+	}
+	if ps.part == nil {
+		ps.part = part
+	} else if err := ps.part.Merge(part); err != nil {
+		return nil, fmt.Errorf("epochwire: probe %q seq %d: %w", probeID, m.Seq, err)
+	}
+	ps.applied = m.Seq
+	if m.Watermark > ps.watermark {
+		ps.watermark = m.Watermark
+	}
+	a.dirty++
+	if m.Type == MsgFin {
+		ps.fin = true
+	}
+	// FIN persists unconditionally: the probe's Finish blocks until its
+	// fin is durable, so exit 0 on the probe certifies the whole run is
+	// in this aggregator's state file.
+	if m.Type == MsgFin || a.dirty >= a.cfg.PersistEvery {
+		if err := a.persistLocked(); err != nil {
+			return nil, err
+		}
+	}
+	if m.Type == MsgFin {
+		a.checkDrain()
+	}
+	return &Message{Type: MsgAck, Seq: m.Seq, Durable: ps.durable}, nil
+}
+
+// checkDrain closes done once enough distinct probes have fin'd.
+// Caller holds mu.
+func (a *Aggregator) checkDrain() {
+	if a.draining || a.cfg.Probes <= 0 {
+		return
+	}
+	fins := 0
+	for _, ps := range a.probes {
+		if ps.fin {
+			fins++
+		}
+	}
+	if fins >= a.cfg.Probes {
+		a.draining = true
+		close(a.done)
+	}
+}
+
+// Fold merges every probe's partial into one national-view partial on
+// the union grid. Merge order is fixed (sorted probe IDs) but
+// irrelevant: the algebra is exact and the encoding canonical, so any
+// order produces the same bytes.
+func (a *Aggregator) Fold() (*rollup.Partial, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.foldLocked()
+}
+
+func (a *Aggregator) foldLocked() (*rollup.Partial, error) {
+	ids := make([]string, 0, len(a.probes))
+	for id, ps := range a.probes {
+		if ps.part != nil {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		if !a.haveBase {
+			return nil, fmt.Errorf("epochwire: nothing aggregated yet")
+		}
+		return &rollup.Partial{Cfg: a.base}, nil
+	}
+	sort.Strings(ids)
+	// Clone the first partial via an encode/decode round trip so the
+	// fold never mutates live per-probe state.
+	var buf bytes.Buffer
+	if err := rollup.Write(&buf, a.probes[ids[0]].part); err != nil {
+		return nil, err
+	}
+	out, err := rollup.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids[1:] {
+		if err := out.Merge(a.probes[id].part); err != nil {
+			return nil, fmt.Errorf("epochwire: folding probe %q: %w", id, err)
+		}
+	}
+	return out, nil
+}
+
+// WriteSnapshot folds and writes the aggregate to path (atomically,
+// via a temp file).
+func (a *Aggregator) WriteSnapshot(path string) error {
+	part, err := a.Fold()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := rollup.Write(&buf, part); err != nil {
+		return err
+	}
+	return atomicWrite(path, buf.Bytes())
+}
+
+// Status is the machine-readable aggregator state for the admin
+// socket and logs.
+type Status struct {
+	Probes []ProbeStatus `json:"probes"`
+	// SealedThrough is the first bin on the union grid that some live
+	// probe may still write to — everything below it is final.
+	SealedThrough int  `json:"sealed_through"`
+	Draining      bool `json:"draining"`
+}
+
+// ProbeStatus is one probe's slice of Status.
+type ProbeStatus struct {
+	ID        string `json:"id"`
+	Applied   uint64 `json:"applied"`
+	Durable   uint64 `json:"durable"`
+	Watermark uint64 `json:"watermark"`
+	Fin       bool   `json:"fin"`
+	Epochs    int    `json:"epochs"`
+}
+
+// StatusNow reports per-probe cursors and the aggregate watermark.
+func (a *Aggregator) StatusNow() Status {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := Status{Draining: a.draining}
+	ids := make([]string, 0, len(a.probes))
+	for id := range a.probes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	sealed := -1
+	for i, id := range ids {
+		ps := a.probes[id]
+		n := 0
+		if ps.part != nil {
+			n = len(ps.part.Epochs)
+		}
+		st.Probes = append(st.Probes, ProbeStatus{
+			ID: id, Applied: ps.applied, Durable: ps.durable,
+			Watermark: ps.watermark, Fin: ps.fin, Epochs: n,
+		})
+		// Shift the probe-grid watermark onto the union grid: the
+		// sealed frontier is the minimum across probes.
+		off := int(ps.cfg.Start.Sub(a.base.Start) / a.base.Step)
+		wm := off + int(ps.watermark)
+		if i == 0 || wm < sealed {
+			sealed = wm
+		}
+	}
+	if sealed < 0 {
+		sealed = 0
+	}
+	st.SealedThrough = sealed
+	return st
+}
+
+// --- admin (ctl) socket -------------------------------------------------
+//
+// Line-oriented request/response for operators and rollupctl fetch:
+//
+//	snapshot\n         → ok <n>\n + n bytes of rollup snapshot
+//	window <A:B>\n     → ok <n>\n + n bytes of the windowed snapshot
+//	status\n           → ok <n>\n + n bytes of JSON Status
+//
+// Errors answer err <message>\n. One request per connection.
+
+func (a *Aggregator) acceptCtl() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ctl.Accept()
+		if err != nil {
+			return
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(a.cfg.IdleTimeout))
+			a.serveCtl(conn)
+		}()
+	}
+}
+
+func (a *Aggregator) serveCtl(conn net.Conn) {
+	line, err := bufio.NewReader(io.LimitReader(conn, 256)).ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		fmt.Fprintf(conn, "err empty request\n")
+		return
+	}
+	var body []byte
+	switch fields[0] {
+	case "snapshot", "window":
+		part, ferr := a.Fold()
+		if ferr == nil && fields[0] == "window" {
+			if len(fields) != 2 {
+				ferr = fmt.Errorf("usage: window A:B")
+			} else {
+				var from, to int
+				if from, to, ferr = rollup.ParseBinRange(fields[1]); ferr == nil {
+					part, ferr = part.Window(from, to)
+				}
+			}
+		}
+		if ferr == nil {
+			var buf bytes.Buffer
+			if ferr = rollup.Write(&buf, part); ferr == nil {
+				body = buf.Bytes()
+			}
+		}
+		err = ferr
+	case "status":
+		body, err = json.Marshal(a.StatusNow())
+	default:
+		err = fmt.Errorf("unknown command %q", fields[0])
+	}
+	if err != nil {
+		fmt.Fprintf(conn, "err %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		return
+	}
+	fmt.Fprintf(conn, "ok %d\n", len(body))
+	conn.Write(body)
+}
+
+// --- state persistence --------------------------------------------------
+//
+// The state file is what makes aggregator restarts invisible to the
+// conformance bar: cursors and partials survive, probes resume from
+// their durable seq, and nothing is double-counted.
+//
+//	magic "EPWSTAT" + version byte 1
+//	base-config flag byte (0/1), then config blob (uvarint len + bytes)
+//	probe count uvarint, then per probe:
+//	  id string, incarnation 8B BE, applied uvarint, watermark uvarint,
+//	  fin byte, config blob, partial flag byte + snapshot blob
+//	crc32 (IEEE) of everything before it, 4B BE
+
+var stateMagic = []byte("EPWSTAT")
+
+const stateVersion = 1
+
+// persistLocked rewrites the state file. Caller holds mu. On success
+// every probe's durable cursor catches up to its applied cursor.
+func (a *Aggregator) persistLocked() error {
+	if a.cfg.StatePath == "" {
+		for _, ps := range a.probes {
+			ps.durable = ps.applied // no file: "durable" is in-memory
+		}
+		a.dirty = 0
+		return nil
+	}
+	var buf bytes.Buffer
+	buf.Write(stateMagic)
+	buf.WriteByte(stateVersion)
+	if a.haveBase {
+		buf.WriteByte(1)
+		blob, err := EncodeConfig(a.base)
+		if err != nil {
+			return err
+		}
+		if err := capture.WriteString(&buf, string(blob)); err != nil {
+			return err
+		}
+	} else {
+		buf.WriteByte(0)
+	}
+	ids := make([]string, 0, len(a.probes))
+	for id := range a.probes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if err := capture.WriteUvarint(&buf, uint64(len(ids))); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		ps := a.probes[id]
+		if err := capture.WriteString(&buf, id); err != nil {
+			return err
+		}
+		var i64 [8]byte
+		putUint64(i64[:], ps.incarnation)
+		buf.Write(i64[:])
+		if err := capture.WriteUvarint(&buf, ps.applied); err != nil {
+			return err
+		}
+		if err := capture.WriteUvarint(&buf, ps.watermark); err != nil {
+			return err
+		}
+		if ps.fin {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+		blob, err := EncodeConfig(ps.cfg)
+		if err != nil {
+			return err
+		}
+		if err := capture.WriteString(&buf, string(blob)); err != nil {
+			return err
+		}
+		if ps.part == nil {
+			buf.WriteByte(0)
+		} else {
+			buf.WriteByte(1)
+			var pbuf bytes.Buffer
+			if err := rollup.Write(&pbuf, ps.part); err != nil {
+				return err
+			}
+			if err := capture.WriteString(&buf, pbuf.String()); err != nil {
+				return err
+			}
+		}
+	}
+	var crc [4]byte
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	crc[0], crc[1], crc[2], crc[3] = byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum)
+	buf.Write(crc[:])
+	if err := atomicWrite(a.cfg.StatePath, buf.Bytes()); err != nil {
+		return err
+	}
+	for _, ps := range a.probes {
+		ps.durable = ps.applied
+	}
+	a.dirty = 0
+	return nil
+}
+
+func (a *Aggregator) loadState() error {
+	raw, err := os.ReadFile(a.cfg.StatePath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(raw) < len(stateMagic)+1+4 {
+		return fmt.Errorf("epochwire: state file %s truncated", a.cfg.StatePath)
+	}
+	body, crc := raw[:len(raw)-4], raw[len(raw)-4:]
+	sum := crc32.ChecksumIEEE(body)
+	if got := uint32(crc[0])<<24 | uint32(crc[1])<<16 | uint32(crc[2])<<8 | uint32(crc[3]); got != sum {
+		return fmt.Errorf("epochwire: state file %s CRC mismatch", a.cfg.StatePath)
+	}
+	r := bufio.NewReader(bytes.NewReader(body))
+	var magic [7]byte
+	if err := capture.ReadFull(r, magic[:], "state magic"); err != nil {
+		return err
+	}
+	if !bytes.Equal(magic[:], stateMagic) {
+		return fmt.Errorf("epochwire: %s is not an aggregator state file", a.cfg.StatePath)
+	}
+	ver, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if ver != stateVersion {
+		return fmt.Errorf("epochwire: state file version %d, want %d", ver, stateVersion)
+	}
+	haveBase, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if haveBase == 1 {
+		blob, err := capture.ReadStringLimited(r, MaxConfigBlob, "state base config")
+		if err != nil {
+			return err
+		}
+		if a.base, err = DecodeConfig([]byte(blob)); err != nil {
+			return err
+		}
+		a.haveBase = true
+	}
+	n, err := capture.ReadUvarint(r, 1<<16, "state probe count")
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := capture.ReadStringLimited(r, MaxProbeID, "state probe ID")
+		if err != nil {
+			return err
+		}
+		ps := &probeState{}
+		var i64 [8]byte
+		if err := capture.ReadFull(r, i64[:], "state incarnation"); err != nil {
+			return err
+		}
+		ps.incarnation = getUint64(i64[:])
+		if ps.applied, err = capture.ReadUvarint(r, ^uint64(0)>>1, "state applied"); err != nil {
+			return err
+		}
+		ps.durable = ps.applied // the file is the definition of durable
+		if ps.watermark, err = capture.ReadUvarint(r, rollup.MaxBins+1, "state watermark"); err != nil {
+			return err
+		}
+		fin, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		ps.fin = fin == 1
+		blob, err := capture.ReadStringLimited(r, MaxConfigBlob, "state probe config")
+		if err != nil {
+			return err
+		}
+		if ps.cfg, err = DecodeConfig([]byte(blob)); err != nil {
+			return err
+		}
+		havePart, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		if havePart == 1 {
+			pb, err := capture.ReadStringLimited(r, MaxBlob, "state probe partial")
+			if err != nil {
+				return err
+			}
+			if ps.part, err = rollup.Read(strings.NewReader(pb)); err != nil {
+				return fmt.Errorf("epochwire: state partial for probe %q: %w", id, err)
+			}
+		}
+		a.probes[id] = ps
+	}
+	if r.Buffered() > 0 {
+		return fmt.Errorf("epochwire: trailing bytes in state file %s", a.cfg.StatePath)
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via a temp file + rename, so readers
+// never see a torn file.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,76 @@
+package epochwire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage throws arbitrary bytes at the post-handshake framing
+// layer: it must never panic, and anything it accepts must re-encode
+// to a message it accepts again with identical fields (the framing is
+// unambiguous).
+func FuzzReadMessage(f *testing.F) {
+	seed := []*Message{
+		{Type: MsgEpoch, Seq: 1, Watermark: 0, Blob: []byte("blob")},
+		{Type: MsgFin, Seq: 9, Watermark: 672, Blob: nil},
+		{Type: MsgAck, Seq: 3, Durable: 2},
+		{Type: MsgPing},
+		{Type: MsgPong},
+	}
+	for _, m := range seed {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{MsgEpoch, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("re-encoding an accepted message: %v", err)
+		}
+		m2, err := ReadMessage(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded message: %v", err)
+		}
+		if m2.Type != m.Type || m2.Seq != m.Seq || m2.Watermark != m.Watermark ||
+			m2.Durable != m.Durable || !bytes.Equal(m2.Blob, m.Blob) {
+			t.Fatalf("round trip changed the message: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// FuzzReadHello fuzzes the handshake opener the aggregator parses from
+// an untrusted connection.
+func FuzzReadHello(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, &Hello{ProbeID: "north", Incarnation: 7, Cfg: testConfig()}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("EPWR\x01"))
+	f.Add([]byte("EPWR\x02junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHello(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		var rt bytes.Buffer
+		if err := WriteHello(&rt, h); err != nil {
+			t.Fatalf("re-encoding an accepted hello: %v", err)
+		}
+		h2, err := ReadHello(bufio.NewReader(bytes.NewReader(rt.Bytes())))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded hello: %v", err)
+		}
+		if h2.ProbeID != h.ProbeID || h2.Incarnation != h.Incarnation {
+			t.Fatalf("round trip changed the hello: %+v vs %+v", h, h2)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package epochwire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/geo"
+	"repro/internal/rollup"
+	"repro/internal/timeseries"
+)
+
+func testConfig() rollup.Config {
+	return rollup.Config{
+		Start:    timeseries.StudyStart,
+		Step:     15 * time.Minute,
+		Bins:     8,
+		Geo:      geo.SmallConfig(),
+		Lateness: 1,
+	}
+}
+
+func mustEncodeConfig(t *testing.T, cfg rollup.Config) []byte {
+	t.Helper()
+	blob, err := EncodeConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Type: MsgEpoch, Seq: 1, Watermark: 0, Blob: []byte("epoch-blob")},
+		{Type: MsgEpoch, Seq: 1<<40 + 7, Watermark: 671, Blob: bytes.Repeat([]byte{0xAB}, 5000)},
+		{Type: MsgFin, Seq: 42, Watermark: 672, Blob: []byte{}},
+		{Type: MsgAck, Seq: 9, Durable: 7},
+		{Type: MsgPing},
+		{Type: MsgPong},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One byte at a time: the stream must reframe identically however
+	// the transport fragments it.
+	br := bufio.NewReader(iotest.OneByteReader(bytes.NewReader(buf.Bytes())))
+	for i, want := range msgs {
+		got, err := ReadMessage(br)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Seq != want.Seq || got.Watermark != want.Watermark || got.Durable != want.Durable {
+			t.Errorf("message %d: got %+v, want %+v", i, got, want)
+		}
+		if want.Type == MsgEpoch || want.Type == MsgFin {
+			if !bytes.Equal(got.Blob, want.Blob) {
+				t.Errorf("message %d: blob mismatch (%d vs %d bytes)", i, len(got.Blob), len(want.Blob))
+			}
+		}
+	}
+	if _, err := ReadMessage(br); err != io.EOF {
+		t.Errorf("after the last message: %v, want io.EOF", err)
+	}
+}
+
+func TestMessageTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgEpoch, Seq: 3, Watermark: 5, Blob: bytes.Repeat([]byte{1}, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for n := 1; n < len(raw); n++ {
+		if _, err := ReadMessage(bufio.NewReader(bytes.NewReader(raw[:n]))); err == nil {
+			t.Fatalf("reading a %d/%d-byte prefix succeeded", n, len(raw))
+		}
+	}
+}
+
+func TestMessageRejectsOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(MsgEpoch)
+	capture.WriteUvarint(&buf, MaxPayload+1)
+	if _, err := ReadMessage(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("a payload over MaxPayload was accepted")
+	}
+	// A lying length (huge declared, nothing behind it) must error from
+	// actual truncation, not allocate the declared size up front.
+	buf.Reset()
+	buf.WriteByte(MsgEpoch)
+	capture.WriteUvarint(&buf, MaxPayload)
+	capture.WriteUvarint(&buf, 1) // seq
+	capture.WriteUvarint(&buf, 0) // watermark
+	capture.WriteUvarint(&buf, MaxBlob)
+	if _, err := ReadMessage(bufio.NewReader(&buf)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("lying blob length: %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestMessagePayloadMustBeExact(t *testing.T) {
+	// A payload longer than its content (trailing garbage inside the
+	// declared length) is a framing error.
+	var inner bytes.Buffer
+	capture.WriteUvarint(&inner, 1) // seq
+	capture.WriteUvarint(&inner, 0) // durable
+	inner.WriteByte(0xFF)           // trailing garbage
+	var buf bytes.Buffer
+	buf.WriteByte(MsgAck)
+	capture.WriteUvarint(&buf, uint64(inner.Len()))
+	buf.Write(inner.Bytes())
+	if _, err := ReadMessage(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("a padded ack payload was accepted")
+	}
+}
+
+func TestHelloWelcomeRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, &Hello{ProbeID: "north", Incarnation: 0xDEADBEEFCAFE, Cfg: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHello(bufio.NewReader(iotest.OneByteReader(bytes.NewReader(buf.Bytes()))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ProbeID != "north" || h.Incarnation != 0xDEADBEEFCAFE {
+		t.Errorf("hello decoded to %+v", h)
+	}
+	if !h.Cfg.Start.Equal(cfg.Start) || h.Cfg.Step != cfg.Step || h.Cfg.Bins != cfg.Bins || h.Cfg.Geo != cfg.Geo {
+		t.Errorf("config round trip: got %+v, want %+v", h.Cfg, cfg)
+	}
+
+	for _, wl := range []*Welcome{{Durable: 17}, {Reject: "wrong planet"}} {
+		var wbuf bytes.Buffer
+		if err := WriteWelcome(&wbuf, wl); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadWelcome(bufio.NewReader(bytes.NewReader(wbuf.Bytes())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Durable != wl.Durable || got.Reject != wl.Reject {
+			t.Errorf("welcome round trip: got %+v, want %+v", got, wl)
+		}
+	}
+}
+
+func TestHelloVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, &Hello{ProbeID: "p", Incarnation: 1, Cfg: testConfig()}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = Version + 1 // the version byte follows the 4-byte magic
+	_, err := ReadHello(bufio.NewReader(bytes.NewReader(raw)))
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("got %v, want *VersionError", err)
+	}
+	if ve.Got != Version+1 {
+		t.Errorf("VersionError.Got = %d, want %d", ve.Got, Version+1)
+	}
+}
+
+func TestHelloRejectsBadInput(t *testing.T) {
+	cfgBlob := mustEncodeConfig(t, testConfig())
+	cases := map[string][]byte{
+		"bad magic": append([]byte("NOPE"), 1),
+		"empty":     {},
+		"long probe": func() []byte {
+			var b bytes.Buffer
+			b.Write(helloMagic[:])
+			b.WriteByte(Version)
+			capture.WriteString(&b, string(bytes.Repeat([]byte{'x'}, MaxProbeID+1)))
+			return b.Bytes()
+		}(),
+		"config is not a snapshot": func() []byte {
+			var b bytes.Buffer
+			b.Write(helloMagic[:])
+			b.WriteByte(Version)
+			capture.WriteString(&b, "p")
+			b.Write(make([]byte, 8))
+			capture.WriteString(&b, "garbage")
+			return b.Bytes()
+		}(),
+		"config with epochs": func() []byte {
+			// A non-empty snapshot is not a config announcement.
+			part := &rollup.Partial{Cfg: testConfig()}
+			part.Services = []string{"Facebook"}
+			part.Epochs = []rollup.Epoch{{Bin: 0, Cells: []rollup.Cell{{Bytes: 1}}}}
+			var sb bytes.Buffer
+			if err := rollup.Write(&sb, part); err != nil {
+				t.Fatal(err)
+			}
+			var b bytes.Buffer
+			b.Write(helloMagic[:])
+			b.WriteByte(Version)
+			capture.WriteString(&b, "p")
+			b.Write(make([]byte, 8))
+			capture.WriteString(&b, sb.String())
+			return b.Bytes()
+		}(),
+	}
+	_ = cfgBlob
+	for name, raw := range cases {
+		if _, err := ReadHello(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestConfigRoundTripPreservesGrid(t *testing.T) {
+	cfg := testConfig()
+	blob, err := EncodeConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeConfig(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Start.Equal(cfg.Start) || got.Step != cfg.Step || got.Bins != cfg.Bins || got.Geo != cfg.Geo {
+		t.Errorf("config: got %+v, want %+v", got, cfg)
+	}
+	// Lateness is probe-local policy, deliberately not carried.
+	if got.Lateness != 0 {
+		t.Errorf("Lateness %d crossed the wire; it should not", got.Lateness)
+	}
+	// Corrupt one byte anywhere: the snapshot CRC (or a structural
+	// check) must catch it.
+	for i := range blob {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x40
+		if _, err := DecodeConfig(bad); err == nil {
+			t.Fatalf("config blob with byte %d corrupted was accepted", i)
+		}
+	}
+}

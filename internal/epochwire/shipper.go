@@ -1,0 +1,393 @@
+package epochwire
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rollup"
+	"repro/internal/services"
+)
+
+// ShipperConfig configures a probe-side epoch shipper.
+type ShipperConfig struct {
+	// Addr is the aggregator's TCP address.
+	Addr string
+	// ProbeID names this probe to the aggregator (1..MaxProbeID bytes).
+	ProbeID string
+	// SpoolPath is the on-disk spool file (created/truncated).
+	SpoolPath string
+	// Cfg is the probe's rollup grid, announced in the handshake.
+	Cfg rollup.Config
+	// Shards is the pipeline's shard count; the shipped watermark is
+	// the minimum sealed horizon across all of them.
+	Shards int
+	// Keepalive is the idle interval before a ping (default 10s).
+	Keepalive time.Duration
+	// AckTimeout bounds the wait for an ack or pong (default 30s).
+	AckTimeout time.Duration
+	// BackoffMax caps the reconnect backoff (default 5s; initial step
+	// 100ms, doubling).
+	BackoffMax time.Duration
+	// RetryFor bounds how long the shipper keeps retrying a dead
+	// aggregator before giving up fatally. Zero means forever — the
+	// spool holds everything meanwhile.
+	RetryFor time.Duration
+	// Logf, when set, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Shipper streams sealed epochs to an aggregator. Wire it to a
+// pipeline with Collector.WithSealHook(s.SealHook): every sealed
+// generation is encoded as a one-epoch snapshot, spooled to disk, and
+// sent in order over a self-healing connection. The network never
+// backpressures the pipeline — sealing appends to the spool and
+// returns; a sender goroutine drains it at whatever pace the
+// aggregator sustains, reconnecting with exponential backoff and
+// resuming from the aggregator's durable cursor after either side
+// restarts the connection.
+//
+// After the pipeline drains, Finish ships the run's totals as a FIN
+// message and blocks until the aggregator has made the whole stream
+// durable — when Finish returns nil, every sealed byte of this run is
+// in the aggregator's state file.
+type Shipper struct {
+	cfg         ShipperConfig
+	incarnation uint64
+	sp          *spool
+
+	mu       sync.Mutex
+	horizons []uint64 // per shard: first bin possibly still open
+	shipped  [services.NumDirections]float64
+	durable  uint64
+	finSeq   uint64
+	fatal    error
+	stopped  bool
+
+	notify chan struct{} // pokes the sender after an append or stop
+	exited chan struct{} // closed when the sender goroutine returns
+}
+
+// NewShipper opens the spool, draws a fresh incarnation, and starts
+// the sender. The incarnation is random per process: if this probe
+// restarts and re-runs its source, the new incarnation tells the
+// aggregator to discard the old partial stream rather than try to
+// splice two differently-ordered replays together.
+func NewShipper(cfg ShipperConfig) (*Shipper, error) {
+	if len(cfg.ProbeID) == 0 || len(cfg.ProbeID) > MaxProbeID {
+		return nil, fmt.Errorf("epochwire: probe ID must be 1..%d bytes", MaxProbeID)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Keepalive <= 0 {
+		cfg.Keepalive = 10 * time.Second
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 30 * time.Second
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	sp, err := newSpool(cfg.SpoolPath)
+	if err != nil {
+		return nil, err
+	}
+	var inc [8]byte
+	if _, err := rand.Read(inc[:]); err != nil {
+		sp.close()
+		return nil, fmt.Errorf("epochwire: drawing incarnation: %w", err)
+	}
+	s := &Shipper{
+		cfg:         cfg,
+		incarnation: getUint64(inc[:]),
+		sp:          sp,
+		horizons:    make([]uint64, cfg.Shards),
+		notify:      make(chan struct{}, 1),
+		exited:      make(chan struct{}),
+	}
+	go s.sender()
+	return s, nil
+}
+
+// SealHook is the Collector.WithSealHook callback: it encodes the
+// sealed generation as a self-describing one-epoch snapshot and spools
+// it. Safe for concurrent use (shards seal independently); never
+// blocks on the network. A spool failure (disk full) latches as the
+// shipper's fatal error and is reported by Finish.
+func (s *Shipper) SealHook(shard int, ep rollup.Epoch, nameOf func(svc uint32) string) {
+	part := rollup.SingleEpochPartial(s.cfg.Cfg, ep, nameOf)
+	var buf bytes.Buffer
+	if err := rollup.Write(&buf, part); err != nil {
+		s.setFatal(fmt.Errorf("epochwire: encoding sealed epoch %d: %w", ep.Bin, err))
+		return
+	}
+	s.mu.Lock()
+	if s.fatal != nil || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	if ep.Bin >= 0 && uint64(ep.Bin)+1 > s.horizons[shard] {
+		s.horizons[shard] = uint64(ep.Bin) + 1
+	}
+	wm := s.horizons[0]
+	for _, h := range s.horizons[1:] {
+		if h < wm {
+			wm = h
+		}
+	}
+	for _, c := range ep.Cells {
+		s.shipped[c.Dir] += c.Bytes
+	}
+	s.mu.Unlock()
+	if _, err := s.sp.append(MsgEpoch, wm, buf.Bytes()); err != nil {
+		s.setFatal(err)
+		return
+	}
+	s.poke()
+}
+
+// Finish ships the run's totals as a FIN message and waits until the
+// aggregator has durably applied the entire stream. part is the
+// collector's final partial; its cell totals are cross-checked against
+// the bytes this shipper actually spooled, so a seal hook that missed
+// a generation fails loudly here instead of silently shorting the
+// aggregate.
+func (s *Shipper) Finish(part *rollup.Partial) error {
+	s.mu.Lock()
+	if s.fatal != nil {
+		err := s.fatal
+		s.mu.Unlock()
+		return err
+	}
+	totals := part.CellTotals()
+	for d := 0; d < services.NumDirections; d++ {
+		if s.shipped[d] != totals[d] {
+			s.mu.Unlock()
+			return fmt.Errorf("epochwire: shipped %.0f %v bytes but the final partial holds %.0f — seal hook not seeing every generation?",
+				s.shipped[d], services.Direction(d), totals[d])
+		}
+	}
+	s.mu.Unlock()
+
+	fin := &rollup.Partial{Cfg: s.cfg.Cfg}
+	fin.TotalBytes = part.TotalBytes
+	fin.ClassifiedBytes = part.ClassifiedBytes
+	fin.Counters = part.Counters
+	var buf bytes.Buffer
+	if err := rollup.Write(&buf, fin); err != nil {
+		return fmt.Errorf("epochwire: encoding fin: %w", err)
+	}
+	seq, err := s.sp.append(MsgFin, uint64(s.cfg.Cfg.Bins), buf.Bytes())
+	if err != nil {
+		s.setFatal(err)
+		return err
+	}
+	s.mu.Lock()
+	s.finSeq = seq
+	s.mu.Unlock()
+	s.poke()
+
+	<-s.exited
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fatal != nil {
+		return s.fatal
+	}
+	return nil
+}
+
+// Abort stops the sender without waiting for durability and closes the
+// spool — the shutdown path for a probe that is not completing its
+// run.
+func (s *Shipper) Abort() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.poke()
+	<-s.exited
+	s.sp.close()
+}
+
+// Durable returns the aggregator's durable cursor as last acked.
+func (s *Shipper) Durable() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durable
+}
+
+// LastSeq returns the highest sequence number spooled so far.
+func (s *Shipper) LastSeq() uint64 { return s.sp.lastSeq() }
+
+func (s *Shipper) setFatal(err error) {
+	s.mu.Lock()
+	if s.fatal == nil {
+		s.fatal = err
+	}
+	s.mu.Unlock()
+	s.poke()
+}
+
+func (s *Shipper) poke() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// sender is the connection goroutine: dial, handshake, stream the
+// spool from the aggregator's cursor, one ack per message, pings when
+// idle. Any connection error closes the conn and retries with
+// exponential backoff; only a handshake rejection, a spool gap, or
+// RetryFor running out is fatal.
+func (s *Shipper) sender() {
+	defer close(s.exited)
+	backoff := 100 * time.Millisecond
+	var downSince time.Time
+	for {
+		if s.done() {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", s.cfg.Addr, s.cfg.AckTimeout)
+		if err == nil {
+			before := s.Durable()
+			err = s.serve(conn)
+			conn.Close()
+			if s.done() {
+				return
+			}
+			if err != nil {
+				s.cfg.Logf("epochwire: session with %s ended: %v (retrying in %v)", s.cfg.Addr, err, backoff)
+			}
+			if err == nil || s.Durable() > before {
+				// The session made progress; reconnect immediately
+				// with a fresh backoff budget.
+				downSince = time.Time{}
+				backoff = 100 * time.Millisecond
+				continue
+			}
+		} else {
+			s.cfg.Logf("epochwire: dialing %s: %v (retrying in %v)", s.cfg.Addr, err, backoff)
+		}
+		if downSince.IsZero() {
+			downSince = time.Now()
+		}
+		if s.cfg.RetryFor > 0 && time.Since(downSince) > s.cfg.RetryFor {
+			s.setFatal(fmt.Errorf("epochwire: aggregator %s unreachable for %v: %w", s.cfg.Addr, s.cfg.RetryFor, err))
+			return
+		}
+		select {
+		case <-time.After(backoff):
+		case <-s.notify:
+		}
+		if backoff *= 2; backoff > s.cfg.BackoffMax {
+			backoff = s.cfg.BackoffMax
+		}
+	}
+}
+
+// done reports whether the sender has nothing left to do: aborted,
+// fatally failed, or the fin is durable.
+func (s *Shipper) done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped || s.fatal != nil || (s.finSeq > 0 && s.durable >= s.finSeq)
+}
+
+func (s *Shipper) serve(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(s.cfg.AckTimeout))
+	if err := WriteHello(conn, &Hello{ProbeID: s.cfg.ProbeID, Incarnation: s.incarnation, Cfg: s.cfg.Cfg}); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	wl, err := ReadWelcome(br)
+	if err != nil {
+		return err
+	}
+	if wl.Reject != "" {
+		s.setFatal(fmt.Errorf("epochwire: aggregator rejected handshake: %s", wl.Reject))
+		return s.fatalErr()
+	}
+	if wl.Durable > s.sp.lastSeq() {
+		s.setFatal(fmt.Errorf("epochwire: aggregator's durable cursor %d is past this probe's last sequence %d — probe ID %q collision?",
+			wl.Durable, s.sp.lastSeq(), s.cfg.ProbeID))
+		return s.fatalErr()
+	}
+	s.mu.Lock()
+	if wl.Durable > s.durable {
+		s.durable = wl.Durable
+	}
+	s.mu.Unlock()
+	s.sp.pruneThrough(wl.Durable)
+	s.cfg.Logf("epochwire: connected to %s, resuming from seq %d", s.cfg.Addr, wl.Durable+1)
+
+	next := wl.Durable + 1
+	for {
+		if s.done() {
+			return nil
+		}
+		if next <= s.sp.lastSeq() {
+			m, err := s.sp.get(next)
+			if err != nil {
+				s.setFatal(err)
+				return err
+			}
+			conn.SetDeadline(time.Now().Add(s.cfg.AckTimeout))
+			if err := WriteMessage(conn, m); err != nil {
+				return err
+			}
+			ack, err := s.readAck(br, MsgAck)
+			if err != nil {
+				return err
+			}
+			if ack.Seq != m.Seq {
+				return fmt.Errorf("epochwire: sent seq %d, acked seq %d", m.Seq, ack.Seq)
+			}
+			s.mu.Lock()
+			if ack.Durable > s.durable {
+				s.durable = ack.Durable
+			}
+			s.mu.Unlock()
+			s.sp.pruneThrough(ack.Durable)
+			next++
+			continue
+		}
+		// Idle: wait for new work, pinging to keep the session alive.
+		select {
+		case <-s.notify:
+		case <-time.After(s.cfg.Keepalive):
+			conn.SetDeadline(time.Now().Add(s.cfg.AckTimeout))
+			if err := WriteMessage(conn, &Message{Type: MsgPing}); err != nil {
+				return err
+			}
+			if _, err := s.readAck(br, MsgPong); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// readAck reads the single synchronous reply, tolerating nothing else.
+func (s *Shipper) readAck(br *bufio.Reader, want byte) (*Message, error) {
+	m, err := ReadMessage(br)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != want {
+		return nil, fmt.Errorf("epochwire: expected %q reply, got %q", want, m.Type)
+	}
+	return m, nil
+}
+
+func (s *Shipper) fatalErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fatal
+}

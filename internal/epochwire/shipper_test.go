@@ -1,0 +1,61 @@
+package epochwire
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/rollup"
+)
+
+// TestShipperAggregatorSmallRun drives the shipper API directly (no
+// pipeline): a few seal events, a finish, and the fold must hold
+// exactly the shipped cells.
+func TestShipperAggregatorSmallRun(t *testing.T) {
+	cfg := testConfig()
+	a, err := NewAggregator("127.0.0.1:0", "", AggConfig{
+		Probes: 1, PersistEvery: 2,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Stop)
+
+	sh, err := NewShipper(ShipperConfig{
+		Addr:       a.Addr(),
+		ProbeID:    "solo",
+		SpoolPath:  filepath.Join(t.TempDir(), "solo.spool"),
+		Cfg:        cfg,
+		Shards:     1,
+		BackoffMax: 50 * time.Millisecond,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names := []string{"Facebook", "YouTube"}
+	nameOf := func(svc uint32) string { return names[svc] }
+	part := &rollup.Partial{Cfg: cfg}
+	for bin := 0; bin < 4; bin++ {
+		ep := rollup.Epoch{Bin: bin, Cells: []rollup.Cell{
+			{Dir: 0, Svc: uint32(bin % 2), Commune: 3, Bytes: float64(100 + bin)},
+		}}
+		sh.SealHook(0, ep, nameOf)
+		if err := part.Merge(rollup.SingleEpochPartial(cfg, ep, nameOf)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.Finish(part); err != nil {
+		t.Fatal(err)
+	}
+	if got := foldTotal(t, a); got != 100+101+102+103 {
+		t.Errorf("folded %v bytes", got)
+	}
+	select {
+	case <-a.Done():
+	default:
+		t.Error("aggregator not drained after finish")
+	}
+}

@@ -1,0 +1,124 @@
+package epochwire
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// spool is the probe-side durability buffer: every sealed epoch (and
+// the final fin) is appended to an on-disk file before it is offered
+// to the network, and retained until the aggregator reports it
+// *durable* — applied and persisted to its state file, not merely
+// received. A dead or restarted aggregator therefore never loses a
+// sealed epoch: the shipper replays everything past the aggregator's
+// durable cursor from here.
+//
+// The layout is an append-only blob file plus an in-memory index of
+// {type, watermark, offset, length} entries for the contiguous
+// sequence range [firstSeq, nextSeq). Once everything is durable the
+// file is truncated back to zero, so steady-state disk use is bounded
+// by the ack round-trip, not the run length. The index itself is not
+// persisted — a probe restart starts a new incarnation and regenerates
+// its stream from the source, which is the recovery model for probe
+// crashes (see the package comment).
+type spool struct {
+	mu       sync.Mutex
+	f        *os.File
+	firstSeq uint64 // seq of entries[0]; meaningful only when len(entries) > 0
+	nextSeq  uint64 // seq the next append receives
+	pruned   uint64 // highest seq ever pruned (all ≤ pruned are gone)
+	entries  []spoolEntry
+	size     int64 // current file length
+}
+
+type spoolEntry struct {
+	typ byte
+	wm  uint64
+	off int64
+	n   int32
+}
+
+func newSpool(path string) (*spool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("epochwire: opening spool: %w", err)
+	}
+	return &spool{f: f, nextSeq: 1}, nil
+}
+
+// append stores one outgoing epoch/fin blob and assigns it the next
+// sequence number.
+func (s *spool) append(typ byte, wm uint64, blob []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.WriteAt(blob, s.size); err != nil {
+		return 0, fmt.Errorf("epochwire: spool write: %w", err)
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	if len(s.entries) == 0 {
+		s.firstSeq = seq
+	}
+	s.entries = append(s.entries, spoolEntry{typ: typ, wm: wm, off: s.size, n: int32(len(blob))})
+	s.size += int64(len(blob))
+	return seq, nil
+}
+
+// get rebuilds the wire message for seq. Requesting a pruned sequence
+// is fatal to the session: the aggregator asked for history the probe
+// no longer has (its state regressed past what it had acknowledged as
+// durable), which only an operator restarting the probe under a new
+// incarnation can repair.
+func (s *spool) get(seq uint64) (*Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.pruned {
+		return nil, fmt.Errorf("epochwire: spool no longer holds seq %d (pruned through %d); aggregator state regressed past its own durable cursor", seq, s.pruned)
+	}
+	if len(s.entries) == 0 || seq < s.firstSeq || seq >= s.firstSeq+uint64(len(s.entries)) {
+		return nil, fmt.Errorf("epochwire: spool has no seq %d", seq)
+	}
+	e := s.entries[seq-s.firstSeq]
+	blob := make([]byte, e.n)
+	if _, err := s.f.ReadAt(blob, e.off); err != nil {
+		return nil, fmt.Errorf("epochwire: spool read: %w", err)
+	}
+	return &Message{Type: e.typ, Seq: seq, Watermark: e.wm, Blob: blob}, nil
+}
+
+// pruneThrough drops every entry with seq ≤ durable. When the spool
+// empties completely the backing file is truncated to zero so a
+// healthy session keeps disk use at one in-flight window.
+func (s *spool) pruneThrough(durable uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if durable <= s.pruned {
+		return
+	}
+	s.pruned = durable
+	for len(s.entries) > 0 && s.firstSeq <= durable {
+		s.entries = s.entries[1:]
+		s.firstSeq++
+	}
+	if len(s.entries) == 0 {
+		s.entries = nil
+		if err := s.f.Truncate(0); err == nil {
+			s.size = 0
+		}
+	}
+}
+
+// lastSeq returns the highest sequence number ever appended (0 before
+// the first append).
+func (s *spool) lastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq - 1
+}
+
+func (s *spool) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -221,6 +221,9 @@ type Builder struct {
 	names []string
 	seen  []bool
 
+	onSeal SealHook
+	nameOf func(svc uint32) string
+
 	open      map[int]*cellTable
 	lastBin   int        // 1-entry lookup cache: consecutive
 	lastTab   *cellTable // observations usually share a bin
@@ -236,14 +239,33 @@ type Builder struct {
 
 // NewBuilder returns an empty builder on the given grid.
 func NewBuilder(cfg Config) *Builder {
-	return &Builder{
+	b := &Builder{
 		cfg:       cfg,
 		open:      map[int]*cellTable{},
 		everSeal:  map[int]bool{},
 		lastBin:   OverflowBin - 1,
 		watermark: -1,
 	}
+	b.nameOf = func(svc uint32) string { return b.names[svc] }
+	return b
 }
+
+// SealHook observes epochs the moment they seal — the notification
+// point streaming consumers (the epoch-wire shipper) hang off. The
+// epoch's cells carry the builder's raw dense service IDs; nameOf
+// resolves one to its interned name. Both the cell slice and nameOf
+// are valid only for the duration of the call: Seal later remaps the
+// sealed cells in place when it compacts the service table, so a hook
+// that needs the epoch past its return must copy (SingleEpochPartial
+// does). Hooks run on the builder's own goroutine — the shard worker
+// during ingest, the Seal caller at the end — and see each generation
+// of a reopened bin as its own event, exactly the granularity
+// Partial.Merge folds back together.
+type SealHook func(ep Epoch, nameOf func(svc uint32) string)
+
+// OnSeal registers the builder's seal hook (nil detaches). It must be
+// set before the first Observe call.
+func (b *Builder) OnSeal(h SealHook) { b.onSeal = h }
 
 // Observe implements probe.Sink: it folds one classified accounting
 // event into the epoch accumulators and advances the sealing
@@ -348,6 +370,9 @@ func (b *Builder) sealBin(bin int) {
 		slices.SortFunc(cells, cellCompare)
 		b.sealed = append(b.sealed, Epoch{Bin: bin, Cells: cells})
 		b.everSeal[bin] = true
+		if b.onSeal != nil {
+			b.onSeal(Epoch{Bin: bin, Cells: cells}, b.nameOf)
+		}
 	}
 	tab.reset()
 	b.free = append(b.free, tab)
@@ -450,6 +475,40 @@ func (p *Partial) normalize() {
 		}
 		slices.SortFunc(cells, cellCompare)
 	}
+}
+
+// SingleEpochPartial wraps one sealed epoch as a normalized partial of
+// its own: the smallest self-describing unit of the rollup algebra,
+// and therefore the unit the epoch-wire protocol ships — the service
+// table carries exactly the names the epoch references, so a receiver
+// needs no shared interning state, and Partial.Merge folds any number
+// of such fragments (generations of one bin, epochs of one run, runs
+// of many probes) back into the aggregate exactly. The epoch's cells
+// are copied, never aliased, so the result outlives the builder arena
+// the hook handed out. nameOf resolves the epoch's raw service IDs
+// (the SealHook contract).
+func SingleEpochPartial(cfg Config, ep Epoch, nameOf func(svc uint32) string) *Partial {
+	cells := make([]Cell, len(ep.Cells))
+	copy(cells, ep.Cells)
+	names := make([]string, 0, 8)
+	idx := make(map[uint32]uint32, 8)
+	for i := range cells {
+		id, ok := idx[cells[i].Svc]
+		if !ok {
+			id = uint32(len(names))
+			names = append(names, nameOf(cells[i].Svc))
+			idx[cells[i].Svc] = id
+		}
+		cells[i].Svc = id
+	}
+	// Re-sort under the compacted IDs before normalizing: the scan-order
+	// remap can reorder cells even when the name table happens to come
+	// out already sorted, and normalize's identity fast path assumes
+	// cells are sorted under the current IDs.
+	slices.SortFunc(cells, cellCompare)
+	p := &Partial{Cfg: cfg, Services: names, Epochs: []Epoch{{Bin: ep.Bin, Cells: cells}}}
+	p.normalize()
+	return p
 }
 
 // Merge folds o into p, mutating p; o is left untouched. Partials
@@ -611,6 +670,18 @@ func NewCollector(cfg Config, shards int) *Collector {
 // Sink returns shard i's builder as a probe.Sink; pass this method to
 // probe.Pipeline.WithSinks.
 func (c *Collector) Sink(shard int) probe.Sink { return c.builders[shard] }
+
+// WithSealHook registers h on every shard builder, tagging each seal
+// event with its shard index, and returns c. The per-event contract is
+// Builder.SealHook's; events from different shards arrive on different
+// goroutines, so h must be safe for concurrent use. Set it before the
+// pipeline runs.
+func (c *Collector) WithSealHook(h func(shard int, ep Epoch, nameOf func(svc uint32) string)) *Collector {
+	for i, b := range c.builders {
+		b.OnSeal(func(ep Epoch, nameOf func(svc uint32) string) { h(i, ep, nameOf) })
+	}
+	return c
+}
 
 // Finish seals every shard builder, merges the shard partials exactly,
 // and absorbs the pipeline's merged report: the per-direction totals

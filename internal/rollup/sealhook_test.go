@@ -1,0 +1,204 @@
+package rollup
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/services"
+)
+
+// hookAccum merges every seal event's SingleEpochPartial — the
+// aggregator's view of a probe, reconstructed in-process.
+type hookAccum struct {
+	mu     sync.Mutex
+	merged *Partial
+	events int
+}
+
+func (h *hookAccum) add(t *testing.T, cfg Config, ep Epoch, nameOf func(uint32) string) {
+	t.Helper()
+	p := SingleEpochPartial(cfg, ep, nameOf)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.events++
+	if h.merged == nil {
+		h.merged = p
+		return
+	}
+	if err := h.merged.Merge(p); err != nil {
+		t.Errorf("merging seal event for bin %d: %v", ep.Bin, err)
+	}
+}
+
+// canon renders a partial's persistent content canonically; LateFrames
+// is ingest diagnostics and never encoded, so two partials with equal
+// canon bytes carry identical data.
+func canon(t *testing.T, p *Partial) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSealHookReconstructsPartial pins the seal-hook contract the wire
+// shipper depends on: merging the SingleEpochPartial of every seal
+// event — including the reopen generation a late observation forces —
+// reproduces the builder's final partial byte-for-byte.
+func TestSealHookReconstructsPartial(t *testing.T) {
+	cfg := tinyConfig() // 4 bins, Lateness 1
+	b := NewBuilder(cfg)
+	var acc hookAccum
+	b.OnSeal(func(ep Epoch, nameOf func(svc uint32) string) { acc.add(t, cfg, ep, nameOf) })
+
+	at := func(bin int) time.Time { return cfg.Start.Add(time.Duration(bin) * cfg.Step) }
+	b.Observe(obs(at(0), services.DL, "Facebook", 7, 100))
+	b.Observe(obs(at(0), services.UL, "YouTube", 2, 5))
+	b.Observe(obs(at(1), services.DL, "Facebook", 7, 10))
+	b.Observe(obs(at(3), services.DL, "Netflix", 1, 40)) // watermark 3 seals bins 0 and 1
+	sealedEarly := acc.events
+	if sealedEarly == 0 {
+		t.Fatal("no seal events before Seal — watermark sealing not firing the hook")
+	}
+	// Late for already-sealed bin 0: a reopen generation, sealed (and
+	// hooked) again at Seal.
+	b.Observe(obs(at(0).Add(time.Minute), services.DL, "Facebook", 7, 1))
+	// Overflow traffic (before the grid) must reach the hook too.
+	b.Observe(obs(cfg.Start.Add(-time.Hour), services.UL, "WhatsApp", 3, 9))
+
+	part := b.Seal()
+	if part.LateFrames != 1 {
+		t.Fatalf("LateFrames = %d, want 1 (one reopen)", part.LateFrames)
+	}
+	if acc.events <= sealedEarly {
+		t.Fatalf("Seal added no events (%d total) — final bins or the reopen generation bypassed the hook", acc.events)
+	}
+	if acc.merged == nil {
+		t.Fatal("no seal events at all")
+	}
+	if got, want := canon(t, acc.merged), canon(t, part); !bytes.Equal(got, want) {
+		t.Errorf("merged seal events != builder partial\nhook:    %d bytes over %d events\nbuilder: %d bytes", len(got), acc.events, len(want))
+	}
+}
+
+// TestSingleEpochPartialSelfDescribing checks the per-event partial is
+// canonical on its own: compacted sorted service table, remapped
+// cells, and no mutation of the hook's borrowed cells.
+func TestSingleEpochPartialSelfDescribing(t *testing.T) {
+	cfg := tinyConfig()
+	names := []string{"", "Zulu", "", "Alpha"} // raw dense IDs 1 and 3
+	nameOf := func(svc uint32) string { return names[svc] }
+	ep := Epoch{Bin: 2, Cells: []Cell{
+		{Dir: 0, Svc: 1, Commune: 4, Bytes: 10},
+		{Dir: 0, Svc: 3, Commune: 4, Bytes: 20},
+		{Dir: 1, Svc: 1, Commune: 0, Bytes: 30},
+	}}
+	orig := append([]Cell(nil), ep.Cells...)
+	p := SingleEpochPartial(cfg, ep, nameOf)
+	for i := range orig {
+		if ep.Cells[i] != orig[i] {
+			t.Fatalf("SingleEpochPartial mutated the borrowed cells at %d", i)
+		}
+	}
+	if want := []string{"Alpha", "Zulu"}; len(p.Services) != 2 || p.Services[0] != want[0] || p.Services[1] != want[1] {
+		t.Fatalf("service table %v, want %v", p.Services, want)
+	}
+	// After the compaction Alpha is id 0, Zulu id 1; cells re-sort on
+	// the canonical (Dir, Svc, Commune) order.
+	want := []Cell{
+		{Dir: 0, Svc: 0, Commune: 4, Bytes: 20}, // Alpha
+		{Dir: 0, Svc: 1, Commune: 4, Bytes: 10}, // Zulu
+		{Dir: 1, Svc: 1, Commune: 0, Bytes: 30}, // Zulu
+	}
+	if len(p.Epochs) != 1 || len(p.Epochs[0].Cells) != len(want) {
+		t.Fatalf("got %d epochs / %v cells", len(p.Epochs), p.Epochs)
+	}
+	for i, c := range p.Epochs[0].Cells {
+		if c != want[i] {
+			t.Errorf("cell %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+	// The result must round-trip the canonical codec (i.e. be properly
+	// normalized), which Write enforces via the strict orderings.
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatalf("single-epoch partial does not encode canonically: %v", err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("single-epoch partial does not decode: %v", err)
+	}
+}
+
+// TestSingleEpochPartialSortedTableUnsortedCells is the regression
+// case where the scan-order service table happens to come out already
+// name-sorted, so normalize's identity fast path skips its cell sort —
+// yet the compacted IDs are not monotonic in the raw IDs across
+// direction blocks, so the cells still need re-sorting.
+func TestSingleEpochPartialSortedTableUnsortedCells(t *testing.T) {
+	cfg := tinyConfig()
+	names := map[uint32]string{5: "Alpha", 7: "Beta", 2: "Carol"}
+	nameOf := func(svc uint32) string { return names[svc] }
+	// Sorted by (Dir, raw Svc, Commune) — the builder's order. Scan
+	// order assigns Alpha=0, Beta=1, Carol=2 (already sorted names),
+	// but Dir 1 then reads compact IDs 2, 0.
+	ep := Epoch{Bin: 1, Cells: []Cell{
+		{Dir: 0, Svc: 5, Commune: 3, Bytes: 10}, // Alpha
+		{Dir: 0, Svc: 7, Commune: 3, Bytes: 20}, // Beta
+		{Dir: 1, Svc: 2, Commune: 3, Bytes: 30}, // Carol
+		{Dir: 1, Svc: 5, Commune: 3, Bytes: 40}, // Alpha
+	}}
+	p := SingleEpochPartial(cfg, ep, nameOf)
+	want := []Cell{
+		{Dir: 0, Svc: 0, Commune: 3, Bytes: 10},
+		{Dir: 0, Svc: 1, Commune: 3, Bytes: 20},
+		{Dir: 1, Svc: 0, Commune: 3, Bytes: 40},
+		{Dir: 1, Svc: 2, Commune: 3, Bytes: 30},
+	}
+	if len(p.Epochs) != 1 || len(p.Epochs[0].Cells) != len(want) {
+		t.Fatalf("got %d epochs / %v", len(p.Epochs), p.Epochs)
+	}
+	for i, c := range p.Epochs[0].Cells {
+		if c != want[i] {
+			t.Errorf("cell %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatalf("single-epoch partial does not encode canonically: %v", err)
+	}
+}
+
+// TestCollectorSealHookAcrossShards runs the hook through
+// Collector.WithSealHook over multiple shards (events arrive on
+// different goroutines in the real pipeline; here sequential feeding
+// suffices for the identity) and checks the merged events equal
+// Collector.Finish.
+func TestCollectorSealHookAcrossShards(t *testing.T) {
+	cfg := tinyConfig()
+	col := NewCollector(cfg, 3)
+	var acc hookAccum
+	shardsSeen := map[int]bool{}
+	col.WithSealHook(func(shard int, ep Epoch, nameOf func(svc uint32) string) {
+		shardsSeen[shard] = true
+		acc.add(t, cfg, ep, nameOf)
+	})
+	at := func(bin int) time.Time { return cfg.Start.Add(time.Duration(bin) * cfg.Step) }
+	svcs := []string{"Facebook", "YouTube", "Netflix"}
+	for i := 0; i < 60; i++ {
+		sink := col.Sink(i % 3)
+		sink.Observe(obs(at(i%4), services.Direction(i%2), svcs[i%3], i%5, float64(1+i)))
+	}
+	part, err := col.Finish(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shardsSeen) != 3 {
+		t.Fatalf("seal events from shards %v, want all 3", shardsSeen)
+	}
+	if got, want := canon(t, acc.merged), canon(t, part); !bytes.Equal(got, want) {
+		t.Errorf("merged seal events != collector partial (%d vs %d bytes)", len(got), len(want))
+	}
+}

@@ -1,0 +1,104 @@
+package rollup
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/iotest"
+	"time"
+
+	"repro/internal/services"
+)
+
+// shortReadFixture builds a small but structurally complete snapshot:
+// several epochs, an overflow epoch, a multi-service table.
+func shortReadFixture(t *testing.T) (*Partial, []byte) {
+	t.Helper()
+	cfg := tinyConfig()
+	b := NewBuilder(cfg)
+	at := func(bin int) time.Time { return cfg.Start.Add(time.Duration(bin) * cfg.Step) }
+	svcs := []string{"Facebook", "YouTube", "Netflix", "WhatsApp"}
+	for i := 0; i < 40; i++ {
+		b.Observe(obs(at(i%4), services.Direction(i%2), svcs[i%4], i%6, float64(100+i)))
+	}
+	b.Observe(obs(cfg.Start.Add(-time.Hour), services.UL, "Instagram", 1, 7)) // overflow
+	part := b.Seal()
+	var buf bytes.Buffer
+	if err := Write(&buf, part); err != nil {
+		t.Fatal(err)
+	}
+	return part, buf.Bytes()
+}
+
+// TestDecodeFromShortReaders pins the satellite requirement for the
+// net path: the decoder must not assume its reader fills buffers in
+// one call. A TCP connection hands back whatever segments arrived —
+// worst case one byte at a time.
+func TestDecodeFromShortReaders(t *testing.T) {
+	part, raw := shortReadFixture(t)
+	want, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Epochs) != len(part.Epochs) {
+		t.Fatalf("fixture decode lost epochs: %d vs %d", len(want.Epochs), len(part.Epochs))
+	}
+	readers := map[string]func() io.Reader{
+		"one-byte": func() io.Reader { return iotest.OneByteReader(bytes.NewReader(raw)) },
+		"halving":  func() io.Reader { return iotest.HalfReader(bytes.NewReader(raw)) },
+		"data-err": func() io.Reader { return iotest.DataErrReader(bytes.NewReader(raw)) },
+	}
+	for name, mk := range readers {
+		t.Run("Read/"+name, func(t *testing.T) {
+			got, err := Read(mk())
+			if err != nil {
+				t.Fatalf("decoding via %s reader: %v", name, err)
+			}
+			var a, b bytes.Buffer
+			if err := Write(&a, got); err != nil {
+				t.Fatal(err)
+			}
+			if err := Write(&b, want); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Error("short-read decode differs from full decode")
+			}
+		})
+		t.Run("Decoder/"+name, func(t *testing.T) {
+			dec, err := NewDecoder(mk())
+			if err != nil {
+				t.Fatalf("opening decoder via %s reader: %v", name, err)
+			}
+			n, cells := 0, 0
+			var buf []Cell
+			for {
+				ep, ok, err := dec.Next(buf)
+				if err != nil {
+					t.Fatalf("epoch %d via %s reader: %v", n, name, err)
+				}
+				if !ok {
+					break
+				}
+				n++
+				cells += len(ep.Cells)
+				buf = ep.Cells
+			}
+			if n != dec.EpochCount() || n != len(want.Epochs) {
+				t.Errorf("streamed %d epochs, declared %d, want %d", n, dec.EpochCount(), len(want.Epochs))
+			}
+		})
+	}
+}
+
+// TestDecodeTruncatedPrefixes feeds every strict prefix of a valid
+// snapshot to the decoder: each must fail with an error (a mid-message
+// disconnect on the wire), never panic, never succeed.
+func TestDecodeTruncatedPrefixes(t *testing.T) {
+	_, raw := shortReadFixture(t)
+	for n := 0; n < len(raw); n++ {
+		if _, err := Read(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("decoding a %d/%d-byte prefix succeeded", n, len(raw))
+		}
+	}
+}
