@@ -18,8 +18,16 @@
 // trace between the file and the figures. -window A:B restricts the
 // snapshot to a bin subrange (a day, the weekend, the working week) of
 // a merged multi-day rollup — see cmd/rollupctl for the merge side —
-// and -ids selects a subset of experiments, which slice views usually
-// want (the calendar experiments assume a whole study week).
+// -services keeps only the named services, and -ids selects a subset
+// of experiments, which slice views usually want (the calendar
+// experiments assume a whole study week).
+//
+// -snapshot also accepts a directory of *.roll files: the catalog
+// opens them as one store. Views (-window, -services) route through
+// the catalog planner, which uses the v2 footer indexes to decode only
+// the epochs the view can touch (stats on stderr); -full-scan forces
+// the sequential reference path over a single file instead — both are
+// defined to produce identical results.
 package main
 
 import (
@@ -30,10 +38,76 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/catalog"
 	"repro/internal/experiments"
 	"repro/internal/rollup"
 	"repro/internal/synth"
 )
+
+// snapshotEnv builds the engine environment from recorded rollups.
+// A plain whole file opens directly (counters and the overflow epoch
+// intact, which the probe experiment reads). A view — -window,
+// -services, or a directory store — goes through the catalog planner
+// unless -full-scan asks for the sequential reference: read everything,
+// ViewSpec.Apply. The two paths are defined (and tested in
+// internal/catalog) to produce identical partials.
+func snapshotEnv(path, window, svcNames string, fullScan bool, seed uint64) (*experiments.Env, error) {
+	var spec rollup.ViewSpec
+	hasView := false
+	if window != "" {
+		var err error
+		if spec.From, spec.To, err = rollup.ParseBinRange(window); err != nil {
+			return nil, fmt.Errorf("analyze: -window wants A:B bin indices, got %q", window)
+		}
+		hasView = true
+	}
+	if svcNames != "" {
+		for _, name := range strings.Split(svcNames, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				spec.Services = append(spec.Services, name)
+			}
+		}
+		hasView = true
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() && fullScan {
+		return nil, fmt.Errorf("analyze: -full-scan reads one snapshot file, not a directory (merge it first: rollupctl merge)")
+	}
+	switch {
+	case !hasView && !fi.IsDir():
+		return experiments.NewEnvFromSnapshot(path, seed)
+	case fullScan:
+		p, err := rollup.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		view, err := spec.Apply(p)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := view.Dataset()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.NewEnvFrom(ds, seed), nil
+	default:
+		c, err := catalog.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		ds, st, err := c.Dataset(spec)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "analyze: planner decoded %d/%d epochs across %d files (%d pruned, %d v1 fallbacks)\n",
+			st.EpochsDecoded, st.EpochsTotal, st.Files, st.FilesPruned, st.Fallbacks)
+		return experiments.NewEnvFrom(ds, seed), nil
+	}
+}
 
 func main() {
 	flag.Usage = func() {
@@ -50,6 +124,8 @@ Dataset sources (flag defaults below):
 	seed := flag.Uint64("seed", 1, "generator seed; with -snapshot it drives only the stochastic analysis steps")
 	snapshot := flag.String("snapshot", "", "analyze a rollup snapshot file (see cmd/probesim -snapshot) instead of generating data")
 	window := flag.String("window", "", "with -snapshot: analyze only bins A:B of the grid (e.g. 0:192 for the weekend at the 15-minute step)")
+	svcNames := flag.String("services", "", "with -snapshot: keep only these comma-separated service names (a view, like -window)")
+	fullScan := flag.Bool("full-scan", false, "with -snapshot views: bypass the footer-index planner and apply the view by a full sequential decode (single file only)")
 	ids := flag.String("ids", "", "comma-separated experiment ids to run (default: every registered experiment)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results for every registered experiment")
 	concurrency := flag.Int("concurrency", 0, "parallel experiment workers (0 = NumCPU)")
@@ -57,24 +133,17 @@ Dataset sources (flag defaults below):
 
 	var env *experiments.Env
 	var err error
-	if *window != "" && *snapshot == "" {
-		fmt.Fprintln(os.Stderr, "analyze: -window requires -snapshot")
-		os.Exit(2)
+	for flagName, set := range map[string]bool{"-window": *window != "", "-services": *svcNames != "", "-full-scan": *fullScan} {
+		if set && *snapshot == "" {
+			fmt.Fprintf(os.Stderr, "analyze: %s requires -snapshot\n", flagName)
+			os.Exit(2)
+		}
 	}
 	if *snapshot != "" {
 		if !*jsonOut {
 			fmt.Printf("Loading rollup snapshot %s (seed %d)...\n", *snapshot, *seed)
 		}
-		if *window != "" {
-			from, to, perr := rollup.ParseBinRange(*window)
-			if perr != nil {
-				fmt.Fprintf(os.Stderr, "analyze: -window wants A:B bin indices, got %q\n", *window)
-				os.Exit(2)
-			}
-			env, err = experiments.NewEnvFromSnapshotWindow(*snapshot, from, to, *seed)
-		} else {
-			env, err = experiments.NewEnvFromSnapshot(*snapshot, *seed)
-		}
+		env, err = snapshotEnv(*snapshot, *window, *svcNames, *fullScan, *seed)
 	} else {
 		cfg := synth.SmallConfig()
 		if *scale == "full" {

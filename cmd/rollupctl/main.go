@@ -29,9 +29,13 @@ import (
 	"math"
 	"net"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/report"
 	"repro/internal/rollup"
 	"repro/internal/services"
@@ -55,6 +59,12 @@ func main() {
 		err = runMerge(rest)
 	case "window":
 		err = runWindow(rest)
+	case "query":
+		err = runQuery(rest)
+	case "serve":
+		err = runServe(rest)
+	case "upgrade":
+		err = runUpgrade(rest)
 	case "fetch":
 		err = runFetch(rest)
 	default:
@@ -79,9 +89,21 @@ Commands:
   merge   -o out file...               k-way streaming merge onto the union grid
   window  -from A -to B -o out file    cut bins [A, B) out as a new snapshot
   window  -day N -o out file           cut calendar day N (day 0 = grid start)
-  fetch   -from addr [-window A:B] [-status] -o out
+  query   [-window A:B] [-services a,b] [-communes 1,2] [-stats] -o out path...
+                                       open paths (files and/or directories of
+                                       *.roll) as one store and cut the selected
+                                       view, decoding only the epochs the v2
+                                       footer indexes cannot prune
+  serve   -ctl addr path...            daemon: answer the aggd ctl protocol
+                                       (status/snapshot/window/query) over an
+                                       on-disk store, rescanning it per request
+  upgrade src dst                      rewrite a v1 snapshot as v2 (same payload
+                                       bytes, plus the footer index)
+  fetch   -from addr [-window A:B] [-query SPEC] [-status] -o out
                                        pull a live snapshot (or status JSON) from a
-                                       running aggd's -ctl socket
+                                       running aggd's or rollupctl serve's -ctl
+                                       socket; -query SPEC is A:B|services=a,b|
+                                       communes=1,2 ("all" for the whole grid)
 
 Produce snapshots with probesim -snapshot (add -window A:B for one slice of the
 study week); analyze them with analyze -snapshot [-window A:B].
@@ -103,7 +125,12 @@ type infoJSON struct {
 		OperatorShare float64 `json:"operator_share"`
 		Seed          uint64  `json:"seed"`
 	} `json:"geo"`
-	Services        int                `json:"services"`
+	Services      int `json:"services"`
+	FormatVersion int `json:"format_version"`
+	// Index summarizes a v2 footer index; it is built from the footer
+	// alone (header decode plus an index seek, no payload decode), so
+	// it is present even when the payload would fail its CRC.
+	Index           *indexJSON         `json:"index,omitempty"`
 	Epochs          int                `json:"epochs"`
 	Cells           int                `json:"cells"`
 	OverflowCells   int                `json:"overflow_cells"`
@@ -120,6 +147,48 @@ type infoJSON struct {
 	// trailer verified; a bad file emits {"file":..., "error":...}
 	// instead, and info exits 1.
 	CRCOk bool `json:"crc_ok"`
+}
+
+// indexJSON is the `info -json` view of a v2 footer index.
+type indexJSON struct {
+	Epochs         int `json:"epochs"`
+	Cells          int `json:"cells"`
+	FirstBin       int `json:"first_bin"`
+	LastBin        int `json:"last_bin"`
+	ServiceBitmaps int `json:"service_bitmaps"`
+	CommuneBitmaps int `json:"commune_bitmaps"`
+}
+
+// indexSummary reads a v2 file's footer index without decoding any
+// epoch payload. nil (no error) for v1 files.
+func indexSummary(path string) (*indexJSON, error) {
+	x, err := rollup.OpenIndexed(path)
+	if err != nil {
+		return nil, err
+	}
+	defer x.Close()
+	if !x.Indexed() {
+		return nil, nil
+	}
+	entries := x.Entries()
+	ix := &indexJSON{Epochs: len(entries), FirstBin: rollup.OverflowBin, LastBin: rollup.OverflowBin}
+	for i := range entries {
+		en := &entries[i]
+		ix.Cells += en.Cells
+		if ix.FirstBin == rollup.OverflowBin && en.Bin != rollup.OverflowBin {
+			ix.FirstBin = en.Bin
+		}
+		if en.Bin != rollup.OverflowBin {
+			ix.LastBin = en.Bin
+		}
+		if en.SvcBits != nil {
+			ix.ServiceBitmaps++
+		}
+		if en.ComBits != nil {
+			ix.CommuneBitmaps++
+		}
+	}
+	return ix, nil
 }
 
 // infoFileJSON streams one snapshot (the decoder verifies structure
@@ -146,7 +215,15 @@ func infoFileJSON(path string) error {
 			info.Geo.OperatorShare = p.Cfg.Geo.OperatorShare
 			info.Geo.Seed = p.Cfg.Geo.Seed
 			info.Services = len(p.Services)
+			info.FormatVersion = dec.Version()
 			info.Epochs = dec.EpochCount()
+			if dec.Version() >= rollup.SnapshotV2 {
+				// Footer-only read on a second handle; the sequential
+				// decode below is untouched.
+				if ix, ierr := indexSummary(path); ierr == nil {
+					info.Index = ix
+				}
+			}
 			info.TotalBytes = map[string]float64{
 				"dl": p.TotalBytes[services.DL], "ul": p.TotalBytes[services.UL]}
 			info.ClassifiedBytes = map[string]float64{
@@ -209,7 +286,13 @@ func runInfo(args []string) error {
 		if len(p.Epochs) > 0 && p.Epochs[0].Bin == rollup.OverflowBin {
 			overflow = fmt.Sprintf("yes (%d cells)", len(p.Epochs[0].Cells))
 		}
+		format := "v1 (sequential only)"
+		if ix, ierr := indexSummary(path); ierr == nil && ix != nil {
+			format = fmt.Sprintf("v2 (footer index: %d epochs, %d service + %d commune bitmaps)",
+				ix.Epochs, ix.ServiceBitmaps, ix.CommuneBitmaps)
+		}
 		fmt.Printf("%s:\n", path)
+		fmt.Printf("  format     %s\n", format)
 		fmt.Printf("  grid       %d bins of %v from %v\n", p.Cfg.Bins, p.Cfg.Step, p.Cfg.Start.Format("2006-01-02 15:04:05 MST"))
 		fmt.Printf("  geography  %d communes, %d cities, population %d, operator share %.2f, seed %d\n",
 			p.Cfg.Geo.NumCommunes, p.Cfg.Geo.NumCities, p.Cfg.Geo.Population, p.Cfg.Geo.OperatorShare, p.Cfg.Geo.Seed)
@@ -333,12 +416,114 @@ func runWindow(args []string) error {
 	return nil
 }
 
+// runQuery answers an analytical query over an on-disk store: paths
+// (snapshot files and/or directories of *.roll) open as one
+// rollup.Catalog, the view cuts out through the footer-index planner,
+// and the result lands as its own v2 snapshot.
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	window := fs.String("window", "", "bin window A:B on the store's union grid (default: all bins)")
+	svcList := fs.String("services", "", "comma-separated service names to keep (default: all)")
+	comList := fs.String("communes", "", "comma-separated commune ids to keep (default: all)")
+	stats := fs.Bool("stats", false, "emit the planner's stats JSON on stderr")
+	out := fs.String("o", "", "output snapshot file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("query: -o output file is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("query: no snapshot files or directories given")
+	}
+	var spec rollup.ViewSpec
+	var err error
+	if *window != "" {
+		if spec.From, spec.To, err = rollup.ParseBinRange(*window); err != nil {
+			return err
+		}
+	}
+	if *svcList != "" {
+		spec.Services = strings.Split(*svcList, ",")
+	}
+	if *comList != "" {
+		for _, c := range strings.Split(*comList, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil {
+				return fmt.Errorf("query: commune %q is not an integer", c)
+			}
+			spec.Communes = append(spec.Communes, id)
+		}
+	}
+	c, err := catalog.Open(fs.Args()...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	part, st, err := c.Query(spec)
+	if err != nil {
+		return err
+	}
+	if err := rollup.WriteFile(*out, part); err != nil {
+		return err
+	}
+	if *stats {
+		js, _ := json.Marshal(st)
+		fmt.Fprintln(os.Stderr, string(js))
+	}
+	fmt.Printf("wrote query %s over %d files to %s: %d bins, %d services, %d epochs (decoded %d of %d epochs, pruned %d files)\n",
+		spec, st.Files, *out, part.Cfg.Bins, len(part.Services), len(part.Epochs),
+		st.EpochsDecoded, st.EpochsTotal, st.FilesPruned)
+	return nil
+}
+
+// runServe runs the store-backed ctl daemon until SIGINT/SIGTERM.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	ctl := fs.String("ctl", "", "address to answer the ctl protocol on (required)")
+	fs.Parse(args)
+	if *ctl == "" {
+		return fmt.Errorf("serve: -ctl listen address is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("serve: no snapshot files or directories given")
+	}
+	s, err := catalog.NewServer(*ctl, fs.Args()...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %d paths on %s (status/snapshot/window/query; fetch with rollupctl fetch)\n",
+		fs.NArg(), s.Addr())
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	<-sigCh
+	return s.Close()
+}
+
+// runUpgrade rewrites a v1 snapshot as v2: identical payload bytes,
+// the footer index appended.
+func runUpgrade(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("upgrade: usage: rollupctl upgrade src.roll dst.roll")
+	}
+	if err := rollup.UpgradeFile(args[0], args[1]); err != nil {
+		return err
+	}
+	x, err := rollup.OpenIndexed(args[1])
+	if err != nil {
+		return err
+	}
+	defer x.Close()
+	fmt.Printf("upgraded %s to %s: format v%d, %d epochs indexed\n",
+		args[0], args[1], x.Version(), x.EpochCount())
+	return nil
+}
+
 // runFetch speaks the aggd admin protocol: one line request, `ok <n>`
 // + n raw bytes back (a rollup snapshot, or status JSON).
 func runFetch(args []string) error {
 	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
 	from := fs.String("from", "", "aggd -ctl address (required)")
 	window := fs.String("window", "", "fetch only bins A:B of the aggregate")
+	query := fs.String("query", "", "fetch a filtered view: A:B|services=a,b|communes=1,2 (\"all\" for the whole grid)")
 	status := fs.Bool("status", false, "fetch the aggregator's status JSON instead of a snapshot")
 	out := fs.String("o", "", "output file (default: stdout for -status, required otherwise)")
 	timeout := fs.Duration("timeout", 30*time.Second, "connect/read deadline")
@@ -346,14 +531,23 @@ func runFetch(args []string) error {
 	if *from == "" {
 		return fmt.Errorf("fetch: -from aggd ctl address is required")
 	}
+	picked := 0
+	for _, on := range []bool{*status, *window != "", *query != ""} {
+		if on {
+			picked++
+		}
+	}
+	if picked > 1 {
+		return fmt.Errorf("fetch: -status, -window and -query are mutually exclusive")
+	}
 	req := "snapshot\n"
 	switch {
-	case *status && *window != "":
-		return fmt.Errorf("fetch: -status and -window are mutually exclusive")
 	case *status:
 		req = "status\n"
 	case *window != "":
 		req = "window " + *window + "\n"
+	case *query != "":
+		req = "query|" + *query + "\n"
 	}
 	if *out == "" && !*status {
 		return fmt.Errorf("fetch: -o output file is required (snapshots are binary)")

@@ -1,0 +1,220 @@
+package catalog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rollup"
+)
+
+// Server answers the same one-line ctl protocol cmd/aggd speaks —
+// "status", "snapshot", "window A:B", "query|<spec>" → "ok <n>\n" plus
+// n body bytes, or "err <msg>\n" — but over an on-disk store instead
+// of a live fold, so rollupctl fetch works unchanged against either.
+//
+// The store is re-scanned before each request: when the member set (or
+// any member's size or mtime) changed, the catalog reopens, so a
+// daemon watching a snapshot directory serves new days as they land.
+// Requests serialize on that scan; a swap can close files while a
+// query reads them otherwise. A query daemon over occasional analyst
+// fetches trades no real throughput for that simplicity.
+type Server struct {
+	ln    net.Listener
+	roots []string
+
+	mu  sync.Mutex
+	sig string
+	cat *Catalog
+	wg  sync.WaitGroup
+}
+
+// NewServer opens the store (failing fast on an unreadable or
+// grid-incompatible one), binds addr, and starts serving.
+func NewServer(addr string, roots ...string) (*Server, error) {
+	s := &Server{roots: roots}
+	if err := s.refreshLocked(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		s.cat.Close()
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, waits out in-flight requests, and releases
+// the store.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cat != nil {
+		s.cat.Close()
+		s.cat = nil
+	}
+	return err
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+// signature fingerprints the member set: path, size and mtime of every
+// file the roots currently resolve to.
+func (s *Server) signature() (string, error) {
+	members, err := expand(s.roots)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, p := range members {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%s\x00%d\x00%d\n", p, fi.Size(), fi.ModTime().UnixNano())
+	}
+	return b.String(), nil
+}
+
+// refreshLocked reopens the catalog when the store changed on disk.
+// Callers hold s.mu (or, in NewServer, exclusive ownership).
+func (s *Server) refreshLocked() error {
+	sig, err := s.signature()
+	if err != nil {
+		return err
+	}
+	if sig == s.sig && s.cat != nil {
+		return nil
+	}
+	cat, err := Open(s.roots...)
+	if err != nil {
+		return err
+	}
+	if s.cat != nil {
+		s.cat.Close()
+	}
+	s.cat, s.sig = cat, sig
+	return nil
+}
+
+// status is the "status" reply: the store's shape, for operators and
+// the rollupctl fetch -status path.
+type status struct {
+	Files    []string `json:"files"`
+	Epochs   int      `json:"epochs"`
+	Bins     int      `json:"bins"`
+	Start    string   `json:"start"`
+	StepSecs float64  `json:"step_secs"`
+	Services int      `json:"services"`
+}
+
+func (s *Server) handle(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(time.Minute))
+	line, err := bufio.NewReader(io.LimitReader(conn, 4096)).ReadString('\n')
+	if err != nil {
+		return
+	}
+	line = strings.TrimSpace(line)
+
+	s.mu.Lock()
+	body, err := s.answerLocked(line)
+	s.mu.Unlock()
+	if err != nil {
+		fmt.Fprintf(conn, "err %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		return
+	}
+	fmt.Fprintf(conn, "ok %d\n", len(body))
+	conn.Write(body)
+}
+
+func (s *Server) answerLocked(line string) ([]byte, error) {
+	if err := s.refreshLocked(); err != nil {
+		return nil, err
+	}
+	c := s.cat
+	switch {
+	case line == "status":
+		return json.Marshal(status{
+			Files:    c.Paths(),
+			Epochs:   c.EpochCount(),
+			Bins:     c.cfg.Bins,
+			Start:    c.cfg.Start.UTC().Format(time.RFC3339),
+			StepSecs: c.cfg.Step.Seconds(),
+			Services: len(c.svcs),
+		})
+	case line == "snapshot":
+		// Full fidelity, not a view: the reply is the store's members
+		// streamed through MergeFiles — counters, totals and the
+		// overflow epoch intact, byte-identical to merging by hand.
+		return s.mergedSnapshotLocked()
+	case line == "query" || strings.HasPrefix(line, "query|") || strings.HasPrefix(line, "window"):
+		var spec rollup.ViewSpec
+		var err error
+		if arg, ok := strings.CutPrefix(line, "query|"); ok {
+			spec, err = rollup.ParseViewSpec(arg)
+		} else if arg, ok := strings.CutPrefix(line, "window"); ok && strings.TrimSpace(arg) != "" {
+			spec.From, spec.To, err = rollup.ParseBinRange(strings.TrimSpace(arg))
+		} else if line != "query" {
+			err = fmt.Errorf("usage: window A:B")
+		}
+		if err != nil {
+			return nil, err
+		}
+		part, _, err := c.Query(spec)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := rollup.WriteV2(&buf, part); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("unknown command %q", line)
+	}
+}
+
+// mergedSnapshotLocked streams the member files through the bounded-
+// memory merger into a scratch file and returns its bytes.
+func (s *Server) mergedSnapshotLocked() ([]byte, error) {
+	dir, err := os.MkdirTemp("", "catalog-snap")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	dst := filepath.Join(dir, "merged.roll")
+	if err := rollup.MergeFiles(dst, s.cat.Paths()...); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(dst)
+}

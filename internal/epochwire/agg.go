@@ -69,6 +69,14 @@ type Aggregator struct {
 	probes   map[string]*probeState
 	dirty    int // applied-but-not-persisted message count
 	draining bool
+	// foldCache and snapCache memoize the national fold and its v2
+	// encoding between mutations, so ctl clients polling
+	// snapshot/window/query pay a re-fold and re-encode only after new
+	// epochs actually arrived. The cached partial is immutable once
+	// built (folding clones; views copy), so readers may slice it
+	// outside the lock.
+	foldCache *rollup.Partial
+	snapCache []byte
 
 	done     chan struct{} // closed when Probes distinct probes have fin'd
 	stopOnce sync.Once
@@ -221,6 +229,7 @@ func (a *Aggregator) serve(conn net.Conn) error {
 		ps.applied, ps.durable, ps.watermark = 0, 0, 0
 		ps.fin = false
 		ps.part = nil
+		a.foldCache, a.snapCache = nil, nil
 		a.persistLocked()
 	}
 	ps.cfg = h.Cfg
@@ -289,6 +298,7 @@ func (a *Aggregator) apply(probeID string, incarnation uint64, m *Message) (*Mes
 	} else if err := ps.part.Merge(part); err != nil {
 		return nil, fmt.Errorf("epochwire: probe %q seq %d: %w", probeID, m.Seq, err)
 	}
+	a.foldCache, a.snapCache = nil, nil
 	ps.applied = m.Seq
 	if m.Watermark > ps.watermark {
 		ps.watermark = m.Watermark
@@ -332,11 +342,51 @@ func (a *Aggregator) checkDrain() {
 // Fold merges every probe's partial into one national-view partial on
 // the union grid. Merge order is fixed (sorted probe IDs) but
 // irrelevant: the algebra is exact and the encoding canonical, so any
-// order produces the same bytes.
+// order produces the same bytes. The returned partial is the caller's
+// to mutate: it is decoded fresh from the memoized encoding.
 func (a *Aggregator) Fold() (*rollup.Partial, error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.foldLocked()
+	b, err := a.snapshotBytesLocked()
+	a.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return rollup.Read(bytes.NewReader(b))
+}
+
+// foldCachedLocked returns the memoized national fold, rebuilding it
+// only after a mutation invalidated the cache. Callers must treat the
+// result as read-only; views (Window/Filter) copy.
+func (a *Aggregator) foldCachedLocked() (*rollup.Partial, error) {
+	if a.foldCache != nil {
+		return a.foldCache, nil
+	}
+	p, err := a.foldLocked()
+	if err != nil {
+		return nil, err
+	}
+	a.foldCache = p
+	return p, nil
+}
+
+// snapshotBytesLocked returns the fold's v2 snapshot encoding,
+// memoized alongside the fold. The slice is immutable once built
+// (invalidation replaces it), so it may be written to clients and
+// files outside the lock.
+func (a *Aggregator) snapshotBytesLocked() ([]byte, error) {
+	if a.snapCache != nil {
+		return a.snapCache, nil
+	}
+	part, err := a.foldCachedLocked()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := rollup.WriteV2(&buf, part); err != nil {
+		return nil, err
+	}
+	a.snapCache = buf.Bytes()
+	return a.snapCache, nil
 }
 
 func (a *Aggregator) foldLocked() (*rollup.Partial, error) {
@@ -372,17 +422,16 @@ func (a *Aggregator) foldLocked() (*rollup.Partial, error) {
 }
 
 // WriteSnapshot folds and writes the aggregate to path (atomically,
-// via a temp file).
+// via a temp file) in snapshot format v2, so an aggd spool directory
+// is directly openable as an indexed catalog store.
 func (a *Aggregator) WriteSnapshot(path string) error {
-	part, err := a.Fold()
+	a.mu.Lock()
+	b, err := a.snapshotBytesLocked()
+	a.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	var buf bytes.Buffer
-	if err := rollup.Write(&buf, part); err != nil {
-		return err
-	}
-	return atomicWrite(path, buf.Bytes())
+	return atomicWrite(path, b)
 }
 
 // Status is the machine-readable aggregator state for the admin
@@ -469,40 +518,51 @@ func (a *Aggregator) acceptCtl() {
 }
 
 func (a *Aggregator) serveCtl(conn net.Conn) {
-	line, err := bufio.NewReader(io.LimitReader(conn, 256)).ReadString('\n')
+	// 4 KiB admits a query line naming dozens of services; anything
+	// longer is abuse, not a query.
+	line, err := bufio.NewReader(io.LimitReader(conn, 4096)).ReadString('\n')
 	if err != nil {
 		return
 	}
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		fmt.Fprintf(conn, "err empty request\n")
-		return
-	}
+	line = strings.TrimSpace(line)
 	var body []byte
-	switch fields[0] {
-	case "snapshot", "window":
-		part, ferr := a.Fold()
-		if ferr == nil && fields[0] == "window" {
-			if len(fields) != 2 {
-				ferr = fmt.Errorf("usage: window A:B")
-			} else {
-				var from, to int
-				if from, to, ferr = rollup.ParseBinRange(fields[1]); ferr == nil {
-					part, ferr = part.Window(from, to)
+	switch {
+	case line == "snapshot":
+		a.mu.Lock()
+		body, err = a.snapshotBytesLocked()
+		a.mu.Unlock()
+	case line == "status":
+		body, err = json.Marshal(a.StatusNow())
+	case line == "query" || strings.HasPrefix(line, "query|") || strings.HasPrefix(line, "window"):
+		// window A:B is the historical spelling of query|A:B; query adds
+		// service/commune filters ("|"-separated, since service names
+		// contain spaces). Both slice the memoized fold — immutable once
+		// built — outside the lock, so a slow query never stalls ingest.
+		var spec rollup.ViewSpec
+		if arg, ok := strings.CutPrefix(line, "query|"); ok {
+			spec, err = rollup.ParseViewSpec(arg)
+		} else if arg, ok := strings.CutPrefix(line, "window"); ok && strings.TrimSpace(arg) != "" {
+			spec.From, spec.To, err = rollup.ParseBinRange(strings.TrimSpace(arg))
+		} else if line != "query" {
+			err = fmt.Errorf("usage: window A:B")
+		}
+		if err == nil {
+			var part *rollup.Partial
+			a.mu.Lock()
+			part, err = a.foldCachedLocked()
+			a.mu.Unlock()
+			if err == nil {
+				var view *rollup.Partial
+				if view, err = spec.Apply(part); err == nil {
+					var buf bytes.Buffer
+					if err = rollup.WriteV2(&buf, view); err == nil {
+						body = buf.Bytes()
+					}
 				}
 			}
 		}
-		if ferr == nil {
-			var buf bytes.Buffer
-			if ferr = rollup.Write(&buf, part); ferr == nil {
-				body = buf.Bytes()
-			}
-		}
-		err = ferr
-	case "status":
-		body, err = json.Marshal(a.StatusNow())
 	default:
-		err = fmt.Errorf("unknown command %q", fields[0])
+		err = fmt.Errorf("unknown command %q", line)
 	}
 	if err != nil {
 		fmt.Fprintf(conn, "err %s\n", strings.ReplaceAll(err.Error(), "\n", " "))

@@ -84,7 +84,7 @@ func distWorkload(t *testing.T) *distFixture {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
-		if err := rollup.Write(&buf, part); err != nil {
+		if err := rollup.WriteV2(&buf, part); err != nil {
 			t.Fatal(err)
 		}
 		fx.fullSnap = buf.Bytes()

@@ -76,23 +76,9 @@ func (p *Partial) Window(from, to int) (*Partial, error) {
 		}
 		w.Epochs = append(w.Epochs, Epoch{Bin: ep.Bin - from, Cells: cells})
 	}
-	// Compact the service table to the window's traffic. The remap is
-	// monotonic in the (sorted) table, so cell order survives.
-	remap := make([]uint32, len(p.Services))
-	for id, ok := range seen {
-		if ok {
-			remap[id] = uint32(len(w.Services))
-			w.Services = append(w.Services, p.Services[id])
-		}
-	}
-	for e := range w.Epochs {
-		cells := w.Epochs[e].Cells
-		for i := range cells {
-			cells[i].Svc = remap[cells[i].Svc]
-		}
-	}
-	w.ClassifiedBytes = w.CellTotals()
-	w.TotalBytes = w.ClassifiedBytes
+	// Compact the service table to the window's traffic (view.go; the
+	// monotonic remap keeps cell order intact) and recompute totals.
+	w.compactView(p.Services, seen)
 	return w, nil
 }
 

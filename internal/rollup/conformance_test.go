@@ -228,7 +228,7 @@ func TestMultiDaySplitCaptureIdentity(t *testing.T) {
 	// concatenated capture.
 	fullRep, fullPart := runOn(append(append([]capture.Frame(nil), frames1...), frames2...), 0, weekBins)
 	var fullSnap bytes.Buffer
-	if err := rollup.Write(&fullSnap, fullPart); err != nil {
+	if err := rollup.WriteV2(&fullSnap, fullPart); err != nil {
 		t.Fatal(err)
 	}
 

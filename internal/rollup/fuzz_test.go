@@ -142,7 +142,7 @@ func FuzzSnapshotMerge(f *testing.F) {
 			t.Fatal(err)
 		}
 		var want bytes.Buffer
-		if err := Write(&want, ra); err != nil {
+		if err := WriteV2(&want, ra); err != nil {
 			t.Fatal(err)
 		}
 		got, err := os.ReadFile(dst)
@@ -151,6 +151,69 @@ func FuzzSnapshotMerge(f *testing.F) {
 		}
 		if !bytes.Equal(got, want.Bytes()) {
 			t.Fatal("MergeFiles bytes differ from the in-memory merge")
+		}
+	})
+}
+
+// FuzzFooterIndex mutates a valid v2 snapshot — one byte XORed, a tail
+// truncation, or both — and holds the seeking reader to its safety
+// contract: it may reject the mutant, and whatever it does open must
+// seek-decode every entry to either an error or the original epoch.
+// An index corruption must degrade (error, or v1-style rejection),
+// never mis-answer.
+func FuzzFooterIndex(f *testing.F) {
+	var golden bytes.Buffer
+	if err := WriteV2(&golden, goldenPartial()); err != nil {
+		f.Fatal(err)
+	}
+	full := golden.Bytes()
+	n := len(full)
+	f.Add(uint16(7), uint8(3), uint16(0))        // version byte
+	f.Add(uint16(n-1), uint8(0x40), uint16(0))   // footer offset
+	f.Add(uint16(n-13), uint8(0x01), uint16(0))  // footer crc
+	f.Add(uint16(n/2), uint8(0x80), uint16(0))   // payload or footer body
+	f.Add(uint16(0), uint8(0), uint16(1))        // lost trailer byte
+	f.Add(uint16(0), uint8(0), uint16(12))       // whole trailer gone
+	f.Add(uint16(n/3), uint8(0x10), uint16(n/4)) // flip + truncate
+	orig, err := Read(bytes.NewReader(full))
+	if err != nil {
+		f.Fatal(err)
+	}
+	byBin := map[int][]Cell{}
+	for _, ep := range orig.Epochs {
+		byBin[ep.Bin] = ep.Cells
+	}
+	f.Fuzz(func(t *testing.T, pos uint16, val uint8, cut uint16) {
+		mut := append([]byte(nil), full...)
+		if int(pos) < len(mut) {
+			mut[pos] ^= val
+		}
+		if int(cut) < len(mut) {
+			mut = mut[:len(mut)-int(cut)]
+		}
+		if bytes.Equal(mut, full[:len(mut)]) && len(mut) < len(full) {
+			// Pure truncation: must not open at all (covered above, but
+			// the guard below would wrongly demand decodable entries).
+			if x, err := OpenIndexed(writeTemp(t, mut)); err == nil {
+				x.Close()
+				t.Fatal("truncated v2 snapshot opened cleanly")
+			}
+			return
+		}
+		x, err := OpenIndexed(writeTemp(t, mut))
+		if err != nil {
+			return // rejected: acceptable
+		}
+		defer x.Close()
+		for i := range x.Entries() {
+			ep, err := x.DecodeEntry(i, nil)
+			if err != nil {
+				continue // degraded: acceptable
+			}
+			want, ok := byBin[ep.Bin]
+			if !ok || !reflect.DeepEqual(ep.Cells, want) {
+				t.Fatalf("mutant (pos %d val %#x cut %d) seek-decoded a wrong epoch %d", pos, val, cut, ep.Bin)
+			}
 		}
 	})
 }

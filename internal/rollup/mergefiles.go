@@ -99,7 +99,7 @@ func MergeFiles(dst string, srcs ...string) error {
 		return err
 	}
 	defer f.Close()
-	enc, err := NewEncoder(f, out, len(outBins))
+	enc, err := NewEncoderV2(f, out, len(outBins))
 	if err != nil {
 		return err
 	}

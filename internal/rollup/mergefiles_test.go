@@ -87,7 +87,7 @@ func TestMergeFilesEquivalence(t *testing.T) {
 			}
 		}
 		var want bytes.Buffer
-		if err := Write(&want, ref); err != nil {
+		if err := WriteV2(&want, ref); err != nil {
 			t.Fatal(err)
 		}
 		got, err := os.ReadFile(dst)

@@ -2,6 +2,7 @@ package rollup
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -15,13 +16,13 @@ import (
 	"repro/internal/services"
 )
 
-// Snapshot format v1. An 8-byte magic/version header, a payload, and a
+// Snapshot format. An 8-byte magic/version header, a payload, and a
 // trailing CRC-32 (IEEE, big-endian) of the payload, so truncation and
 // bit flips are detected, not silently analyzed. All multi-byte
 // integers are unsigned varints unless noted; floats are big-endian
 // IEEE-754 doubles.
 //
-//	magic     "GTPROLL" + version byte 1
+//	magic     "GTPROLL" + version byte (1 or 2)
 //	payload:
 //	  start        int64 big-endian (ns since Unix epoch, UTC)
 //	  step         uvarint (ns)
@@ -44,6 +45,16 @@ import (
 //	                         (dir, svc, commune)
 //	crc32     uint32 big-endian over the payload
 //
+// Version 2 appends a footer index after the payload CRC — per-epoch
+// byte offsets, record CRCs and service/commune presence maps, with
+// its own CRC and a fixed-width footer-offset trailer (layout in
+// index.go) — so seeking readers (OpenIndexed, internal/catalog) can
+// decode only the epochs a query touches. The payload encoding is
+// byte-identical across versions: a v2 file is its v1 encoding plus
+// the index, which is why UpgradeFile can promise an unchanged payload
+// section. v1 is the wire format (pipes and epochwire blobs have no
+// use for seek tables); v2 is what every file writer emits.
+//
 // The encoding is canonical: normalized partials have sorted service
 // tables and cell lists, and the reader enforces the ordering, so one
 // aggregate has exactly one byte representation — equal captures give
@@ -54,7 +65,24 @@ import (
 // cell buffer. Write/Read wrap them for whole-partial use; the
 // streaming k-way merger (MergeFiles) uses them directly so its live
 // memory stays bounded by one epoch of cells, never a whole snapshot.
-var snapshotMagic = [8]byte{'G', 'T', 'P', 'R', 'O', 'L', 'L', 1}
+var (
+	snapshotMagic   = [8]byte{'G', 'T', 'P', 'R', 'O', 'L', 'L', 1}
+	snapshotMagicV2 = [8]byte{'G', 'T', 'P', 'R', 'O', 'L', 'L', 2}
+)
+
+// Snapshot format versions. V1 is the sequential stream format (and
+// the epochwire wire encoding); V2 adds the footer index.
+const (
+	SnapshotV1 = 1
+	SnapshotV2 = 2
+
+	// snapshotMagicLen is the byte length of the magic/version header;
+	// payload offsets are relative to it.
+	snapshotMagicLen = 8
+	// snapshotTrailerLen is the v2 fixed-width tail: footer CRC plus
+	// the 8-byte footer offset.
+	snapshotTrailerLen = 12
+)
 
 // Decoder limits: declared sizes are checked against these before any
 // allocation (the capture package's oversize guard discipline).
@@ -76,25 +104,34 @@ const (
 	cellPrealloc = 1 << 12
 )
 
-// crcWriter tees writes into a running CRC-32.
+// crcWriter tees writes into a running CRC-32. seg is a second sum
+// reset at each epoch-record boundary (the v2 index stores it per
+// record); n counts payload bytes so the encoder knows each record's
+// file offset without asking the underlying writer.
 type crcWriter struct {
 	w   *bufio.Writer
 	crc uint32
+	seg uint32
+	n   int64
 }
 
 func (cw *crcWriter) Write(p []byte) (int, error) {
 	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	cw.seg = crc32.Update(cw.seg, crc32.IEEETable, p)
+	cw.n += int64(len(p))
 	return cw.w.Write(p)
 }
 
 // Encoder writes one snapshot incrementally: the header (config,
 // counters, totals, service table, epoch count) at construction, then
-// exactly the declared number of epochs via WriteEpoch, then the CRC
-// trailer at Close. It is the streaming half the k-way merger writes
-// through; Write wraps it for whole-partial encoding.
+// exactly the declared number of epochs via WriteEpoch, then the
+// trailer — CRC for v1; CRC plus footer index for v2 — at Close. It is
+// the streaming half the k-way merger writes through; Write/WriteV2
+// wrap it for whole-partial encoding.
 type Encoder struct {
 	bw        *bufio.Writer
 	cw        *crcWriter
+	version   int
 	bins      int
 	remaining int
 	prevBin   int
@@ -105,11 +142,33 @@ type Encoder struct {
 	// linear in file size. Appending locally and writing in chunks
 	// keeps WriteEpoch allocation-free, the bound MergeFiles relies on.
 	scratch []byte
+	// v2 index accumulation: the running header CRC captured before the
+	// first epoch, entries pre-sized to the declared epoch count, and
+	// an arena the presence bitmaps are carved from (per-epoch heap
+	// allocations would scale the MergeFiles allocation count with
+	// output length).
+	headerCRC uint32
+	index     []IndexEntry
+	bitsArena []byte
 }
 
-// NewEncoder validates hdr (its Epochs field is ignored) and writes
-// the snapshot header declaring exactly epochs epoch records to come.
+// NewEncoder writes a version-1 header: the sequential stream format,
+// decodable from a pipe with no seeking. File writers should prefer
+// NewEncoderV2.
 func NewEncoder(w io.Writer, hdr *Partial, epochs int) (*Encoder, error) {
+	return newEncoder(w, hdr, epochs, SnapshotV1)
+}
+
+// NewEncoderV2 writes a version-2 header and accumulates the footer
+// index as epochs stream through; Close appends it after the payload
+// CRC.
+func NewEncoderV2(w io.Writer, hdr *Partial, epochs int) (*Encoder, error) {
+	return newEncoder(w, hdr, epochs, SnapshotV2)
+}
+
+// newEncoder validates hdr (its Epochs field is ignored) and writes
+// the snapshot header declaring exactly epochs epoch records to come.
+func newEncoder(w io.Writer, hdr *Partial, epochs, version int) (*Encoder, error) {
 	if hdr.Cfg.Bins < 0 || hdr.Cfg.Bins > MaxBins {
 		return nil, fmt.Errorf("rollup: cannot snapshot %d bins (limit %d)", hdr.Cfg.Bins, MaxBins)
 	}
@@ -120,7 +179,11 @@ func NewEncoder(w io.Writer, hdr *Partial, epochs int) (*Encoder, error) {
 		return nil, fmt.Errorf("rollup: %d epochs do not fit a grid of %d bins", epochs, hdr.Cfg.Bins)
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+	magic := snapshotMagic
+	if version == SnapshotV2 {
+		magic = snapshotMagicV2
+	}
+	if _, err := bw.Write(magic[:]); err != nil {
 		return nil, fmt.Errorf("rollup: writing snapshot header: %w", err)
 	}
 	cw := &crcWriter{w: bw}
@@ -172,7 +235,12 @@ func NewEncoder(w io.Writer, hdr *Partial, epochs int) (*Encoder, error) {
 	if err := capture.WriteUvarint(cw, uint64(epochs)); err != nil {
 		return nil, err
 	}
-	return &Encoder{bw: bw, cw: cw, bins: hdr.Cfg.Bins, remaining: epochs, prevBin: OverflowBin - 1}, nil
+	e := &Encoder{bw: bw, cw: cw, version: version, bins: hdr.Cfg.Bins, remaining: epochs, prevBin: OverflowBin - 1}
+	if version == SnapshotV2 {
+		e.headerCRC = cw.crc
+		e.index = make([]IndexEntry, 0, epochs)
+	}
+	return e, nil
 }
 
 // WriteEpoch appends one epoch record. Epochs must arrive in strictly
@@ -193,9 +261,14 @@ func (e *Encoder) WriteEpoch(ep Epoch) error {
 	if len(ep.Cells) > MaxEpochCells {
 		return fmt.Errorf("rollup: epoch %d has %d cells (limit %d)", ep.Bin, len(ep.Cells), MaxEpochCells)
 	}
+	off := snapshotMagicLen + e.cw.n
+	e.cw.seg = 0
 	e.scratch = binary.AppendUvarint(e.scratch[:0], uint64(ep.Bin+1))
 	e.scratch = binary.AppendUvarint(e.scratch, uint64(len(ep.Cells)))
 	for _, c := range ep.Cells {
+		if c.Commune < 0 {
+			return fmt.Errorf("rollup: epoch %d cell commune %d is negative", ep.Bin, c.Commune)
+		}
 		e.scratch = append(e.scratch, c.Dir)
 		e.scratch = binary.AppendUvarint(e.scratch, uint64(c.Svc))
 		e.scratch = binary.AppendUvarint(e.scratch, uint64(c.Commune))
@@ -212,11 +285,15 @@ func (e *Encoder) WriteEpoch(ep Epoch) error {
 			return err
 		}
 	}
+	if e.version == SnapshotV2 {
+		e.indexEpoch(ep, off, e.cw.seg)
+	}
 	return nil
 }
 
-// Close writes the CRC trailer and flushes. Every declared epoch must
-// have been written.
+// Close writes the trailer and flushes: the payload CRC, and for v2
+// the footer index, its CRC and the footer-offset tail. Every declared
+// epoch must have been written.
 func (e *Encoder) Close() error {
 	if e.closed {
 		return fmt.Errorf("rollup: encoder closed twice")
@@ -225,10 +302,26 @@ func (e *Encoder) Close() error {
 	if e.remaining != 0 {
 		return fmt.Errorf("rollup: %d declared epochs never written", e.remaining)
 	}
-	var b4 [4]byte
-	binary.BigEndian.PutUint32(b4[:], e.cw.crc)
-	if _, err := e.bw.Write(b4[:]); err != nil {
+	var b8 [8]byte
+	binary.BigEndian.PutUint32(b8[:4], e.cw.crc)
+	if _, err := e.bw.Write(b8[:4]); err != nil {
 		return err
+	}
+	if e.version == SnapshotV2 {
+		footerOff := snapshotMagicLen + e.cw.n + 4
+		foot := appendFooter(e.scratch[:0], e.headerCRC, e.index)
+		e.scratch = foot[:0]
+		if _, err := e.bw.Write(foot); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(b8[:4], crc32.ChecksumIEEE(foot))
+		if _, err := e.bw.Write(b8[:4]); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint64(b8[:], uint64(footerOff))
+		if _, err := e.bw.Write(b8[:]); err != nil {
+			return err
+		}
 	}
 	if err := e.bw.Flush(); err != nil {
 		return fmt.Errorf("rollup: flushing snapshot: %w", err)
@@ -236,9 +329,21 @@ func (e *Encoder) Close() error {
 	return nil
 }
 
-// Write persists the partial to w in snapshot format v1.
+// Write persists the partial to w in snapshot format v1 — the
+// sequential wire encoding pipes and epochwire blobs use.
 func Write(w io.Writer, p *Partial) error {
-	enc, err := NewEncoder(w, p, len(p.Epochs))
+	return write(w, p, SnapshotV1)
+}
+
+// WriteV2 persists the partial to w in snapshot format v2, payload
+// byte-identical to Write plus the footer index. This is the on-disk
+// format; WriteFile and MergeFiles emit it.
+func WriteV2(w io.Writer, p *Partial) error {
+	return write(w, p, SnapshotV2)
+}
+
+func write(w io.Writer, p *Partial, version int) error {
+	enc, err := newEncoder(w, p, len(p.Epochs), version)
 	if err != nil {
 		return err
 	}
@@ -252,12 +357,17 @@ func Write(w io.Writer, p *Partial) error {
 
 // crcReader sums every byte actually consumed (bufio read-ahead must
 // not contaminate the running CRC, so the tee sits above the buffer).
-// b8 is the persistent fixed-width scratch: per-call stack buffers
-// would escape through the io.Reader boundary and cost one allocation
-// per float, linear in cell count.
+// seg and n mirror crcWriter's: a per-record sum reset at epoch
+// boundaries and a consumed-byte counter, which is how the sequential
+// decoder knows each record's offset and CRC to cross-check the v2
+// index against. b8 is the persistent fixed-width scratch: per-call
+// stack buffers would escape through the io.Reader boundary and cost
+// one allocation per float, linear in cell count.
 type crcReader struct {
 	br  *bufio.Reader
 	crc uint32
+	seg uint32
+	n   int64
 	b8  [8]byte
 }
 
@@ -272,6 +382,8 @@ func (cr *crcReader) readFloat64(what string) (float64, error) {
 func (cr *crcReader) Read(p []byte) (int, error) {
 	n, err := cr.br.Read(p)
 	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	cr.seg = crc32.Update(cr.seg, crc32.IEEETable, p[:n])
+	cr.n += int64(n)
 	return n, err
 }
 
@@ -283,38 +395,64 @@ func (cr *crcReader) ReadByte() (byte, error) {
 		// one-byte slice would escape — an allocation per varint byte.
 		cr.b8[0] = b
 		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, cr.b8[:1])
+		cr.seg = crc32.Update(cr.seg, crc32.IEEETable, cr.b8[:1])
+		cr.n++
 	}
 	return b, err
+}
+
+// epochRecord is what the sequential decoder observed about one epoch
+// record, kept to cross-check a v2 footer claim for claim.
+type epochRecord struct {
+	bin   int
+	cells int
+	off   int64
+	crc   uint32
+	stats epochStats
 }
 
 // Decoder reads one snapshot incrementally: the header is decoded and
 // validated at construction, then Next yields one epoch at a time —
 // into a caller-reusable cell buffer — enforcing the same orderings
 // and limits the whole-partial Read enforces, and verifying the CRC
-// and clean EOF after the last epoch. Live memory is the header plus
-// one epoch of cells, which is what bounds the k-way merger.
+// and clean EOF after the last epoch. For v2 streams it additionally
+// parses the footer index and verifies every entry against the epochs
+// it actually decoded, so a v2 file that reads cleanly sequentially is
+// guaranteed to answer index-pruned queries identically. Live memory
+// is the header plus one epoch of cells plus (v2) the index, which is
+// what bounds the k-way merger.
 type Decoder struct {
 	br      *bufio.Reader
 	cr      *crcReader
 	hdr     *Partial
+	version int
 	nEpochs int
 	read    int
 	prevBin int
 	fin     bool
+	// v2 cross-check state: header CRC and first-epoch offset captured
+	// at construction, then one record note per decoded epoch.
+	headerCRC   uint32
+	epochsStart int64
+	recs        []epochRecord
 }
 
 // NewDecoder consumes and validates the snapshot header (through the
-// epoch count). Every declared size is bounds-checked before
-// allocation; a truncated, bit-flipped or oversize-field stream
-// errors, it never panics or over-allocates.
+// epoch count) of either format version. Every declared size is
+// bounds-checked before allocation; a truncated, bit-flipped or
+// oversize-field stream errors, it never panics or over-allocates.
 func NewDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if err := capture.ReadFull(br, magic[:], "snapshot header"); err != nil {
 		return nil, fmt.Errorf("rollup: %w", err)
 	}
-	if magic != snapshotMagic {
+	if !bytes.Equal(magic[:7], snapshotMagic[:7]) {
 		return nil, fmt.Errorf("rollup: bad snapshot magic %x (want %x)", magic, snapshotMagic)
+	}
+	version := int(magic[7])
+	if version != SnapshotV1 && version != SnapshotV2 {
+		return nil, fmt.Errorf("rollup: unsupported snapshot version %d", version)
 	}
 	cr := &crcReader{br: br}
 	p := &Partial{}
@@ -383,7 +521,13 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Decoder{br: br, cr: cr, hdr: p, nEpochs: int(nEpochs), prevBin: OverflowBin - 1}, nil
+	d := &Decoder{br: br, cr: cr, hdr: p, version: version, nEpochs: int(nEpochs), prevBin: OverflowBin - 1}
+	if version == SnapshotV2 {
+		d.headerCRC = cr.crc
+		d.epochsStart = snapshotMagicLen + cr.n
+		d.recs = make([]epochRecord, 0, min(d.nEpochs, cellPrealloc))
+	}
+	return d, nil
 }
 
 // Header returns the decoded header as a partial with no epochs: the
@@ -396,10 +540,15 @@ func (d *Decoder) Header() *Partial { return d.hdr }
 // declares.
 func (d *Decoder) EpochCount() int { return d.nEpochs }
 
+// Version returns the snapshot format version (SnapshotV1 or
+// SnapshotV2).
+func (d *Decoder) Version() int { return d.version }
+
 // Next decodes the next epoch into buf (appending from buf[:0]; pass
 // the returned epoch's Cells back in to reuse the allocation, or nil
 // to let Next allocate). After the last epoch it verifies the CRC
-// trailer and clean EOF, and returns ok == false.
+// trailer — and for v2 the footer index — and clean EOF, and returns
+// ok == false.
 func (d *Decoder) Next(buf []Cell) (ep Epoch, ok bool, err error) {
 	if d.fin {
 		return Epoch{}, false, nil
@@ -409,56 +558,139 @@ func (d *Decoder) Next(buf []Cell) (ep Epoch, ok bool, err error) {
 		return Epoch{}, false, d.finish()
 	}
 	d.read++
-	binPlus1, err := capture.ReadUvarint(d.cr, uint64(d.hdr.Cfg.Bins), "snapshot epoch bin")
+	off := snapshotMagicLen + d.cr.n
+	d.cr.seg = 0
+	bin, cells, stats, err := decodeEpoch(d.cr, d.hdr.Cfg.Bins, len(d.hdr.Services), buf)
 	if err != nil {
 		return Epoch{}, false, err
 	}
-	bin := int(binPlus1) - 1
 	if bin <= d.prevBin {
 		return Epoch{}, false, fmt.Errorf("rollup: epoch bins not strictly ascending at %d", bin)
 	}
 	d.prevBin = bin
-	nCells, err := capture.ReadUvarint(d.cr, MaxEpochCells, "snapshot cell count")
+	if d.version == SnapshotV2 {
+		d.recs = append(d.recs, epochRecord{bin: bin, cells: len(cells), off: off, crc: d.cr.seg, stats: stats})
+	}
+	return Epoch{Bin: bin, Cells: cells}, true, nil
+}
+
+// epochStats is the id coverage of one decoded epoch, valid when the
+// epoch has cells.
+type epochStats struct {
+	svcMin, svcMax uint32
+	comMin, comMax uint32
+}
+
+// decodeEpoch reads one epoch record — bin, cell count, cells into
+// buf[:0] — enforcing cell ordering and field limits. It is shared by
+// the sequential decoder and the seeking reader; bin-ordering across
+// epochs is the caller's concern (the seeking reader has none).
+func decodeEpoch(cr *crcReader, bins, numServices int, buf []Cell) (bin int, cells []Cell, stats epochStats, err error) {
+	binPlus1, err := capture.ReadUvarint(cr, uint64(bins), "snapshot epoch bin")
 	if err != nil {
-		return Epoch{}, false, err
+		return 0, nil, stats, err
+	}
+	bin = int(binPlus1) - 1
+	nCells, err := capture.ReadUvarint(cr, MaxEpochCells, "snapshot cell count")
+	if err != nil {
+		return 0, nil, stats, err
 	}
 	if buf == nil {
 		buf = make([]Cell, 0, min(int(nCells), cellPrealloc))
 	} else {
 		buf = buf[:0]
 	}
+	stats.svcMin, stats.comMin = math.MaxUint32, math.MaxUint32
 	var prev Cell
 	for c := uint64(0); c < nCells; c++ {
-		cell, err := readCell(d.cr, len(d.hdr.Services))
+		cell, err := readCell(cr, numServices)
 		if err != nil {
-			return Epoch{}, false, err
+			return 0, nil, stats, err
 		}
 		if c > 0 && !cellLess(prev, cell) {
-			return Epoch{}, false, fmt.Errorf("rollup: epoch %d cells not strictly ascending", bin)
+			return 0, nil, stats, fmt.Errorf("rollup: epoch %d cells not strictly ascending", bin)
 		}
 		prev = cell
+		stats.svcMin = min(stats.svcMin, cell.Svc)
+		stats.svcMax = max(stats.svcMax, cell.Svc)
+		stats.comMin = min(stats.comMin, uint32(cell.Commune))
+		stats.comMax = max(stats.comMax, uint32(cell.Commune))
 		buf = append(buf, cell)
 	}
-	return Epoch{Bin: bin, Cells: buf}, true, nil
+	return bin, buf, stats, nil
 }
 
-// finish checks the CRC trailer and that the stream ends cleanly.
+// finish checks the CRC trailer and that the stream ends cleanly. For
+// v2 it then parses the footer index and holds it to account: entry
+// count, bins, offsets, cell counts, record CRCs and id ranges must
+// all match what was actually decoded, bitmaps must be structurally
+// sound, the footer CRC and offset trailer must check out. A v2 file
+// whose index lies does not read.
 func (d *Decoder) finish() error {
 	sum := d.cr.crc
-	var b4 [4]byte
-	if err := capture.ReadFull(d.br, b4[:], "snapshot checksum"); err != nil {
+	payloadEnd := snapshotMagicLen + d.cr.n
+	var b8 [8]byte
+	if err := capture.ReadFull(d.br, b8[:4], "snapshot checksum"); err != nil {
 		return err
 	}
-	if got := binary.BigEndian.Uint32(b4[:]); got != sum {
+	if got := binary.BigEndian.Uint32(b8[:4]); got != sum {
 		return fmt.Errorf("rollup: snapshot checksum mismatch (stored %08x, computed %08x)", got, sum)
 	}
-	// A snapshot is a whole-stream format: anything after the CRC (a
-	// double Write, a concatenation, a botched transfer) is corruption
-	// and must be flagged, not silently ignored.
+	if d.version == SnapshotV2 {
+		fc := &crcReader{br: d.br}
+		headerCRC, entries, err := parseFooter(fc, d.hdr.Cfg.Bins, len(d.hdr.Services), d.nEpochs, d.epochsStart, payloadEnd)
+		if err != nil {
+			return err
+		}
+		if err := capture.ReadFull(d.br, b8[:4], "snapshot index checksum"); err != nil {
+			return err
+		}
+		if got := binary.BigEndian.Uint32(b8[:4]); got != fc.crc {
+			return fmt.Errorf("rollup: snapshot index checksum mismatch (stored %08x, computed %08x)", got, fc.crc)
+		}
+		if headerCRC != d.headerCRC {
+			return fmt.Errorf("rollup: snapshot index header crc mismatch")
+		}
+		for i, en := range entries {
+			r := d.recs[i]
+			if en.Bin != r.bin || en.Offset != r.off || en.Cells != r.cells || en.CRC != r.crc {
+				return fmt.Errorf("rollup: snapshot index entry %d contradicts epoch record (bin %d at %d)", i, r.bin, r.off)
+			}
+			if r.cells > 0 && (en.SvcMin != r.stats.svcMin || en.SvcMax != r.stats.svcMax ||
+				en.ComMin != r.stats.comMin || en.ComMax != r.stats.comMax) {
+				return fmt.Errorf("rollup: snapshot index entry %d id ranges contradict epoch %d", i, r.bin)
+			}
+		}
+		if err := capture.ReadFull(d.br, b8[:], "snapshot index offset"); err != nil {
+			return err
+		}
+		if got := int64(binary.BigEndian.Uint64(b8[:])); got != payloadEnd+4 {
+			return fmt.Errorf("rollup: snapshot index offset %d does not point at the index (%d)", got, payloadEnd+4)
+		}
+	}
+	// A snapshot is a whole-stream format: anything after the trailer
+	// (a double Write, a concatenation, a botched transfer) is
+	// corruption and must be flagged, not silently ignored.
 	if _, err := d.br.ReadByte(); err != io.EOF {
 		return fmt.Errorf("rollup: trailing data after the snapshot checksum")
 	}
 	return nil
+}
+
+// Index returns the footer index of a fully-read v2 snapshot (nil for
+// v1). It is only populated — and only trustworthy — after Next has
+// returned ok == false with no error, i.e. after finish validated the
+// footer against the decoded stream.
+func (d *Decoder) Index() []IndexEntry {
+	if !d.fin || d.version != SnapshotV2 {
+		return nil
+	}
+	entries := make([]IndexEntry, len(d.recs))
+	for i, r := range d.recs {
+		entries[i] = IndexEntry{Bin: r.bin, Offset: r.off, Cells: r.cells, CRC: r.crc,
+			SvcMin: r.stats.svcMin, SvcMax: r.stats.svcMax, ComMin: r.stats.comMin, ComMax: r.stats.comMax}
+	}
+	return entries
 }
 
 // Read decodes one snapshot whole. It is the materializing wrapper
@@ -558,20 +790,21 @@ func readCell(cr *crcReader, numServices int) (Cell, error) {
 	return c, err
 }
 
-// WriteFile persists the partial to path, creating or truncating it.
+// WriteFile persists the partial to path (format v2), creating or
+// truncating it.
 func WriteFile(path string, p *Partial) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := Write(f, p); err != nil {
+	if err := WriteV2(f, p); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// ReadFile loads a snapshot from path.
+// ReadFile loads a snapshot of either version from path.
 func ReadFile(path string) (*Partial, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -1,0 +1,61 @@
+package rollup
+
+import (
+	"fmt"
+	"os"
+)
+
+// UpgradeFile rewrites the snapshot at src to format v2 at dst,
+// streaming epoch by epoch (live memory: header plus one epoch). The
+// payload encoding is identical across versions, so the output's
+// payload section is byte-for-byte the input's — only the version byte
+// and the appended footer index differ — and decoding either file
+// yields the same partial. A v2 src re-indexes to an identical v2
+// file. dst must not alias src: the rewrite truncates dst first.
+func UpgradeFile(src, dst string) error {
+	if dfi, err := os.Stat(dst); err == nil {
+		sfi, err := os.Stat(src)
+		if err != nil {
+			return err
+		}
+		if os.SameFile(sfi, dfi) {
+			return fmt.Errorf("rollup: upgrading %s onto itself would truncate it", src)
+		}
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	dec, err := NewDecoder(in)
+	if err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	enc, err := NewEncoderV2(out, dec.Header(), dec.EpochCount())
+	if err != nil {
+		return err
+	}
+	var buf []Cell
+	for {
+		ep, ok, err := dec.Next(buf)
+		if err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+		if !ok {
+			break
+		}
+		if err := enc.WriteEpoch(ep); err != nil {
+			return err
+		}
+		buf = ep.Cells
+	}
+	if err := enc.Close(); err != nil {
+		return err
+	}
+	return out.Close()
+}

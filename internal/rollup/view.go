@@ -1,0 +1,179 @@
+// Analytical views: the query-shaped slices of a partial. The paper's
+// analyses are all selections of the (service, commune, bin) tensor —
+// a time window, a service subset, a commune set — so the slicing
+// operations live here as one currency, ViewSpec, shared by the CLIs
+// (analyze, rollupctl query), the ctl sockets (aggd, rollupctl serve)
+// and the catalog planner. Applying a ViewSpec to a materialized
+// partial is the full-scan reference; the index-pruned catalog path is
+// tested to reproduce it exactly.
+
+package rollup
+
+import (
+	"fmt"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// Filter returns the view of p keeping only cells whose service name
+// is in svcs and whose commune id is in communes; an empty (or nil)
+// list leaves that axis unfiltered. Names not in p's table simply
+// match nothing. Like Window, the result is a view of classified
+// traffic: the service table is compacted to services observed after
+// filtering, TotalBytes and ClassifiedBytes are recomputed as the
+// remaining cell sums, counters reset, and epochs left without cells
+// are dropped.
+func (p *Partial) Filter(svcs []string, communes []int) *Partial {
+	var svcKeep []bool
+	if len(svcs) > 0 {
+		svcKeep = make([]bool, len(p.Services))
+		for _, name := range svcs {
+			if id, ok := slices.BinarySearch(p.Services, name); ok {
+				svcKeep[id] = true
+			}
+		}
+	}
+	var comKeep map[int32]bool
+	if len(communes) > 0 {
+		comKeep = make(map[int32]bool, len(communes))
+		for _, c := range communes {
+			comKeep[int32(c)] = true
+		}
+	}
+	w := &Partial{Cfg: p.Cfg}
+	seen := make([]bool, len(p.Services))
+	for _, ep := range p.Epochs {
+		var cells []Cell
+		for _, c := range ep.Cells {
+			if svcKeep != nil && !svcKeep[c.Svc] {
+				continue
+			}
+			if comKeep != nil && !comKeep[c.Commune] {
+				continue
+			}
+			seen[c.Svc] = true
+			cells = append(cells, c)
+		}
+		if len(cells) > 0 {
+			w.Epochs = append(w.Epochs, Epoch{Bin: ep.Bin, Cells: cells})
+		}
+	}
+	w.compactView(p.Services, seen)
+	return w
+}
+
+// compactView finishes a view partial whose epochs hold cells still
+// numbered in the source table names: it compacts the service table to
+// the ids marked seen, remaps every cell (the remap is monotonic in
+// the sorted table, so cell order survives), and recomputes the view
+// totals as cell sums. Window and Filter share it so equal selections
+// produce byte-identical views no matter which path built them.
+func (w *Partial) compactView(names []string, seen []bool) {
+	remap := make([]uint32, len(names))
+	for id, ok := range seen {
+		if ok {
+			remap[id] = uint32(len(w.Services))
+			w.Services = append(w.Services, names[id])
+		}
+	}
+	for e := range w.Epochs {
+		cells := w.Epochs[e].Cells
+		for i := range cells {
+			cells[i].Svc = remap[cells[i].Svc]
+		}
+	}
+	w.ClassifiedBytes = w.CellTotals()
+	w.TotalBytes = w.ClassifiedBytes
+}
+
+// ViewSpec names one analytical slice: a bin window plus optional
+// service and commune filters.
+type ViewSpec struct {
+	// From, To select bins [From, To); To <= 0 means the grid's end.
+	From, To int
+	Services []string
+	Communes []int
+}
+
+// Apply materializes the slice of p: Window then Filter. This is the
+// full-scan reference semantics for every query surface.
+func (v ViewSpec) Apply(p *Partial) (*Partial, error) {
+	to := v.To
+	if to <= 0 {
+		to = p.Cfg.Bins
+	}
+	w, err := p.Window(v.From, to)
+	if err != nil {
+		return nil, err
+	}
+	return w.Filter(v.Services, v.Communes), nil
+}
+
+// ParseViewSpec parses the wire form of a spec — segments joined by
+// "|": a bin range ("A:B", or "all"/"" for the whole grid) followed by
+// optional "services=a,b" and "communes=1,2" segments. "|" separates
+// because service names contain spaces ("Facebook Video"); names may
+// not contain "|" or "," themselves.
+func ParseViewSpec(s string) (ViewSpec, error) {
+	var v ViewSpec
+	parts := strings.Split(s, "|")
+	if w := strings.TrimSpace(parts[0]); w != "" && w != "all" {
+		var err error
+		if v.From, v.To, err = ParseBinRange(w); err != nil {
+			return ViewSpec{}, err
+		}
+	}
+	for _, seg := range parts[1:] {
+		key, val, ok := strings.Cut(seg, "=")
+		if !ok {
+			return ViewSpec{}, fmt.Errorf("rollup: view segment %q is not key=value", seg)
+		}
+		switch key {
+		case "services":
+			for _, name := range strings.Split(val, ",") {
+				if name == "" {
+					return ViewSpec{}, fmt.Errorf("rollup: empty service name in view spec")
+				}
+				v.Services = append(v.Services, name)
+			}
+		case "communes":
+			for _, c := range strings.Split(val, ",") {
+				id, err := strconv.Atoi(strings.TrimSpace(c))
+				if err != nil {
+					return ViewSpec{}, fmt.Errorf("rollup: commune %q in view spec is not an integer", c)
+				}
+				v.Communes = append(v.Communes, id)
+			}
+		default:
+			return ViewSpec{}, fmt.Errorf("rollup: unknown view segment %q", key)
+		}
+	}
+	return v, nil
+}
+
+// String renders the spec in the form ParseViewSpec reads. Service
+// names containing "|" or "," are rejected at parse time on the other
+// side; keep catalog names clean of both.
+func (v ViewSpec) String() string {
+	var b strings.Builder
+	if v.To <= 0 && v.From == 0 {
+		b.WriteString("all")
+	} else {
+		fmt.Fprintf(&b, "%d:%d", v.From, v.To)
+	}
+	if len(v.Services) > 0 {
+		b.WriteString("|services=")
+		b.WriteString(strings.Join(v.Services, ","))
+	}
+	if len(v.Communes) > 0 {
+		b.WriteString("|communes=")
+		for i, c := range v.Communes {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(c))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package rollup
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestViewSpecWireRoundTrip pins the spec wire form every query
+// surface shares (rollupctl query/fetch, the ctl sockets, the catalog):
+// String must render what ParseViewSpec reads, and back.
+func TestViewSpecWireRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec ViewSpec
+		wire string
+	}{
+		{ViewSpec{}, "all"},
+		{ViewSpec{From: 0, To: 96}, "0:96"},
+		{ViewSpec{From: 96, To: 192, Services: []string{"Netflix", "Facebook Video"}}, "96:192|services=Netflix,Facebook Video"},
+		{ViewSpec{Services: []string{"YouTube"}}, "all|services=YouTube"},
+		{ViewSpec{From: 4, To: 8, Communes: []int{0, 17, 399}}, "4:8|communes=0,17,399"},
+		{ViewSpec{From: 4, To: 8, Services: []string{"Web"}, Communes: []int{3}}, "4:8|services=Web|communes=3"},
+	}
+	for _, c := range cases {
+		if got := c.spec.String(); got != c.wire {
+			t.Errorf("String(%+v) = %q, want %q", c.spec, got, c.wire)
+		}
+		parsed, err := ParseViewSpec(c.wire)
+		if err != nil {
+			t.Errorf("ParseViewSpec(%q): %v", c.wire, err)
+			continue
+		}
+		if !reflect.DeepEqual(parsed, c.spec) {
+			t.Errorf("ParseViewSpec(%q) = %+v, want %+v", c.wire, parsed, c.spec)
+		}
+	}
+	// "" and "all" both mean the whole grid.
+	if v, err := ParseViewSpec(""); err != nil || !reflect.DeepEqual(v, ViewSpec{}) {
+		t.Errorf("ParseViewSpec(\"\") = %+v, %v", v, err)
+	}
+}
+
+// TestViewSpecParseErrors rejects malformed wire specs rather than
+// guessing.
+func TestViewSpecParseErrors(t *testing.T) {
+	for _, wire := range []string{
+		"0:96|services",      // no =
+		"0:96|svc=Netflix",   // unknown key
+		"0:96|services=a,,b", // empty name
+		"0:96|communes=1,x",  // non-integer commune
+		"0-96",               // not A:B
+		"0:96x",              // trailing garbage in range
+	} {
+		if _, err := ParseViewSpec(wire); err == nil {
+			t.Errorf("ParseViewSpec(%q) accepted", wire)
+		}
+	}
+}
+
+// TestViewSpecApply pins Apply as Window-then-Filter.
+func TestViewSpecApply(t *testing.T) {
+	p := goldenPartial()
+	w, err := p.Window(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.Filter([]string{"YouTube"}, nil)
+	got, err := ViewSpec{From: 0, To: 3, Services: []string{"YouTube"}}.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Apply diverges from Window∘Filter")
+	}
+	// To <= 0 means the grid's end.
+	whole, err := ViewSpec{}.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p.Window(0, p.Cfg.Bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(whole, ref.Filter(nil, nil)) {
+		t.Fatal("empty spec diverges from the whole-grid window")
+	}
+	if _, err := (ViewSpec{From: 2, To: 1}).Apply(p); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}
