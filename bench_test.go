@@ -24,6 +24,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/gtpsim"
 	"repro/internal/kshape"
+	"repro/internal/obs"
 	"repro/internal/peaks"
 	"repro/internal/probe"
 	"repro/internal/rollup"
@@ -175,16 +176,39 @@ func BenchmarkProbePipeline(b *testing.B) {
 		// any number of runs, so it is setup, not per-run cost.
 		cls := dpi.NewClassifier(catalog)
 		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			// Instrumented by default — the production configuration.
+			// BENCH_NO_METRICS=1 reruns bare for the overhead delta
+			// (see the CI bench job); the bundle is built outside the
+			// loop either way, like the daemons do.
+			m := benchProbeMetrics(shards)
 			b.ReportAllocs()
 			b.SetBytes(bytes)
 			for i := 0; i < b.N; i++ {
-				pl := probe.NewPipeline(probe.DefaultConfig(), sim.Cells, cls, shards)
+				pl := probe.NewPipeline(probe.DefaultConfig(), sim.Cells, cls, shards).WithMetrics(m)
 				if _, err := pl.Run(capture.NewSliceSource(frames)); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+}
+
+// benchProbeMetrics returns a live pipeline metrics bundle, or nil
+// (inert) when BENCH_NO_METRICS=1 asks for the uninstrumented
+// baseline.
+func benchProbeMetrics(shards int) *probe.Metrics {
+	if os.Getenv("BENCH_NO_METRICS") == "1" {
+		return nil
+	}
+	return probe.NewMetrics(obs.NewRegistry(), shards)
+}
+
+// benchRollupMetrics is benchProbeMetrics for the rollup layer.
+func benchRollupMetrics() *rollup.Metrics {
+	if os.Getenv("BENCH_NO_METRICS") == "1" {
+		return nil
+	}
+	return rollup.NewMetrics(obs.NewRegistry())
 }
 
 // BenchmarkRollupIngest measures the rollup store's online
@@ -217,11 +241,13 @@ func BenchmarkRollupIngest(b *testing.B) {
 		seen[shards] = true
 		cls := dpi.NewClassifier(catalog)
 		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			pm := benchProbeMetrics(shards)
+			rm := benchRollupMetrics()
 			b.ReportAllocs()
 			b.SetBytes(bytes)
 			for i := 0; i < b.N; i++ {
-				pl := probe.NewPipeline(pcfg, sim.Cells, cls, shards)
-				col := rollup.NewCollector(rcfg, pl.Shards())
+				pl := probe.NewPipeline(pcfg, sim.Cells, cls, shards).WithMetrics(pm)
+				col := rollup.NewCollector(rcfg, pl.Shards()).WithMetrics(rm)
 				rep, err := pl.WithSinks(col.Sink).Run(capture.NewSliceSource(frames))
 				if err != nil {
 					b.Fatal(err)

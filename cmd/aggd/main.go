@@ -9,7 +9,9 @@
 // durable sequence, and nothing is double-counted — the mid-run
 // aggregator restart of the conformance suite rides on exactly this.
 // With -ctl a second listener serves the line-oriented admin protocol
-// (snapshot / window A:B / status) that cmd/rollupctl fetch speaks.
+// (snapshot / window A:B / status / metrics) that cmd/rollupctl fetch
+// speaks, and -metrics adds an HTTP listener with /metrics (Prometheus
+// text), /debug/vars (JSON) and net/http/pprof.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/epochwire"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -44,24 +47,32 @@ exit 0.
 	snapshot := flag.String("snapshot", "", "write the folded aggregate snapshot here on drain/shutdown")
 	persistEvery := flag.Int("persist-every", 16, "persist state after this many applied epochs (FIN always persists)")
 	idleTimeout := flag.Duration("idle-timeout", 60*time.Second, "per-connection read deadline (probes ping well inside it)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and pprof on this address")
+	metricsDump := flag.String("metrics-dump", "", "write the final registry JSON to this file on drain (for CI assertions)")
+	verbose := flag.Bool("v", false, "log debug detail")
 	quiet := flag.Bool("quiet", false, "log only errors and the final summary")
 	flag.Parse()
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
-	}
-	if *quiet {
-		logf = nil
-	}
+	log := obs.NewLogger(os.Stderr, "aggd", obs.LevelFromFlags(*verbose, *quiet))
+	reg := obs.NewRegistry()
 	agg, err := epochwire.NewAggregator(*listen, *ctl, epochwire.AggConfig{
 		Probes:       *probes,
 		StatePath:    *state,
 		PersistEvery: *persistEvery,
 		IdleTimeout:  *idleTimeout,
-		Logf:         logf,
+		Logf:         log.Infof,
+		Registry:     reg,
 	})
 	if err != nil {
 		fail(err)
+	}
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer msrv.Close()
+		log.Infof("metrics listening on http://%s/metrics", msrv.Addr())
 	}
 	if !*quiet {
 		fmt.Printf("aggd: listening on %s", agg.Addr())
@@ -79,20 +90,38 @@ exit 0.
 			fmt.Println("aggd: all probes complete, draining")
 		}
 	case <-sigCh:
-		fmt.Fprintln(os.Stderr, "aggd: signal received, draining (again to force quit)")
+		log.Errorf("signal received, draining (again to force quit)")
 		go func() {
 			<-sigCh
-			fmt.Fprintln(os.Stderr, "aggd: forced quit")
+			log.Errorf("forced quit")
 			os.Exit(1)
 		}()
 	}
 	agg.Stop()
+	// The telemetry plane doubles as a shutdown oracle: applied bytes,
+	// the fold and its snapshot encoding must agree before this process
+	// may report success.
+	if err := agg.CheckConservation(); err != nil {
+		fail(err)
+	}
 	if *snapshot != "" {
 		if err := agg.WriteSnapshot(*snapshot); err != nil {
 			fail(err)
 		}
 		if !*quiet {
 			fmt.Printf("aggd: wrote aggregate snapshot to %s\n", *snapshot)
+		}
+	}
+	if *metricsDump != "" {
+		f, err := os.Create(*metricsDump)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
 		}
 	}
 	st := agg.StatusNow()

@@ -31,6 +31,7 @@ import (
 	"repro/internal/epochwire"
 	"repro/internal/geo"
 	"repro/internal/gtpsim"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/rollup"
@@ -67,6 +68,8 @@ the aggregator.
 	keepalive := flag.Duration("keepalive", 10*time.Second, "idle interval before a keepalive ping")
 	backoffMax := flag.Duration("backoff-max", 5*time.Second, "cap on the reconnect backoff")
 	retryFor := flag.Duration("retry-for", 0, "give up if the aggregator stays unreachable this long (0 = retry forever)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and pprof on this address")
+	verbose := flag.Bool("v", false, "log debug detail")
 	quiet := flag.Bool("quiet", false, "print only the essential summary lines (CI mode)")
 	flag.Parse()
 
@@ -75,10 +78,21 @@ the aggregator.
 		flag.Usage()
 		os.Exit(2)
 	}
+	log := obs.NewLogger(os.Stderr, "probed", obs.LevelFromFlags(*verbose, *quiet)).With("probe", *id)
 	say := func(format string, args ...any) {
 		if !*quiet {
 			fmt.Printf(format, args...)
 		}
+	}
+
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer msrv.Close()
+		log.Infof("metrics listening on http://%s/metrics", msrv.Addr())
 	}
 
 	country := geo.Generate(geo.SmallConfig())
@@ -138,33 +152,28 @@ the aggregator.
 	// Graceful shutdown: the first signal cuts the source, so the
 	// pipeline drains its normal end-of-stream path — seal, FIN, exit 0
 	// with whatever was measured. A second signal force-exits.
-	stop := capture.NewStopSource(src)
+	stop := capture.NewStopSource(capture.NewCountingSource(src, reg))
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sigCh
-		fmt.Fprintln(os.Stderr, "probed: signal received, draining (again to force quit)")
+		log.Errorf("signal received, draining (again to force quit)")
 		stop.Stop()
 		<-sigCh
-		fmt.Fprintln(os.Stderr, "probed: forced quit")
+		log.Errorf("forced quit")
 		os.Exit(1)
 	}()
 
 	pcfg := probe.ConfigFor(country)
 	pcfg.Start = timeseries.StudyStart.Add(time.Duration(winFrom) * timeseries.DefaultStep)
 	pcfg.Bins = gridTo - winFrom
-	pl := probe.NewPipeline(pcfg, cells, dpi.NewClassifier(catalog), *shards)
+	pl := probe.NewPipeline(pcfg, cells, dpi.NewClassifier(catalog), *shards).
+		WithMetrics(probe.NewMetrics(reg, *shards))
 	rcfg := rollup.ConfigFrom(pcfg, geo.SmallConfig())
 
 	spoolPath := *spool
 	if spoolPath == "" {
 		spoolPath = filepath.Join(os.TempDir(), "probed-"+*id+".spool")
-	}
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
-	}
-	if *quiet {
-		logf = nil
 	}
 	sh, err := epochwire.NewShipper(epochwire.ShipperConfig{
 		Addr:       *aggr,
@@ -175,18 +184,23 @@ the aggregator.
 		Keepalive:  *keepalive,
 		BackoffMax: *backoffMax,
 		RetryFor:   *retryFor,
-		Logf:       logf,
+		Logf:       log.Infof,
+		Registry:   reg,
 	})
 	if err != nil {
 		fail(err)
 	}
+	log = log.With("incarnation", sh.Incarnation())
+	log.Debugf("spooling to %s", spoolPath)
 
-	col := rollup.NewCollector(rcfg, pl.Shards()).WithSealHook(sh.SealHook)
+	col := rollup.NewCollector(rcfg, pl.Shards()).
+		WithMetrics(rollup.NewMetrics(reg)).
+		WithSealHook(sh.SealHook)
 	pl.WithSinks(col.Sink)
 
 	rep, err := pl.Run(stop)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "probed: capture broke mid-stream: %v (shipping what was measured)\n", err)
+		log.Errorf("capture broke mid-stream: %v (shipping what was measured)", err)
 	}
 	part, err := col.Finish(rep)
 	if err != nil {

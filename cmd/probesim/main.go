@@ -30,6 +30,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/gtpsim"
 	"repro/internal/measured"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/rollup"
@@ -63,10 +64,23 @@ CI use.
 	trace := flag.String("trace", "", "replay a binary trace file (see cmd/tracegen -trace) instead of simulating")
 	window := flag.String("window", "", "simulate only bins A:B of the study week and bin the rollup on that range")
 	snapshot := flag.String("snapshot", "", "persist the run as a rollup snapshot to this file (analyze with cmd/analyze -snapshot)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and pprof on this address during the run")
+	verbose := flag.Bool("v", false, "log debug detail")
 	quiet := flag.Bool("quiet", false, "print only the essential summary lines (CI mode)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the capture run to this file (inspect with go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the capture run) to this file")
 	flag.Parse()
+
+	log := obs.NewLogger(os.Stderr, "probesim", obs.LevelFromFlags(*verbose, *quiet))
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer msrv.Close()
+		log.Infof("metrics listening on http://%s/metrics", msrv.Addr())
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -155,32 +169,34 @@ CI use.
 	// the pipeline drains its normal end-of-stream path — open epochs
 	// seal, the snapshot (of what was measured) is written, exit 0. A
 	// second signal force-exits.
-	stop := capture.NewStopSource(src)
+	stop := capture.NewStopSource(capture.NewCountingSource(src, reg))
 	var interrupted atomic.Bool
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sigCh
-		fmt.Fprintln(os.Stderr, "probesim: signal received, draining (again to force quit)")
+		log.Errorf("signal received, draining (again to force quit)")
 		interrupted.Store(true)
 		stop.Stop()
 		<-sigCh
-		fmt.Fprintln(os.Stderr, "probesim: forced quit")
+		log.Errorf("forced quit")
 		os.Exit(1)
 	}()
 
 	pcfg := probe.ConfigFor(country)
 	pcfg.Start = timeseries.StudyStart.Add(time.Duration(winFrom) * timeseries.DefaultStep)
 	pcfg.Bins = gridTo - winFrom
-	pl := probe.NewPipeline(pcfg, cells, dpi.NewClassifier(catalog), *shards)
+	pl := probe.NewPipeline(pcfg, cells, dpi.NewClassifier(catalog), *shards).
+		WithMetrics(probe.NewMetrics(reg, *shards))
 	var col *rollup.Collector
 	if *snapshot != "" {
-		col = rollup.NewCollector(rollup.ConfigFrom(pcfg, geo.SmallConfig()), pl.Shards())
+		col = rollup.NewCollector(rollup.ConfigFrom(pcfg, geo.SmallConfig()), pl.Shards()).
+			WithMetrics(rollup.NewMetrics(reg))
 		pl.WithSinks(col.Sink)
 	}
 	rep, err := pl.Run(stop)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "capture broke mid-stream: %v (reporting what was measured)\n", err)
+		log.Errorf("capture broke mid-stream: %v (reporting what was measured)", err)
 	}
 
 	fmt.Printf("%d control messages, %d user-plane packets, %d decode errors across %d shards; classification rate %s (paper: 88%%)\n",

@@ -30,12 +30,15 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/epochwire"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rollup"
 	"repro/internal/services"
@@ -94,15 +97,19 @@ Commands:
                                        *.roll) as one store and cut the selected
                                        view, decoding only the epochs the v2
                                        footer indexes cannot prune
-  serve   -ctl addr path...            daemon: answer the aggd ctl protocol
-                                       (status/snapshot/window/query) over an
-                                       on-disk store, rescanning it per request
+  serve   -ctl addr [-metrics addr] path...
+                                       daemon: answer the aggd ctl protocol
+                                       (status/snapshot/window/query/metrics) over
+                                       an on-disk store, rescanning it per request
   upgrade src dst                      rewrite a v1 snapshot as v2 (same payload
                                        bytes, plus the footer index)
-  fetch   -from addr [-window A:B] [-query SPEC] [-status] -o out
-                                       pull a live snapshot (or status JSON) from a
-                                       running aggd's or rollupctl serve's -ctl
-                                       socket; -query SPEC is A:B|services=a,b|
+  fetch   -from addr [-window A:B] [-query SPEC] [-status] [-metrics] [-conserve] -o out
+                                       pull a live snapshot, status, or metrics from
+                                       a running aggd's or rollupctl serve's -ctl
+                                       socket; -status and -metrics render human
+                                       tables (-json for the raw reply), -conserve
+                                       asserts applied == fold cell bytes on aggd;
+                                       -query SPEC is A:B|services=a,b|
                                        communes=1,2 ("all" for the whole grid)
 
 Produce snapshots with probesim -snapshot (add -window A:B for one slice of the
@@ -479,6 +486,9 @@ func runQuery(args []string) error {
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	ctl := fs.String("ctl", "", "address to answer the ctl protocol on (required)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /debug/vars and pprof on this address")
+	verbose := fs.Bool("v", false, "log debug detail")
+	quiet := fs.Bool("quiet", false, "log only errors")
 	fs.Parse(args)
 	if *ctl == "" {
 		return fmt.Errorf("serve: -ctl listen address is required")
@@ -486,11 +496,21 @@ func runServe(args []string) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("serve: no snapshot files or directories given")
 	}
-	s, err := catalog.NewServer(*ctl, fs.Args()...)
+	log := obs.NewLogger(os.Stderr, "rollupctl", obs.LevelFromFlags(*verbose, *quiet))
+	s, err := catalog.NewServer(*ctl, nil, fs.Args()...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %d paths on %s (status/snapshot/window/query; fetch with rollupctl fetch)\n",
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, s.Registry())
+		if err != nil {
+			s.Close()
+			return err
+		}
+		defer msrv.Close()
+		log.Infof("metrics listening on http://%s/metrics", msrv.Addr())
+	}
+	log.Infof("serving %d paths on %s (status/snapshot/window/query/metrics; fetch with rollupctl fetch)",
 		fs.NArg(), s.Addr())
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -518,38 +538,45 @@ func runUpgrade(args []string) error {
 }
 
 // runFetch speaks the aggd admin protocol: one line request, `ok <n>`
-// + n raw bytes back (a rollup snapshot, or status JSON).
+// + n raw bytes back (a rollup snapshot, status JSON, or the metric
+// registry JSON).
 func runFetch(args []string) error {
 	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
 	from := fs.String("from", "", "aggd -ctl address (required)")
 	window := fs.String("window", "", "fetch only bins A:B of the aggregate")
 	query := fs.String("query", "", "fetch a filtered view: A:B|services=a,b|communes=1,2 (\"all\" for the whole grid)")
-	status := fs.Bool("status", false, "fetch the aggregator's status JSON instead of a snapshot")
-	out := fs.String("o", "", "output file (default: stdout for -status, required otherwise)")
+	status := fs.Bool("status", false, "fetch the aggregator's status (human table; -json for the raw JSON)")
+	metrics := fs.Bool("metrics", false, "fetch the daemon's metric registry (human listing; -json for the raw JSON)")
+	conserve := fs.Bool("conserve", false, "fetch metrics and fail unless applied cell bytes equal the fold's (aggd only)")
+	asJSON := fs.Bool("json", false, "with -status/-metrics: print the raw JSON instead of the human rendering")
+	out := fs.String("o", "", "output file (default: stdout for -status/-metrics, required otherwise)")
 	timeout := fs.Duration("timeout", 30*time.Second, "connect/read deadline")
 	fs.Parse(args)
 	if *from == "" {
 		return fmt.Errorf("fetch: -from aggd ctl address is required")
 	}
 	picked := 0
-	for _, on := range []bool{*status, *window != "", *query != ""} {
+	for _, on := range []bool{*status, *metrics || *conserve, *window != "", *query != ""} {
 		if on {
 			picked++
 		}
 	}
 	if picked > 1 {
-		return fmt.Errorf("fetch: -status, -window and -query are mutually exclusive")
+		return fmt.Errorf("fetch: -status, -metrics/-conserve, -window and -query are mutually exclusive")
 	}
 	req := "snapshot\n"
+	textMode := false
 	switch {
 	case *status:
-		req = "status\n"
+		req, textMode = "status\n", true
+	case *metrics || *conserve:
+		req, textMode = "metrics\n", true
 	case *window != "":
 		req = "window " + *window + "\n"
 	case *query != "":
 		req = "query|" + *query + "\n"
 	}
-	if *out == "" && !*status {
+	if *out == "" && !textMode {
 		return fmt.Errorf("fetch: -o output file is required (snapshots are binary)")
 	}
 	conn, err := net.DialTimeout("tcp", *from, *timeout)
@@ -571,22 +598,155 @@ func runFetch(args []string) error {
 	if _, err := fmt.Sscanf(line, "ok %d", &n); err != nil {
 		return fmt.Errorf("fetch: aggregator answered %q", line)
 	}
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+
+	if textMode {
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return fmt.Errorf("fetch: truncated reply: %w", err)
 		}
-		defer f.Close()
-		w = f
+		if *out != "" {
+			if err := os.WriteFile(*out, body, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("fetched %d bytes from %s to %s\n", n, *from, *out)
+			if !*conserve {
+				return nil
+			}
+		}
+		switch {
+		case *conserve:
+			return checkConserve(body)
+		case *asJSON || !*status && !*metrics:
+			if *out == "" {
+				os.Stdout.Write(body)
+				fmt.Println()
+			}
+		case *status:
+			return renderStatus(body)
+		default:
+			return renderMetrics(body)
+		}
+		return nil
 	}
-	if _, err := io.CopyN(w, br, n); err != nil {
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := io.CopyN(f, br, n); err != nil {
 		return fmt.Errorf("fetch: truncated reply: %w", err)
 	}
-	if *status && *out == "" {
-		fmt.Println()
-	} else if *out != "" {
-		fmt.Printf("fetched %d bytes from %s to %s\n", n, *from, *out)
+	fmt.Printf("fetched %d bytes from %s to %s\n", n, *from, *out)
+	return nil
+}
+
+// renderStatus prints the aggregator's status JSON as a per-probe
+// table: cursor positions, frontier lag, cursor age, liveness.
+func renderStatus(body []byte) error {
+	var st epochwire.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("fetch: undecodable status reply: %w", err)
+	}
+	state := "collecting"
+	if st.Draining {
+		state = "draining"
+	}
+	fmt.Printf("%s: %d probes, sealed through bin %d\n", state, len(st.Probes), st.SealedThrough)
+	if len(st.Probes) == 0 {
+		return nil
+	}
+	rows := [][]string{}
+	for _, p := range st.Probes {
+		conn := "no"
+		if p.Connected {
+			conn = "yes"
+		}
+		fin := ""
+		if p.Fin {
+			fin = "fin"
+		}
+		age := "-"
+		if p.AgeSeconds >= 0 {
+			age = fmt.Sprintf("%.0fs", p.AgeSeconds)
+		}
+		rows = append(rows, []string{
+			p.ID, strconv.FormatUint(p.Applied, 10), strconv.FormatUint(p.Durable, 10),
+			strconv.FormatUint(p.Watermark, 10), strconv.Itoa(p.Lag), age, conn,
+			strconv.Itoa(p.Epochs), fin,
+		})
+	}
+	fmt.Println(report.Table(
+		[]string{"probe", "applied", "durable", "watermark", "lag", "age", "connected", "epochs", "state"}, rows))
+	return nil
+}
+
+// renderMetrics prints the registry JSON one metric per line, sorted;
+// histograms compress to count/sum.
+func renderMetrics(body []byte) error {
+	var reg map[string]any
+	if err := json.Unmarshal(body, &reg); err != nil {
+		return fmt.Errorf("fetch: undecodable metrics reply: %w", err)
+	}
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		switch v := reg[name].(type) {
+		case map[string]any:
+			fmt.Printf("%s count=%s sum=%s\n", name, fmtMetric(v["count"]), fmtMetric(v["sum"]))
+		default:
+			fmt.Printf("%s %s\n", name, fmtMetric(v))
+		}
+	}
+	return nil
+}
+
+// fmtMetric renders a decoded metric value without the exponent
+// notation %v gives large float64s (counters are integers).
+func fmtMetric(v any) string {
+	if f, ok := v.(float64); ok && f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', 0, 64)
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// checkConserve asserts the aggregator's conservation invariant from a
+// metrics scrape: the applied-bytes gauges (what the live probe
+// streams delivered) must equal the fold's cell totals, per direction.
+// Holding mid-run, not just at drain, is the point: resets and
+// retransmits may never leave the fold out of step with the telemetry.
+func checkConserve(body []byte) error {
+	var reg map[string]float64
+	if err := json.Unmarshal(body, &reg); err != nil {
+		// Histograms decode as objects, not numbers; a generic decode
+		// keeps only the scalar metrics we need.
+		var raw map[string]any
+		if jerr := json.Unmarshal(body, &raw); jerr != nil {
+			return fmt.Errorf("fetch: undecodable metrics reply: %w", jerr)
+		}
+		reg = make(map[string]float64, len(raw))
+		for k, v := range raw {
+			if f, ok := v.(float64); ok {
+				reg[k] = f
+			}
+		}
+	}
+	for _, dir := range []string{"dl", "ul"} {
+		applied, okA := reg[`aggd_applied_cell_bytes{dir="`+dir+`"}`]
+		fold, okF := reg[`aggd_fold_cell_bytes{dir="`+dir+`"}`]
+		if !okA || !okF {
+			return fmt.Errorf("fetch: metrics reply lacks the aggd conservation gauges (not an aggd endpoint?)")
+		}
+		if fold == -1 && applied == 0 {
+			continue // nothing aggregated yet: trivially conserved
+		}
+		if applied != fold {
+			return fmt.Errorf("fetch: conservation violated: applied %.0f %s cell bytes but the fold holds %.0f", applied, dir, fold)
+		}
+		fmt.Printf("conservation ok (%s): applied == fold == %.0f cell bytes\n", dir, applied)
 	}
 	return nil
 }

@@ -1,0 +1,46 @@
+package capture
+
+import (
+	"repro/internal/obs"
+)
+
+// CountingSource wraps a Source and counts every frame and payload
+// byte that flows through it — the capture layer's contribution to
+// the telemetry plane. It preserves the wrapped source's stability
+// contract (StableData delegates), so the probe pipeline's copy/alias
+// decision is unchanged, and the per-frame cost is two nil-safe
+// atomic adds.
+type CountingSource struct {
+	src    Source
+	frames *obs.Counter
+	bytes  *obs.Counter
+}
+
+// NewCountingSource registers capture_frames_total and
+// capture_bytes_total in reg (sharing existing counters if another
+// source already registered them) and returns the counting wrapper.
+// A nil reg returns src unwrapped.
+func NewCountingSource(src Source, reg *obs.Registry) Source {
+	if reg == nil {
+		return src
+	}
+	return &CountingSource{
+		src:    src,
+		frames: reg.Counter("capture_frames_total", "Frames pulled from the capture source."),
+		bytes:  reg.Counter("capture_bytes_total", "Frame payload bytes pulled from the capture source."),
+	}
+}
+
+// Next implements Source.
+func (s *CountingSource) Next() (Frame, error) {
+	f, err := s.src.Next()
+	if err == nil {
+		s.frames.Inc()
+		s.bytes.Add(uint64(len(f.Data)))
+	}
+	return f, err
+}
+
+// StableData implements StableSource by delegation, so wrapping never
+// forces a defensive copy the underlying source made unnecessary.
+func (s *CountingSource) StableData() bool { return IsStable(s.src) }

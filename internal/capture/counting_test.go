@@ -1,0 +1,62 @@
+package capture
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestCountingSource(t *testing.T) {
+	frames := []Frame{
+		{Time: time.Unix(0, 0), Data: []byte("abcd")},
+		{Time: time.Unix(1, 0), Data: []byte("ef")},
+	}
+	reg := obs.NewRegistry()
+	src := NewCountingSource(NewSliceSource(frames), reg)
+	if !IsStable(src) {
+		t.Fatal("counting wrapper lost the slice source's stability")
+	}
+	n := 0
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("delivered %d frames, want 2", n)
+	}
+	if got := reg.Counter("capture_frames_total", "").Load(); got != 2 {
+		t.Fatalf("capture_frames_total = %d, want 2", got)
+	}
+	if got := reg.Counter("capture_bytes_total", "").Load(); got != 6 {
+		t.Fatalf("capture_bytes_total = %d, want 6", got)
+	}
+}
+
+func TestCountingSourceNilRegistry(t *testing.T) {
+	src := NewSliceSource(nil)
+	if got := NewCountingSource(src, nil); got != Source(src) {
+		t.Fatal("nil registry should return the source unwrapped")
+	}
+}
+
+func TestCountingSourceUnstable(t *testing.T) {
+	// A bare Source (no StableData) must stay unstable through the
+	// wrapper so consumers keep their defensive copy.
+	reg := obs.NewRegistry()
+	src := NewCountingSource(bareSource{}, reg)
+	if IsStable(src) {
+		t.Fatal("wrapper invented stability the source never promised")
+	}
+}
+
+type bareSource struct{}
+
+func (bareSource) Next() (Frame, error) { return Frame{}, io.EOF }

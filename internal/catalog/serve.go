@@ -13,12 +13,14 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rollup"
 )
 
 // Server answers the same one-line ctl protocol cmd/aggd speaks —
-// "status", "snapshot", "window A:B", "query|<spec>" → "ok <n>\n" plus
-// n body bytes, or "err <msg>\n" — but over an on-disk store instead
+// "status", "snapshot", "window A:B", "query|<spec>", "metrics" →
+// "ok <n>\n" plus n body bytes, or "err <msg>\n" — but over an on-disk
+// store instead
 // of a live fold, so rollupctl fetch works unchanged against either.
 //
 // The store is re-scanned before each request: when the member set (or
@@ -28,8 +30,10 @@ import (
 // query reads them otherwise. A query daemon over occasional analyst
 // fetches trades no real throughput for that simplicity.
 type Server struct {
-	ln    net.Listener
-	roots []string
+	ln      net.Listener
+	roots   []string
+	reg     *obs.Registry
+	metrics *Metrics
 
 	mu  sync.Mutex
 	sig string
@@ -38,9 +42,14 @@ type Server struct {
 }
 
 // NewServer opens the store (failing fast on an unreadable or
-// grid-incompatible one), binds addr, and starts serving.
-func NewServer(addr string, roots ...string) (*Server, error) {
-	s := &Server{roots: roots}
+// grid-incompatible one), binds addr, and starts serving. reg receives
+// the catalog_* metric family; nil gets a private registry (still
+// scrapeable through the "metrics" ctl verb).
+func NewServer(addr string, reg *obs.Registry, roots ...string) (*Server, error) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{roots: roots, reg: reg, metrics: newMetrics(reg)}
 	if err := s.refreshLocked(); err != nil {
 		return nil, err
 	}
@@ -57,6 +66,10 @@ func NewServer(addr string, roots ...string) (*Server, error) {
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Registry returns the server's metric registry (never nil) for the
+// -metrics HTTP listener.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Close stops accepting, waits out in-flight requests, and releases
 // the store.
@@ -124,6 +137,7 @@ func (s *Server) refreshLocked() error {
 		s.cat.Close()
 	}
 	s.cat, s.sig = cat, sig
+	s.metrics.Refreshes.Inc()
 	return nil
 }
 
@@ -190,12 +204,19 @@ func (s *Server) answerLocked(line string) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		part, _, err := c.Query(spec)
+		part, qst, err := c.Query(spec)
 		if err != nil {
 			return nil, err
 		}
+		s.metrics.observe(qst)
 		var buf bytes.Buffer
 		if err := rollup.WriteV2(&buf, part); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	case line == "metrics":
+		var buf bytes.Buffer
+		if err := s.reg.WriteJSON(&buf); err != nil {
 			return nil, err
 		}
 		return buf.Bytes(), nil

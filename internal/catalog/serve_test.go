@@ -70,7 +70,7 @@ func TestServer(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	s, err := NewServer("127.0.0.1:0", dir)
+	s, err := NewServer("127.0.0.1:0", nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

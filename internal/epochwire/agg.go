@@ -16,7 +16,9 @@ import (
 	"time"
 
 	"repro/internal/capture"
+	"repro/internal/obs"
 	"repro/internal/rollup"
+	"repro/internal/services"
 )
 
 // AggConfig configures an aggregator.
@@ -38,6 +40,10 @@ type AggConfig struct {
 	IdleTimeout time.Duration
 	// Logf, when set, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
+	// Registry, when set, is where the aggregator registers its
+	// metrics; when nil a private registry is created, so the ctl
+	// `metrics` verb always answers.
+	Registry *obs.Registry
 }
 
 // probeState is one probe's slice of aggregator state.
@@ -50,6 +56,11 @@ type probeState struct {
 	fin         bool
 	part        *rollup.Partial // nil until the first epoch
 	conn        net.Conn        // live connection, if any (latest wins)
+	// appliedBytes tracks part's cell totals incrementally (exact:
+	// integer-valued sums), so the conservation gauges never need a
+	// full fold; an incarnation reset subtracts it back out.
+	appliedBytes [services.NumDirections]float64
+	lastApply    time.Time // wall time of the last applied message
 }
 
 // Aggregator accepts probe connections and folds their epoch streams
@@ -59,9 +70,11 @@ type probeState struct {
 // discards that probe's partial alone and replays, touching nothing
 // already aggregated from its peers.
 type Aggregator struct {
-	cfg AggConfig
-	ln  net.Listener
-	ctl net.Listener
+	cfg     AggConfig
+	ln      net.Listener
+	ctl     net.Listener
+	reg     *obs.Registry
+	metrics *AggMetrics
 
 	mu       sync.Mutex
 	base     rollup.Config // union of every accepted grid; adopted from the first Hello
@@ -97,11 +110,17 @@ func NewAggregator(addr, ctlAddr string, cfg AggConfig) (*Aggregator, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	a := &Aggregator{
-		cfg:    cfg,
-		probes: make(map[string]*probeState),
-		done:   make(chan struct{}),
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
 	}
+	a := &Aggregator{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		metrics: newAggMetrics(cfg.Registry),
+		probes:  make(map[string]*probeState),
+		done:    make(chan struct{}),
+	}
+	a.registerAggFuncs()
 	if cfg.StatePath != "" {
 		if err := a.loadState(); err != nil {
 			return nil, err
@@ -191,10 +210,12 @@ func (a *Aggregator) serve(conn net.Conn) error {
 	if err != nil {
 		var ve *VersionError
 		if errors.As(err, &ve) {
+			a.metrics.Rejects.Inc()
 			WriteWelcome(conn, &Welcome{Reject: ve.Error()})
 		}
 		return err
 	}
+	a.metrics.Conns.Inc()
 
 	a.mu.Lock()
 	// Adopt the first grid, union in every later one. A grid that
@@ -204,6 +225,7 @@ func (a *Aggregator) serve(conn net.Conn) error {
 		a.base, a.haveBase = h.Cfg, true
 	} else if u, err := a.base.Union(h.Cfg); err != nil {
 		a.mu.Unlock()
+		a.metrics.Rejects.Inc()
 		WriteWelcome(conn, &Welcome{Reject: err.Error()})
 		return fmt.Errorf("epochwire: rejecting probe %q: %w", h.ProbeID, err)
 	} else {
@@ -213,6 +235,7 @@ func (a *Aggregator) serve(conn net.Conn) error {
 	if ps == nil {
 		ps = &probeState{}
 		a.probes[h.ProbeID] = ps
+		a.registerProbeFuncsLocked(h.ProbeID, ps)
 	}
 	if old := ps.conn; old != nil {
 		old.Close() // latest connection for a probe ID wins
@@ -224,11 +247,18 @@ func (a *Aggregator) serve(conn net.Conn) error {
 		// state; peers are untouched.
 		if ps.incarnation != 0 || ps.applied != 0 {
 			a.cfg.Logf("epochwire: probe %q restarted (incarnation %x→%x), resetting its stream", h.ProbeID, ps.incarnation, h.Incarnation)
+			a.metrics.IncarnationResets.Inc()
 		}
 		ps.incarnation = h.Incarnation
 		ps.applied, ps.durable, ps.watermark = 0, 0, 0
 		ps.fin = false
 		ps.part = nil
+		// The discarded stream's bytes leave the conservation gauges
+		// with it; the replay re-adds them.
+		for d := range ps.appliedBytes {
+			a.metrics.AppliedBytes[d].Add(-int64(ps.appliedBytes[d]))
+			ps.appliedBytes[d] = 0
+		}
 		a.foldCache, a.snapCache = nil, nil
 		a.persistLocked()
 	}
@@ -278,9 +308,11 @@ func (a *Aggregator) apply(probeID string, incarnation uint64, m *Message) (*Mes
 		return nil, fmt.Errorf("epochwire: probe %q state superseded mid-stream", probeID)
 	}
 	if m.Seq <= ps.applied {
+		a.metrics.Duplicates.Inc()
 		return &Message{Type: MsgAck, Seq: m.Seq, Durable: ps.durable}, nil
 	}
 	if m.Seq != ps.applied+1 {
+		a.metrics.SeqGaps.Inc()
 		return nil, fmt.Errorf("epochwire: probe %q sent seq %d after %d", probeID, m.Seq, ps.applied)
 	}
 	part, err := rollup.Read(bytes.NewReader(m.Blob))
@@ -293,6 +325,9 @@ func (a *Aggregator) apply(probeID string, incarnation uint64, m *Message) (*Mes
 	if m.Type == MsgFin && len(part.Epochs) != 0 {
 		return nil, fmt.Errorf("epochwire: probe %q seq %d: fin message carrying %d epochs", probeID, m.Seq, len(part.Epochs))
 	}
+	// The message partial's cell totals feed the conservation gauges;
+	// computed before the merge consumes it (one epoch: a short walk).
+	msgBytes := part.CellTotals()
 	if ps.part == nil {
 		ps.part = part
 	} else if err := ps.part.Merge(part); err != nil {
@@ -300,12 +335,21 @@ func (a *Aggregator) apply(probeID string, incarnation uint64, m *Message) (*Mes
 	}
 	a.foldCache, a.snapCache = nil, nil
 	ps.applied = m.Seq
+	ps.lastApply = time.Now()
+	for d := range msgBytes {
+		ps.appliedBytes[d] += msgBytes[d]
+		a.metrics.AppliedBytes[d].Add(int64(msgBytes[d]))
+	}
+	if m.Type == MsgEpoch {
+		a.metrics.EpochsApplied.Inc()
+	}
 	if m.Watermark > ps.watermark {
 		ps.watermark = m.Watermark
 	}
 	a.dirty++
 	if m.Type == MsgFin {
 		ps.fin = true
+		a.metrics.FinsApplied.Inc()
 	}
 	// FIN persists unconditionally: the probe's Finish blocks until its
 	// fin is durable, so exit 0 on the probe certifies the whole run is
@@ -452,6 +496,13 @@ type ProbeStatus struct {
 	Watermark uint64 `json:"watermark"`
 	Fin       bool   `json:"fin"`
 	Epochs    int    `json:"epochs"`
+	Connected bool   `json:"connected"`
+	// AgeSeconds is the time since this probe's last applied message;
+	// -1 before the first.
+	AgeSeconds float64 `json:"age_seconds"`
+	// Lag is how many bins this probe's sealed frontier trails the
+	// fastest probe's, on the union grid.
+	Lag int `json:"lag"`
 }
 
 // StatusNow reports per-probe cursors and the aggregate watermark.
@@ -465,29 +516,93 @@ func (a *Aggregator) StatusNow() Status {
 	}
 	sort.Strings(ids)
 	sealed := -1
+	lead := 0 // the fastest probe's frontier, for per-probe lag
+	unionWM := make([]int, len(ids))
 	for i, id := range ids {
 		ps := a.probes[id]
 		n := 0
 		if ps.part != nil {
 			n = len(ps.part.Epochs)
 		}
+		age := -1.0
+		if !ps.lastApply.IsZero() {
+			age = time.Since(ps.lastApply).Seconds()
+		}
 		st.Probes = append(st.Probes, ProbeStatus{
 			ID: id, Applied: ps.applied, Durable: ps.durable,
 			Watermark: ps.watermark, Fin: ps.fin, Epochs: n,
+			Connected: ps.conn != nil, AgeSeconds: age,
 		})
 		// Shift the probe-grid watermark onto the union grid: the
 		// sealed frontier is the minimum across probes.
 		off := int(ps.cfg.Start.Sub(a.base.Start) / a.base.Step)
 		wm := off + int(ps.watermark)
+		unionWM[i] = wm
 		if i == 0 || wm < sealed {
 			sealed = wm
 		}
+		if wm > lead {
+			lead = wm
+		}
+	}
+	for i := range st.Probes {
+		st.Probes[i].Lag = lead - unionWM[i]
 	}
 	if sealed < 0 {
 		sealed = 0
 	}
 	st.SealedThrough = sealed
 	return st
+}
+
+// CheckConservation is the telemetry plane as a correctness oracle:
+// the cell bytes applied from live probe streams, the national fold's
+// cell totals, and the totals of a snapshot decoded back from the
+// fold's encoding must agree exactly, per direction. Any difference
+// is an accounting bug (all three are sums of the same integer-valued
+// contributions), so the daemons run this check on the way out and CI
+// asserts it over a live scrape.
+func (a *Aggregator) CheckConservation() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var applied [services.NumDirections]float64
+	any := false
+	for _, ps := range a.probes {
+		if ps.part == nil {
+			continue
+		}
+		any = true
+		for d := range applied {
+			applied[d] += ps.appliedBytes[d]
+		}
+	}
+	if !any {
+		return nil // nothing aggregated: trivially conserved
+	}
+	fold, err := a.foldCachedLocked()
+	if err != nil {
+		return err
+	}
+	foldTotals := fold.CellTotals()
+	snap, err := a.snapshotBytesLocked()
+	if err != nil {
+		return err
+	}
+	decoded, err := rollup.Read(bytes.NewReader(snap))
+	if err != nil {
+		return err
+	}
+	snapTotals := decoded.CellTotals()
+	for d := range applied {
+		dir := services.Direction(d)
+		if applied[d] != foldTotals[d] {
+			return fmt.Errorf("epochwire: conservation violated: applied %.0f %v bytes but the fold holds %.0f", applied[d], dir, foldTotals[d])
+		}
+		if foldTotals[d] != snapTotals[d] {
+			return fmt.Errorf("epochwire: conservation violated: fold holds %.0f %v bytes but its snapshot decodes to %.0f", foldTotals[d], dir, snapTotals[d])
+		}
+	}
+	return nil
 }
 
 // --- admin (ctl) socket -------------------------------------------------
@@ -497,6 +612,7 @@ func (a *Aggregator) StatusNow() Status {
 //	snapshot\n         → ok <n>\n + n bytes of rollup snapshot
 //	window <A:B>\n     → ok <n>\n + n bytes of the windowed snapshot
 //	status\n           → ok <n>\n + n bytes of JSON Status
+//	metrics\n          → ok <n>\n + n bytes of the registry's JSON
 //
 // Errors answer err <message>\n. One request per connection.
 
@@ -533,6 +649,11 @@ func (a *Aggregator) serveCtl(conn net.Conn) {
 		a.mu.Unlock()
 	case line == "status":
 		body, err = json.Marshal(a.StatusNow())
+	case line == "metrics":
+		var buf bytes.Buffer
+		if err = a.reg.WriteJSON(&buf); err == nil {
+			body = buf.Bytes()
+		}
 	case line == "query" || strings.HasPrefix(line, "query|") || strings.HasPrefix(line, "window"):
 		// window A:B is the historical spelling of query|A:B; query adds
 		// service/commune filters ("|"-separated, since service names
@@ -668,6 +789,7 @@ func (a *Aggregator) persistLocked() error {
 	if err := atomicWrite(a.cfg.StatePath, buf.Bytes()); err != nil {
 		return err
 	}
+	a.metrics.Persists.Inc()
 	for _, ps := range a.probes {
 		ps.durable = ps.applied
 	}
@@ -766,8 +888,15 @@ func (a *Aggregator) loadState() error {
 			if ps.part, err = rollup.Read(strings.NewReader(pb)); err != nil {
 				return fmt.Errorf("epochwire: state partial for probe %q: %w", id, err)
 			}
+			// Reseed the conservation gauges: counters reset with the
+			// process, but applied bytes are state, not history.
+			ps.appliedBytes = ps.part.CellTotals()
+			for d := range ps.appliedBytes {
+				a.metrics.AppliedBytes[d].Add(int64(ps.appliedBytes[d]))
+			}
 		}
 		a.probes[id] = ps
+		a.registerProbeFuncsLocked(id, ps)
 	}
 	if r.Buffered() > 0 {
 		return fmt.Errorf("epochwire: trailing bytes in state file %s", a.cfg.StatePath)

@@ -1,0 +1,191 @@
+package epochwire
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/services"
+)
+
+// dirLabel renders a direction as a metric label value ("dl"/"ul").
+func dirLabel(d services.Direction) string {
+	switch d {
+	case services.DL:
+		return "dl"
+	case services.UL:
+		return "ul"
+	}
+	return strconv.Itoa(int(d))
+}
+
+// ShipperMetrics is the probe-side wire telemetry: what got spooled,
+// what the aggregator has acknowledged as durable, and how healthy
+// the session is. All fields are nil-safe obs primitives; the zero
+// value is inert.
+type ShipperMetrics struct {
+	SpoolDepth    *obs.Gauge // wire_spool_depth: entries the spool retains
+	SpoolBytes    *obs.Gauge // wire_spool_bytes: spool file size on disk
+	Unacked       *obs.Gauge // wire_unacked_messages: spooled but not yet durable
+	DurableSeq    *obs.Gauge // wire_durable_seq: aggregator's durable cursor
+	Spooled       *obs.Counter // wire_messages_spooled_total: epochs + fin appended
+	Sends         *obs.Counter // wire_sends_total: epoch/fin messages written to the wire
+	Acks          *obs.Counter // wire_acks_total: acks received
+	Pings         *obs.Counter // wire_pings_total: keepalive pings sent
+	Dials         *obs.Counter // wire_dials_total: connection attempts
+	Sessions      *obs.Counter // wire_sessions_total: accepted handshakes
+	SessionErrors *obs.Counter // wire_session_errors_total: sessions ended by an error
+	// ShippedBytes is wire_shipped_cell_bytes_total{dir=...}: cell
+	// bytes across sealed generations handed to the spool — the probe
+	// side of the conservation invariant (must equal the aggregator's
+	// applied bytes once the fin is durable).
+	ShippedBytes [services.NumDirections]*obs.Counter
+}
+
+// NewShipperMetrics registers the shipper metric family in reg.
+func NewShipperMetrics(reg *obs.Registry) *ShipperMetrics {
+	m := &ShipperMetrics{
+		SpoolDepth:    reg.Gauge("wire_spool_depth", "Entries the on-disk spool retains (not yet durable at the aggregator)."),
+		SpoolBytes:    reg.Gauge("wire_spool_bytes", "Spool file size on disk."),
+		Unacked:       reg.Gauge("wire_unacked_messages", "Messages spooled but not yet durable at the aggregator."),
+		DurableSeq:    reg.Gauge("wire_durable_seq", "The aggregator's durable cursor as last acknowledged."),
+		Spooled:       reg.Counter("wire_messages_spooled_total", "Epoch and fin messages appended to the spool."),
+		Sends:         reg.Counter("wire_sends_total", "Epoch and fin messages written to the wire (includes retransmits)."),
+		Acks:          reg.Counter("wire_acks_total", "Acknowledgements received."),
+		Pings:         reg.Counter("wire_pings_total", "Keepalive pings sent."),
+		Dials:         reg.Counter("wire_dials_total", "Aggregator connection attempts."),
+		Sessions:      reg.Counter("wire_sessions_total", "Sessions whose handshake the aggregator accepted."),
+		SessionErrors: reg.Counter("wire_session_errors_total", "Sessions that ended with an error (reconnect follows)."),
+	}
+	for d := services.Direction(0); d < services.NumDirections; d++ {
+		m.ShippedBytes[d] = reg.Counter(
+			`wire_shipped_cell_bytes_total{dir="`+dirLabel(d)+`"}`,
+			"Cell bytes across sealed generations handed to the spool.")
+	}
+	return m
+}
+
+// noShipperMetrics is the inert fallback bundle.
+var noShipperMetrics = &ShipperMetrics{}
+
+// AggMetrics is the aggregator-side wire telemetry. Monotonic
+// counters describe everything that ever happened (including streams
+// later discarded by an incarnation reset); the AppliedBytes gauges
+// track cell bytes across the *live* per-probe partials and therefore
+// equal the national fold's cell totals at every instant — the
+// aggregator half of the conservation invariant.
+type AggMetrics struct {
+	Conns             *obs.Counter // aggd_connections_total
+	Rejects           *obs.Counter // aggd_handshake_rejects_total
+	EpochsApplied     *obs.Counter // aggd_epochs_applied_total
+	FinsApplied       *obs.Counter // aggd_fins_total
+	Duplicates        *obs.Counter // aggd_duplicate_messages_total: retransmits acked without re-folding
+	SeqGaps           *obs.Counter // aggd_sequence_gaps_total: connections killed by a sequence gap
+	IncarnationResets *obs.Counter // aggd_incarnation_resets_total: probe streams discarded and replayed
+	Persists          *obs.Counter // aggd_persists_total: state file rewrites
+	// AppliedBytes is aggd_applied_cell_bytes{dir=...}: cell bytes
+	// across live per-probe partials (a gauge — incarnation resets
+	// subtract the discarded stream).
+	AppliedBytes [services.NumDirections]*obs.Gauge
+}
+
+// newAggMetrics registers the aggregator metric family in reg.
+func newAggMetrics(reg *obs.Registry) *AggMetrics {
+	m := &AggMetrics{
+		Conns:             reg.Counter("aggd_connections_total", "Probe connections accepted."),
+		Rejects:           reg.Counter("aggd_handshake_rejects_total", "Handshakes rejected (version or grid mismatch)."),
+		EpochsApplied:     reg.Counter("aggd_epochs_applied_total", "Epoch messages folded into per-probe partials."),
+		FinsApplied:       reg.Counter("aggd_fins_total", "Fin messages applied."),
+		Duplicates:        reg.Counter("aggd_duplicate_messages_total", "Retransmitted messages acknowledged without re-folding."),
+		SeqGaps:           reg.Counter("aggd_sequence_gaps_total", "Connections killed by a sequence gap."),
+		IncarnationResets: reg.Counter("aggd_incarnation_resets_total", "Probe streams discarded for a new incarnation."),
+		Persists:          reg.Counter("aggd_persists_total", "State file rewrites."),
+	}
+	for d := services.Direction(0); d < services.NumDirections; d++ {
+		m.AppliedBytes[d] = reg.Gauge(
+			`aggd_applied_cell_bytes{dir="`+dirLabel(d)+`"}`,
+			"Cell bytes across live per-probe partials; equals the fold's cell totals at every instant.")
+	}
+	return m
+}
+
+// registerAggFuncs registers the aggregator's computed gauges: probe
+// population and the fold side of the conservation invariant. The
+// callbacks take a.mu at scrape time (the registry evaluates them
+// outside its own lock).
+func (a *Aggregator) registerAggFuncs() {
+	a.reg.GaugeFunc("aggd_probes_known", "Probe IDs with aggregator state.", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(len(a.probes))
+	})
+	a.reg.GaugeFunc("aggd_probes_connected", "Probes with a live connection.", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		var n int64
+		for _, ps := range a.probes {
+			if ps.conn != nil {
+				n++
+			}
+		}
+		return n
+	})
+	for d := services.Direction(0); d < services.NumDirections; d++ {
+		d := d
+		a.reg.GaugeFunc(`aggd_fold_cell_bytes{dir="`+dirLabel(d)+`"}`,
+			"Cell bytes in the national fold; -1 while nothing is aggregated.",
+			func() int64 {
+				a.mu.Lock()
+				defer a.mu.Unlock()
+				part, err := a.foldCachedLocked()
+				if err != nil {
+					return -1
+				}
+				return int64(part.CellTotals()[d])
+			})
+	}
+}
+
+// registerProbeFuncsLocked registers the per-probe cursor gauges the
+// first time a probe ID appears (idempotent afterwards: GaugeFunc
+// re-binds the closure, which points at the same probeState). Caller
+// holds a.mu; the callbacks re-take it at scrape time.
+func (a *Aggregator) registerProbeFuncsLocked(id string, ps *probeState) {
+	label := `{probe="` + id + `"}`
+	a.reg.GaugeFunc("aggd_probe_applied_seq"+label, "Highest sequence folded for this probe.", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(ps.applied)
+	})
+	a.reg.GaugeFunc("aggd_probe_durable_seq"+label, "Highest sequence persisted for this probe.", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(ps.durable)
+	})
+	a.reg.GaugeFunc("aggd_probe_watermark"+label, "This probe's sealed watermark on its own grid.", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(ps.watermark)
+	})
+	a.reg.GaugeFunc("aggd_probe_connected"+label, "Whether this probe has a live connection.", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if ps.conn != nil {
+			return 1
+		}
+		return 0
+	})
+	a.reg.GaugeFunc("aggd_probe_cursor_age_seconds"+label, "Seconds since this probe's last applied message; -1 before the first.", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if ps.lastApply.IsZero() {
+			return -1
+		}
+		return int64(time.Since(ps.lastApply).Seconds())
+	})
+}
+
+// Registry returns the aggregator's metric registry (never nil; a
+// private one is created when AggConfig.Registry is unset) for the
+// -metrics HTTP listener.
+func (a *Aggregator) Registry() *obs.Registry { return a.reg }

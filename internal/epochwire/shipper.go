@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rollup"
 	"repro/internal/services"
 )
@@ -39,6 +40,9 @@ type ShipperConfig struct {
 	RetryFor time.Duration
 	// Logf, when set, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
+	// Registry, when set, receives the wire_* shipper metrics
+	// (spool depth, unacked window, session health, shipped bytes).
+	Registry *obs.Registry
 }
 
 // Shipper streams sealed epochs to an aggregator. Wire it to a
@@ -59,6 +63,7 @@ type Shipper struct {
 	cfg         ShipperConfig
 	incarnation uint64
 	sp          *spool
+	metrics     *ShipperMetrics
 
 	mu       sync.Mutex
 	horizons []uint64 // per shard: first bin possibly still open
@@ -109,12 +114,34 @@ func NewShipper(cfg ShipperConfig) (*Shipper, error) {
 		cfg:         cfg,
 		incarnation: getUint64(inc[:]),
 		sp:          sp,
+		metrics:     noShipperMetrics,
 		horizons:    make([]uint64, cfg.Shards),
 		notify:      make(chan struct{}, 1),
 		exited:      make(chan struct{}),
 	}
+	if cfg.Registry != nil {
+		s.metrics = NewShipperMetrics(cfg.Registry)
+	}
 	go s.sender()
 	return s, nil
+}
+
+// Incarnation returns the random incarnation this shipper announces —
+// daemons stamp it into their log fields so aggregator-side reset
+// counters can be matched to a specific probe restart.
+func (s *Shipper) Incarnation() uint64 { return s.incarnation }
+
+// syncSpoolGauges refreshes the spool-shaped gauges after an append,
+// a prune, or an ack moved the durable cursor.
+func (s *Shipper) syncSpoolGauges() {
+	depth, size := s.sp.stats()
+	s.metrics.SpoolDepth.Set(int64(depth))
+	s.metrics.SpoolBytes.Set(size)
+	durable := s.Durable()
+	if last := s.sp.lastSeq(); last >= durable {
+		s.metrics.Unacked.Set(int64(last - durable))
+	}
+	s.metrics.DurableSeq.Set(int64(durable))
 }
 
 // SealHook is the Collector.WithSealHook callback: it encodes the
@@ -143,14 +170,21 @@ func (s *Shipper) SealHook(shard int, ep rollup.Epoch, nameOf func(svc uint32) s
 			wm = h
 		}
 	}
+	var cellBytes [services.NumDirections]float64
 	for _, c := range ep.Cells {
 		s.shipped[c.Dir] += c.Bytes
+		cellBytes[c.Dir] += c.Bytes
 	}
 	s.mu.Unlock()
+	for d, b := range cellBytes {
+		s.metrics.ShippedBytes[d].Add(uint64(b))
+	}
 	if _, err := s.sp.append(MsgEpoch, wm, buf.Bytes()); err != nil {
 		s.setFatal(err)
 		return
 	}
+	s.metrics.Spooled.Inc()
+	s.syncSpoolGauges()
 	s.poke()
 }
 
@@ -193,6 +227,8 @@ func (s *Shipper) Finish(part *rollup.Partial) error {
 	s.mu.Lock()
 	s.finSeq = seq
 	s.mu.Unlock()
+	s.metrics.Spooled.Inc()
+	s.syncSpoolGauges()
 	s.poke()
 
 	<-s.exited
@@ -255,11 +291,15 @@ func (s *Shipper) sender() {
 		if s.done() {
 			return
 		}
+		s.metrics.Dials.Inc()
 		conn, err := net.DialTimeout("tcp", s.cfg.Addr, s.cfg.AckTimeout)
 		if err == nil {
 			before := s.Durable()
 			err = s.serve(conn)
 			conn.Close()
+			if err != nil {
+				s.metrics.SessionErrors.Inc()
+			}
 			if s.done() {
 				return
 			}
@@ -326,6 +366,8 @@ func (s *Shipper) serve(conn net.Conn) error {
 	}
 	s.mu.Unlock()
 	s.sp.pruneThrough(wl.Durable)
+	s.metrics.Sessions.Inc()
+	s.syncSpoolGauges()
 	s.cfg.Logf("epochwire: connected to %s, resuming from seq %d", s.cfg.Addr, wl.Durable+1)
 
 	next := wl.Durable + 1
@@ -343,6 +385,7 @@ func (s *Shipper) serve(conn net.Conn) error {
 			if err := WriteMessage(conn, m); err != nil {
 				return err
 			}
+			s.metrics.Sends.Inc()
 			ack, err := s.readAck(br, MsgAck)
 			if err != nil {
 				return err
@@ -350,12 +393,14 @@ func (s *Shipper) serve(conn net.Conn) error {
 			if ack.Seq != m.Seq {
 				return fmt.Errorf("epochwire: sent seq %d, acked seq %d", m.Seq, ack.Seq)
 			}
+			s.metrics.Acks.Inc()
 			s.mu.Lock()
 			if ack.Durable > s.durable {
 				s.durable = ack.Durable
 			}
 			s.mu.Unlock()
 			s.sp.pruneThrough(ack.Durable)
+			s.syncSpoolGauges()
 			next++
 			continue
 		}
@@ -367,6 +412,7 @@ func (s *Shipper) serve(conn net.Conn) error {
 			if err := WriteMessage(conn, &Message{Type: MsgPing}); err != nil {
 				return err
 			}
+			s.metrics.Pings.Inc()
 			if _, err := s.readAck(br, MsgPong); err != nil {
 				return err
 			}

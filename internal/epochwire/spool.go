@@ -109,6 +109,16 @@ func (s *spool) pruneThrough(durable uint64) {
 	}
 }
 
+// stats reports the spool's retained entry count and on-disk size —
+// the wire_spool_depth / wire_spool_bytes gauges. Size only shrinks
+// at the empty-spool truncation, so it reports actual disk use, not
+// logical content.
+func (s *spool) stats() (depth int, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries), s.size
+}
+
 // lastSeq returns the highest sequence number ever appended (0 before
 // the first append).
 func (s *spool) lastSeq() uint64 {

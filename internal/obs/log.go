@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities. The daemons map flags onto it
+// uniformly: -v → LevelDebug, default → LevelInfo, -quiet →
+// LevelError.
+type Level int32
+
+const (
+	LevelDebug Level = -1
+	LevelInfo  Level = 0
+	LevelError Level = 1
+)
+
+func (l Level) String() string {
+	switch {
+	case l <= LevelDebug:
+		return "debug"
+	case l == LevelInfo:
+		return "info"
+	default:
+		return "error"
+	}
+}
+
+// LevelFromFlags maps the daemons' shared -v/-quiet flags to a level;
+// -quiet wins when both are set (scripted runs want silence).
+func LevelFromFlags(verbose, quiet bool) Level {
+	switch {
+	case quiet:
+		return LevelError
+	case verbose:
+		return LevelDebug
+	}
+	return LevelInfo
+}
+
+// output is the shared sink behind a logger and everything derived
+// from it with With: one writer, one mutex, one level.
+type output struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	now   func() time.Time // overridable in tests
+}
+
+// Logger writes logfmt-style lines —
+//
+//	ts=2017-06-12T09:00:00.000Z level=info component=aggd probe=south msg="epoch applied"
+//
+// — so grep and cut work without a parser. With returns a child
+// logger carrying an extra field; children share the parent's writer,
+// mutex and level. All methods are safe on a nil receiver (no-op) and
+// safe for concurrent use.
+type Logger struct {
+	out    *output
+	fields string // preformatted " k=v" pairs, in With order
+}
+
+// NewLogger builds a logger writing to w with a component field on
+// every line.
+func NewLogger(w io.Writer, component string, level Level) *Logger {
+	o := &output{w: w, now: time.Now}
+	o.level.Store(int32(level))
+	l := &Logger{out: o}
+	if component != "" {
+		l = l.With("component", component)
+	}
+	return l
+}
+
+// SetLevel changes the level for this logger and everything sharing
+// its output (parents and children alike).
+func (l *Logger) SetLevel(level Level) {
+	if l != nil {
+		l.out.level.Store(int32(level))
+	}
+}
+
+// Enabled reports whether a message at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.out.level.Load()
+}
+
+func fieldValue(v any) string {
+	s := fmt.Sprint(v)
+	if strings.ContainsAny(s, " \"=\n") || s == "" {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}
+
+// With returns a logger that appends key=value to every line. Nil-
+// safe: With on a nil logger stays nil.
+func (l *Logger) With(key string, value any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{out: l.out, fields: l.fields + " " + key + "=" + fieldValue(value)}
+}
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	var b strings.Builder
+	b.Grow(64 + len(l.fields) + len(msg))
+	b.WriteString("ts=")
+	b.WriteString(l.out.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(l.fields)
+	fmt.Fprintf(&b, " msg=%q\n", msg)
+	l.out.mu.Lock()
+	io.WriteString(l.out.w, b.String())
+	l.out.mu.Unlock()
+}
+
+// Debugf logs at debug level (shown under -v).
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info level (the default).
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Errorf logs at error level (survives -quiet).
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }

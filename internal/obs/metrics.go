@@ -1,0 +1,162 @@
+// Package obs is the telemetry plane: allocation-free counters,
+// gauges and fixed-bucket histograms, a Registry that snapshots them
+// to JSON and Prometheus text exposition format, an HTTP introspection
+// server, and a small leveled logger — everything a long-running
+// collection daemon needs to be observable.
+//
+// The package is dependency-free (stdlib only) so every layer of the
+// pipeline can import it: capture sources, the probe pipeline, the
+// rollup store, the epoch wire and the catalog all publish into one
+// registry, which makes cross-layer invariants (bytes observed ==
+// bytes folded == bytes snapshotted) checkable from a single scrape.
+//
+// Hot-path discipline: Counter.Add, Gauge.Set and Histogram.Observe
+// are single atomic operations on cache-line padded slots — no locks,
+// no allocation, no amortized anything — and every method is safe on
+// a nil receiver (a no-op), so instrumented code needs no "metrics
+// enabled?" branches of its own.
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64, padded to its own
+// cache line so independent hot counters (per-shard frame counts) do
+// not false-share.
+type Counter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Add adds n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds 1. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value, cache-line padded like
+// Counter.
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores v. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to decrement). Safe on a nil receiver (no-op).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Max raises the gauge to v if v is larger — the lock-free "high
+// watermark" update shard workers race on. Safe on a nil receiver.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts int64 observations into fixed buckets: bucket i
+// counts v <= bounds[i], the last bucket is +Inf. Bounds are fixed at
+// construction, so Observe is a short linear scan plus two atomic
+// adds — allocation-free and lock-free.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram over strictly ascending bounds.
+// Prefer Registry.Histogram, which also registers it.
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	b := append([]int64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// snapshot copies the bucket counts; the sum is read afterwards so
+// count/sum stay plausible (never count>0 with sum missing an
+// in-flight add's bucket).
+func (h *Histogram) snapshot() ([]uint64, int64) {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.sum.Load()
+}

@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.Max(2)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("Max(2) lowered gauge to %d", got)
+	}
+	g.Max(9)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("Max(9) = %d, want 9", got)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var l *Logger
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	g.Max(1)
+	h.Observe(1)
+	l.Infof("dropped")
+	l.With("k", "v").Errorf("dropped")
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil receivers reported nonzero values")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{1, 8, 32})
+	for _, v := range []int64{0, 1, 2, 8, 9, 100} {
+		h.Observe(v)
+	}
+	counts, sum := h.snapshot()
+	want := []uint64{2, 2, 1, 1} // <=1:{0,1} <=8:{2,8} <=32:{9} +Inf:{100}
+	for i, n := range want {
+		if counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, counts[i], n, counts)
+		}
+	}
+	if sum != 120 {
+		t.Fatalf("sum = %d, want 120", sum)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+}
+
+// goldenRegistry builds the fixed registry both exposition goldens
+// render.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("pipeline_frames_total", "Frames pulled from the capture source.").Add(12345)
+	reg.Counter(`pipeline_shard_frames_total{shard="0"}`, "Frames handled per shard.").Add(7000)
+	reg.Counter(`pipeline_shard_frames_total{shard="1"}`, "Frames handled per shard.").Add(5345)
+	reg.Gauge("rollup_open_epochs", "Epoch tables currently open.").Set(3)
+	reg.GaugeFunc("aggd_probes_connected", "Probes with a live connection.", func() int64 { return 2 })
+	h := reg.Histogram("pipeline_batch_frames", "Frames per router batch.", []int64{1, 8, 32})
+	for _, v := range []int64{1, 4, 40} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"aggd_probes_connected":2,` +
+		`"pipeline_batch_frames":{"count":3,"sum":45,"buckets":[{"le":1,"n":1},{"le":8,"n":1},{"le":32,"n":0},{"le":"+Inf","n":1}]},` +
+		`"pipeline_frames_total":12345,` +
+		`"pipeline_shard_frames_total{shard=\"0\"}":7000,` +
+		`"pipeline_shard_frames_total{shard=\"1\"}":5345,` +
+		`"rollup_open_epochs":3}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("JSON exposition drifted:\n got: %s\nwant: %s", got, want)
+	}
+	// And it must actually be JSON.
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if m["pipeline_frames_total"].(float64) != 12345 {
+		t.Fatal("round-trip lost pipeline_frames_total")
+	}
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aggd_probes_connected Probes with a live connection.
+# TYPE aggd_probes_connected gauge
+aggd_probes_connected 2
+# HELP pipeline_batch_frames Frames per router batch.
+# TYPE pipeline_batch_frames histogram
+pipeline_batch_frames_bucket{le="1"} 1
+pipeline_batch_frames_bucket{le="8"} 2
+pipeline_batch_frames_bucket{le="32"} 2
+pipeline_batch_frames_bucket{le="+Inf"} 3
+pipeline_batch_frames_sum 45
+pipeline_batch_frames_count 3
+# HELP pipeline_frames_total Frames pulled from the capture source.
+# TYPE pipeline_frames_total counter
+pipeline_frames_total 12345
+# HELP pipeline_shard_frames_total Frames handled per shard.
+# TYPE pipeline_shard_frames_total counter
+pipeline_shard_frames_total{shard="0"} 7000
+pipeline_shard_frames_total{shard="1"} 5345
+# HELP rollup_open_epochs Epoch tables currently open.
+# TYPE rollup_open_epochs gauge
+rollup_open_epochs 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("Prometheus exposition drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelledHistogramProm(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram(`seal_lag{shard="2"}`, "", []int64{4})
+	h.Observe(3)
+	h.Observe(9)
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE seal_lag histogram
+seal_lag_bucket{shard="2",le="4"} 1
+seal_lag_bucket{shard="2",le="+Inf"} 2
+seal_lag_sum{shard="2"} 12
+seal_lag_count{shard="2"} 2
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("labelled histogram drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryIdempotentAndKindClash(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "")
+	b := reg.Counter("x_total", "ignored on re-register")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+// TestRegistryConcurrent hammers counters, gauges, histograms, late
+// registration and gauge callbacks while snapshots render — the test
+// the race detector runs in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hammer_total", "")
+	g := reg.Gauge("hammer_gauge", "")
+	h := reg.Histogram("hammer_hist", "", []int64{1, 10, 100})
+	reg.GaugeFunc("hammer_func", "", func() int64 { return g.Load() })
+
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Max(int64(i))
+				h.Observe(int64(i % 200))
+				if i%1000 == 0 {
+					// Late registration racing the scrapers.
+					reg.Counter("late_total", "").Inc()
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := reg.WriteJSON(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				buf.Reset()
+				if err := reg.WriteProm(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Let writers finish, then stop scrapers.
+	for {
+		if c.Load() == writers*perWriter {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	if got := c.Load(); got != writers*perWriter {
+		t.Fatalf("hammer_total = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("hammer_hist count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestHotPathAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram([]int64{1, 8, 32, 128})
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.Set(5)
+		g.Max(9)
+		h.Observe(17)
+	}); n != 0 {
+		t.Fatalf("hot-path metric ops allocate %v/op, want 0", n)
+	}
+}
+
+func TestLoggerFormatAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "aggd", LevelInfo)
+	l.out.now = func() time.Time { return time.Date(2017, 6, 12, 9, 0, 0, 0, time.UTC) }
+	l.Debugf("hidden at info")
+	l.Infof("probe %s applied %d", "south", 7)
+	l.With("probe", "south").With("incarnation", "ab12").Errorf("gone")
+	want := `ts=2017-06-12T09:00:00.000Z level=info component=aggd msg="probe south applied 7"
+ts=2017-06-12T09:00:00.000Z level=error component=aggd probe=south incarnation=ab12 msg="gone"
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("log output drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	buf.Reset()
+	l.SetLevel(LevelDebug)
+	l.Debugf("now visible")
+	if !strings.Contains(buf.String(), `level=debug component=aggd msg="now visible"`) {
+		t.Fatalf("debug line missing after SetLevel: %q", buf.String())
+	}
+
+	buf.Reset()
+	l.SetLevel(LevelError)
+	l.Infof("suppressed")
+	if buf.Len() != 0 {
+		t.Fatalf("info line written at error level: %q", buf.String())
+	}
+}
+
+func TestLevelFromFlags(t *testing.T) {
+	if LevelFromFlags(false, false) != LevelInfo {
+		t.Fatal("default level != info")
+	}
+	if LevelFromFlags(true, false) != LevelDebug {
+		t.Fatal("-v != debug")
+	}
+	if LevelFromFlags(false, true) != LevelError || LevelFromFlags(true, true) != LevelError {
+		t.Fatal("-quiet must win")
+	}
+}
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+func TestHTTPServer(t *testing.T) {
+	reg := goldenRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := httpGet("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+	if s := get("/metrics"); !strings.Contains(s, "pipeline_frames_total 12345") {
+		t.Fatalf("/metrics missing counter:\n%s", s)
+	}
+	if s := get("/debug/vars"); !strings.Contains(s, `"pipeline_frames_total":12345`) {
+		t.Fatalf("/debug/vars missing counter:\n%s", s)
+	}
+	if s := get("/debug/pprof/cmdline"); s == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}

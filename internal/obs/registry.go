@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates registered metric types.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+type metric struct {
+	name string
+	help string
+	kind Kind
+
+	c  *Counter
+	g  *Gauge
+	gf func() int64 // computed gauge; evaluated at snapshot time, outside the registry lock
+	h  *Histogram
+}
+
+// Registry is a named set of metrics. Registration is idempotent —
+// asking for an existing name of the same kind returns the already-
+// registered instance, so layers can share a registry without
+// coordinating setup order. Names may carry a `{label="value"}`
+// suffix (e.g. pipeline_shard_frames_total{shard="3"}); series that
+// share the base name are grouped under one # TYPE line in the
+// Prometheus rendering.
+//
+// Registration takes a mutex; reads during exposition copy the metric
+// list under the lock and then load values lock-free, so scraping
+// never stalls the hot path and gauge callbacks may themselves take
+// locks without ordering against the registry's.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) register(name, help string, kind Kind, mk func() *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := mk()
+	m.name, m.help, m.kind = name, help, kind
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, KindCounter, func() *metric { return &metric{c: new(Counter)} }).c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, KindGauge, func() *metric { return &metric{g: new(Gauge)} }).g
+}
+
+// GaugeFunc registers a computed gauge: f is evaluated at every
+// snapshot, outside the registry lock. Re-registering a name replaces
+// the callback (latest wins), so reconnect paths can re-bind closures.
+func (r *Registry) GaugeFunc(name, help string, f func() int64) {
+	m := r.register(name, help, KindGauge, func() *metric { return &metric{} })
+	r.mu.Lock()
+	m.gf = f
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use.
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	return r.register(name, help, KindHistogram, func() *metric { return &metric{h: NewHistogram(bounds)} }).h
+}
+
+// snapshot copies the metric list (sorted by name) under the lock;
+// values are loaded by the caller afterwards.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (m *metric) gaugeValue() int64 {
+	if m.gf != nil {
+		return m.gf()
+	}
+	return m.g.Load()
+}
+
+// WriteJSON renders the registry as a single JSON object, names
+// sorted: counters and gauges as integers, histograms as
+// {"count":..,"sum":..,"buckets":[{"le":..,"n":..},...]} with the last
+// bucket's le being "+Inf". The output is deterministic for a given
+// set of values (golden-testable) and is what /debug/vars and the ctl
+// `metrics` verb serve.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteByte('{')
+	for i, m := range r.snapshot() {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "%q:", m.name)
+		switch m.kind {
+		case KindCounter:
+			bw.WriteString(strconv.FormatUint(m.c.Load(), 10))
+		case KindGauge:
+			bw.WriteString(strconv.FormatInt(m.gaugeValue(), 10))
+		case KindHistogram:
+			counts, sum := m.h.snapshot()
+			var total uint64
+			for _, n := range counts {
+				total += n
+			}
+			fmt.Fprintf(bw, `{"count":%d,"sum":%d,"buckets":[`, total, sum)
+			for j, n := range counts {
+				if j > 0 {
+					bw.WriteByte(',')
+				}
+				if j < len(m.h.bounds) {
+					fmt.Fprintf(bw, `{"le":%d,"n":%d}`, m.h.bounds[j], n)
+				} else {
+					fmt.Fprintf(bw, `{"le":"+Inf","n":%d}`, n)
+				}
+			}
+			bw.WriteString("]}")
+		}
+	}
+	bw.WriteString("}\n")
+	return bw.Flush()
+}
+
+// baseName splits a possibly-labelled series name into its base and
+// label part: "x_total{shard=\"3\"}" → ("x_total", `shard="3"`).
+func baseName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// WriteProm renders the registry in Prometheus text exposition format
+// (version 0.0.4): one # HELP/# TYPE pair per base name, histogram
+// series expanded to _bucket{le=...}/_sum/_count. Cumulative bucket
+// semantics follow the Prometheus convention (each le bucket counts
+// all observations <= le).
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastBase := ""
+	for _, m := range r.snapshot() {
+		base, labels := baseName(m.name)
+		if base != lastBase {
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", base, strings.ReplaceAll(m.help, "\n", " "))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", base, m.kind)
+			lastBase = base
+		}
+		switch m.kind {
+		case KindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.c.Load())
+		case KindGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.gaugeValue())
+		case KindHistogram:
+			counts, sum := m.h.snapshot()
+			sep := ""
+			if labels != "" {
+				sep = labels + ","
+			}
+			var cum uint64
+			for j, n := range counts {
+				cum += n
+				le := "+Inf"
+				if j < len(m.h.bounds) {
+					le = strconv.FormatInt(m.h.bounds[j], 10)
+				}
+				fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n", base, sep, le, cum)
+			}
+			if labels != "" {
+				fmt.Fprintf(bw, "%s_sum{%s} %d\n", base, labels, sum)
+				fmt.Fprintf(bw, "%s_count{%s} %d\n", base, labels, cum)
+			} else {
+				fmt.Fprintf(bw, "%s_sum %d\n", base, sum)
+				fmt.Fprintf(bw, "%s_count %d\n", base, cum)
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,51 @@
+package probe
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the pipeline's telemetry bundle: what the router pulled,
+// how it batched, and how the work spread over the shards. All fields
+// are nil-safe obs primitives, so the zero value is an inert bundle
+// and instrumented code paths need no enablement branches. One atomic
+// add per frame on the router, one per frame on the owning shard —
+// the pipeline's zero-allocation discipline is untouched (see
+// TestHandleFrameSteadyStateAllocsInstrumented).
+type Metrics struct {
+	Frames      *obs.Counter   // pipeline_frames_total: frames the router pulled from the source
+	Bytes       *obs.Counter   // pipeline_bytes_total: payload bytes the router pulled
+	Batches     *obs.Counter   // pipeline_batches_total: batches broadcast to the shards
+	BatchFrames *obs.Histogram // pipeline_batch_frames: frames per broadcast batch
+	Recycled    *obs.Counter   // pipeline_batches_recycled_total: batches returned to the pool
+	ShardFrames []*obs.Counter // pipeline_shard_frames_total{shard="i"}: frames each shard handled
+}
+
+// NewMetrics registers the pipeline metric family in reg for a
+// pipeline with the given shard count and returns the bundle to pass
+// to Pipeline.WithMetrics.
+func NewMetrics(reg *obs.Registry, shards int) *Metrics {
+	m := &Metrics{
+		Frames:      reg.Counter("pipeline_frames_total", "Frames the router pulled from the capture source."),
+		Bytes:       reg.Counter("pipeline_bytes_total", "Frame payload bytes the router pulled."),
+		Batches:     reg.Counter("pipeline_batches_total", "Batches broadcast from the router to the shards."),
+		BatchFrames: reg.Histogram("pipeline_batch_frames", "Frames per broadcast batch.", []int64{1, 8, 32, 64, 128, 256, 512}),
+		Recycled:    reg.Counter("pipeline_batches_recycled_total", "Batches returned to the recycle pool."),
+	}
+	for i := 0; i < shards; i++ {
+		m.ShardFrames = append(m.ShardFrames,
+			reg.Counter(`pipeline_shard_frames_total{shard="`+strconv.Itoa(i)+`"}`,
+				"Frames handled per shard."))
+	}
+	return m
+}
+
+// shard returns the per-shard frame counter, or nil (inert) when the
+// bundle is absent or smaller than the pipeline.
+func (m *Metrics) shard(i int) *obs.Counter {
+	if m == nil || i >= len(m.ShardFrames) {
+		return nil
+	}
+	return m.ShardFrames[i]
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dpi"
 	"repro/internal/geo"
 	"repro/internal/gtpsim"
+	"repro/internal/obs"
 	"repro/internal/pkt"
 	"repro/internal/services"
 	"repro/internal/timeseries"
@@ -48,6 +49,7 @@ type Pipeline struct {
 	classifier *dpi.Classifier
 	shards     int
 	sinks      func(shard int) Sink
+	metrics    *Metrics
 }
 
 // NewPipeline builds a pipeline with the given shard count; shards <= 0
@@ -71,6 +73,14 @@ func (pl *Pipeline) Shards() int { return pl.shards }
 // accumulators lock-free). A nil factory detaches.
 func (pl *Pipeline) WithSinks(factory func(shard int) Sink) *Pipeline {
 	pl.sinks = factory
+	return pl
+}
+
+// WithMetrics attaches a telemetry bundle (see NewMetrics) and
+// returns pl. Nil detaches; the uninstrumented cost is a nil check
+// per counter touch.
+func (pl *Pipeline) WithMetrics(m *Metrics) *Pipeline {
+	pl.metrics = m
 	return pl
 }
 
@@ -128,7 +138,7 @@ func (b *batch) full(next int) bool {
 	return len(b.frames) >= routeBatch || len(b.arena)+next > cap(b.arena)
 }
 
-func (b *batch) release(pool *sync.Pool) {
+func (b *batch) release(pool *sync.Pool, recycled *obs.Counter) {
 	if b.refs.Add(-1) == 0 {
 		// Drop the Data pointers before truncating: a pooled batch must
 		// not pin the capture's buffers (stable sources alias them).
@@ -136,6 +146,7 @@ func (b *batch) release(pool *sync.Pool) {
 		b.frames = b.frames[:0]
 		b.arena = b.arena[:0]
 		pool.Put(b)
+		recycled.Inc()
 	}
 }
 
@@ -152,6 +163,13 @@ func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
 	// replay) reuse their buffers and must be copied out of.
 	stable := capture.IsStable(src)
 
+	// The zero-value bundle's fields are all nil, and nil obs
+	// primitives are inert — one shared no-metrics path, no branching.
+	m := pl.metrics
+	if m == nil {
+		m = &Metrics{}
+	}
+
 	probes := make([]*Probe, pl.shards)
 	chans := make([]chan *batch, pl.shards)
 	var wg sync.WaitGroup
@@ -165,6 +183,7 @@ func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
 		go func(me int, p *Probe, ch <-chan *batch) {
 			defer wg.Done()
 			nShards := uint32(pl.shards)
+			mine := m.shard(me)
 			var rt router
 			for b := range ch {
 				for _, f := range b.frames {
@@ -178,9 +197,10 @@ func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
 					}
 					if shard == me {
 						p.HandleFrame(f.Time, f.Data)
+						mine.Inc()
 					}
 				}
-				b.release(&batchPool)
+				b.release(&batchPool, m.Recycled)
 			}
 		}(i, probes[i], chans[i])
 	}
@@ -190,6 +210,8 @@ func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
 		if len(cur.frames) == 0 {
 			return
 		}
+		m.Batches.Inc()
+		m.BatchFrames.Observe(int64(len(cur.frames)))
 		cur.refs.Store(int32(pl.shards))
 		for _, ch := range chans {
 			ch <- cur
@@ -206,6 +228,8 @@ func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
 			srcErr = err
 			break
 		}
+		m.Frames.Inc()
+		m.Bytes.Add(uint64(len(f.Data)))
 		if cur.full(len(f.Data)) {
 			publish()
 		}
@@ -215,7 +239,7 @@ func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
 	// The final (empty) batch goes straight back to the pool, through
 	// the same reset path the workers use.
 	cur.refs.Store(1)
-	cur.release(&batchPool)
+	cur.release(&batchPool, m.Recycled)
 	for _, ch := range chans {
 		close(ch)
 	}

@@ -1,0 +1,68 @@
+package rollup
+
+// The obs import is aliased: the rollup tests' oldest helper is
+// called obs() and predates the telemetry plane.
+import (
+	om "repro/internal/obs"
+)
+
+// Metrics is the rollup layer's telemetry bundle, shared by every
+// shard builder of a collector: epoch lifecycle (open/sealed, seal
+// lag against the watermark), late reopens, overflow traffic, and the
+// byte totals the conservation chain rests on (everything Observe saw
+// must come out again as sealed cell bytes). All fields are nil-safe
+// obs primitives; the zero value is inert, and the per-event cost is
+// two atomic adds (see TestObserveSteadyStateAllocsInstrumented).
+type Metrics struct {
+	Observations  *om.Counter   // rollup_observations_total: accounting events folded
+	ObservedBytes *om.Counter   // rollup_observed_bytes_total: bytes those events carried
+	Overflow      *om.Counter   // rollup_overflow_observations_total: events outside the grid
+	OpenEpochs    *om.Gauge     // rollup_open_epochs: accumulator tables currently open
+	SealedEpochs  *om.Counter   // rollup_sealed_epochs_total: epoch generations sealed
+	SealedCells   *om.Counter   // rollup_sealed_cells_total: cells across sealed generations
+	SealedBytes   *om.Counter   // rollup_sealed_cell_bytes_total: bytes across sealed cells
+	SealLag       *om.Histogram // rollup_seal_lag_bins: watermark minus bin at seal time
+	Watermark     *om.Gauge     // rollup_watermark_bin: high watermark across shards
+	LateReopens   *om.Counter   // rollup_late_reopens_total: sealed bins reopened by late events
+}
+
+// noMetrics is the shared inert bundle builders fall back to, so the
+// hot path has no per-event enablement branch — nil obs primitives
+// no-op.
+var noMetrics = &Metrics{}
+
+// NewMetrics registers the rollup metric family in reg and returns
+// the bundle to pass to Builder.WithMetrics or Collector.WithMetrics.
+func NewMetrics(reg *om.Registry) *Metrics {
+	return &Metrics{
+		Observations:  reg.Counter("rollup_observations_total", "Accounting events folded into epoch accumulators."),
+		ObservedBytes: reg.Counter("rollup_observed_bytes_total", "Bytes carried by folded accounting events."),
+		Overflow:      reg.Counter("rollup_overflow_observations_total", "Events outside the configured grid (overflow epoch)."),
+		OpenEpochs:    reg.Gauge("rollup_open_epochs", "Epoch accumulator tables currently open across shards."),
+		SealedEpochs:  reg.Counter("rollup_sealed_epochs_total", "Epoch generations sealed."),
+		SealedCells:   reg.Counter("rollup_sealed_cells_total", "Cells across sealed epoch generations."),
+		SealedBytes:   reg.Counter("rollup_sealed_cell_bytes_total", "Bytes across sealed cells; equals rollup_observed_bytes_total once every epoch is sealed."),
+		SealLag:       reg.Histogram("rollup_seal_lag_bins", "Bins between a sealing epoch and the shard watermark.", []int64{1, 2, 4, 6, 8, 12, 24, 48}),
+		Watermark:     reg.Gauge("rollup_watermark_bin", "Highest bin any shard has observed."),
+		LateReopens:   reg.Counter("rollup_late_reopens_total", "Already-sealed bins reopened by late observations."),
+	}
+}
+
+// WithMetrics attaches a telemetry bundle to this builder (nil
+// reverts to the inert bundle) and returns b.
+func (b *Builder) WithMetrics(m *Metrics) *Builder {
+	if m == nil {
+		m = noMetrics
+	}
+	b.metrics = m
+	return b
+}
+
+// WithMetrics attaches one telemetry bundle to every shard builder
+// and returns c. Counters are atomic, so shards share the bundle.
+func (c *Collector) WithMetrics(m *Metrics) *Collector {
+	for _, b := range c.builders {
+		b.WithMetrics(m)
+	}
+	return c
+}

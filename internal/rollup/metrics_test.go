@@ -1,0 +1,99 @@
+package rollup
+
+import (
+	"testing"
+	"time"
+
+	om "repro/internal/obs"
+	"repro/internal/services"
+)
+
+// TestBuilderMetrics drives a builder through the epoch lifecycle —
+// open, seal-by-watermark, late reopen, overflow, final Seal — and
+// checks every counter against the builder's own ground truth,
+// including the conservation link: observed bytes == sealed cell
+// bytes once everything is sealed.
+func TestBuilderMetrics(t *testing.T) {
+	reg := om.NewRegistry()
+	m := NewMetrics(reg)
+	cfg := tinyConfig()
+	cfg.Bins = 64
+	cfg.Lateness = 2
+	b := NewBuilder(cfg).WithMetrics(m)
+
+	at := func(bin int) time.Time { return cfg.Start.Add(time.Duration(bin)*cfg.Step + time.Minute) }
+	var wantBytes uint64
+	feed := func(bin int, bytes float64) {
+		b.Observe(obs(at(bin), services.DL, "YouTube", 3, bytes))
+		wantBytes += uint64(bytes)
+	}
+
+	feed(0, 100)
+	feed(1, 50)
+	feed(10, 25) // watermark jumps: bins 0 and 1 seal (lag 10, 9)
+	if got := m.SealedEpochs.Load(); got != 2 {
+		t.Fatalf("sealed epochs = %d, want 2", got)
+	}
+	if got := m.OpenEpochs.Load(); got != 1 {
+		t.Fatalf("open epochs = %d, want 1 (bin 10)", got)
+	}
+	if got := m.Watermark.Load(); got != 10 {
+		t.Fatalf("watermark gauge = %d, want 10", got)
+	}
+	feed(0, 7) // late: bin 0 already sealed, reopens a generation
+	if got := m.LateReopens.Load(); got != 1 {
+		t.Fatalf("late reopens = %d, want 1", got)
+	}
+	// Outside the grid: overflow epoch.
+	b.Observe(obs(cfg.Start.Add(-time.Hour), services.UL, "YouTube", 3, 9))
+	wantBytes += 9
+	if got := m.Overflow.Load(); got != 1 {
+		t.Fatalf("overflow observations = %d, want 1", got)
+	}
+
+	part := b.Seal()
+	if got := m.OpenEpochs.Load(); got != 0 {
+		t.Fatalf("open epochs after Seal = %d, want 0", got)
+	}
+	if got, want := m.Observations.Load(), uint64(5); got != want {
+		t.Fatalf("observations = %d, want %d", got, want)
+	}
+	if got := m.ObservedBytes.Load(); got != wantBytes {
+		t.Fatalf("observed bytes = %d, want %d", got, wantBytes)
+	}
+	if got := m.SealedBytes.Load(); got != wantBytes {
+		t.Fatalf("sealed cell bytes = %d, want %d (conservation)", got, wantBytes)
+	}
+	totals := part.CellTotals()
+	if got := uint64(totals[services.DL] + totals[services.UL]); got != wantBytes {
+		t.Fatalf("partial cell totals = %d, want %d", got, wantBytes)
+	}
+	if got := m.SealLag.Count(); got == 0 {
+		t.Fatal("seal lag histogram recorded nothing")
+	}
+	if part.LateFrames != 1 {
+		t.Fatalf("partial late frames = %d, want 1", part.LateFrames)
+	}
+}
+
+// TestObserveSteadyStateAllocsInstrumented re-pins the builder's
+// zero-allocation ingest with a live metrics bundle attached: the
+// telemetry adds and the watermark max must not cost an object.
+func TestObserveSteadyStateAllocsInstrumented(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Lateness = -1 // no sealing inside the measured loop
+	m := NewMetrics(om.NewRegistry())
+	b := NewBuilder(cfg).WithMetrics(m)
+	at := cfg.Start.Add(cfg.Step / 2)
+	ev := obs(at, services.DL, "Facebook", 7, 10)
+	b.Observe(ev)
+	allocs := testing.AllocsPerRun(500, func() {
+		b.Observe(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented Observe allocates %.1f objects per steady-state event, want 0", allocs)
+	}
+	if m.Observations.Load() < 500 {
+		t.Fatal("metrics were not recorded")
+	}
+}

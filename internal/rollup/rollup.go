@@ -235,6 +235,7 @@ type Builder struct {
 	watermark int
 	late      int
 	done      bool
+	metrics   *Metrics
 }
 
 // NewBuilder returns an empty builder on the given grid.
@@ -245,6 +246,7 @@ func NewBuilder(cfg Config) *Builder {
 		everSeal:  map[int]bool{},
 		lastBin:   OverflowBin - 1,
 		watermark: -1,
+		metrics:   noMetrics,
 	}
 	b.nameOf = func(svc uint32) string { return b.names[svc] }
 	return b
@@ -280,6 +282,12 @@ func (b *Builder) Observe(o probe.Observation) {
 		panic("rollup: Observe after Seal")
 	}
 	bin := b.cfg.binOf(o.At)
+	m := b.metrics
+	m.Observations.Inc()
+	m.ObservedBytes.Add(uint64(o.Bytes))
+	if bin == OverflowBin {
+		m.Overflow.Inc()
+	}
 	if int(o.Svc) >= len(b.seen) {
 		grown := int(o.Svc) + 1
 		if grown < 2*len(b.seen) {
@@ -301,8 +309,10 @@ func (b *Builder) Observe(o probe.Observation) {
 		if tab == nil {
 			tab = b.newTable()
 			b.open[bin] = tab
+			m.OpenEpochs.Add(1)
 			if b.everSeal[bin] {
 				b.late++
+				m.LateReopens.Inc()
 			}
 		}
 		b.lastBin, b.lastTab = bin, tab
@@ -311,6 +321,7 @@ func (b *Builder) Observe(o probe.Observation) {
 
 	if bin > b.watermark {
 		b.watermark = bin
+		m.Watermark.Max(int64(bin))
 		if lat := b.cfg.lateness(); lat >= 0 {
 			b.advance(b.watermark - lat)
 		}
@@ -365,9 +376,21 @@ func (b *Builder) sealBin(bin int) {
 	if b.lastBin == bin {
 		b.lastTab = nil
 	}
+	b.metrics.OpenEpochs.Add(-1)
 	if tab.n > 0 {
 		cells := tab.appendCells(b.carve(tab.n))
 		slices.SortFunc(cells, cellCompare)
+		m := b.metrics
+		m.SealedEpochs.Inc()
+		m.SealedCells.Add(uint64(len(cells)))
+		var bytes float64
+		for i := range cells {
+			bytes += cells[i].Bytes
+		}
+		m.SealedBytes.Add(uint64(bytes))
+		if bin != OverflowBin && b.watermark >= bin {
+			m.SealLag.Observe(int64(b.watermark - bin))
+		}
 		b.sealed = append(b.sealed, Epoch{Bin: bin, Cells: cells})
 		b.everSeal[bin] = true
 		if b.onSeal != nil {
