@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/epochwire"
 	"repro/internal/obs"
 )
@@ -49,20 +50,31 @@ exit 0.
 	idleTimeout := flag.Duration("idle-timeout", 60*time.Second, "per-connection read deadline (probes ping well inside it)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and pprof on this address")
 	metricsDump := flag.String("metrics-dump", "", "write the final registry JSON to this file on drain (for CI assertions)")
+	chaosSpec := flag.String("chaos", "", "inject seeded faults, e.g. 1234:reset=0.05,fsync=0.02,fuel=40 (see internal/chaos)")
 	verbose := flag.Bool("v", false, "log debug detail")
 	quiet := flag.Bool("quiet", false, "log only errors and the final summary")
 	flag.Parse()
 
 	log := obs.NewLogger(os.Stderr, "aggd", obs.LevelFromFlags(*verbose, *quiet))
 	reg := obs.NewRegistry()
-	agg, err := epochwire.NewAggregator(*listen, *ctl, epochwire.AggConfig{
+	acfg := epochwire.AggConfig{
 		Probes:       *probes,
 		StatePath:    *state,
 		PersistEvery: *persistEvery,
 		IdleTimeout:  *idleTimeout,
 		Logf:         log.Infof,
 		Registry:     reg,
-	})
+	}
+	if *chaosSpec != "" {
+		inj, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fail(err)
+		}
+		log.Infof("chaos: %s", inj)
+		acfg.WrapConn = inj.WrapConn("aggd.wire")
+		acfg.FS = inj.FS("aggd.state", chaos.OS)
+	}
+	agg, err := epochwire.NewAggregator(*listen, *ctl, acfg)
 	if err != nil {
 		fail(err)
 	}

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/capture"
+	"repro/internal/chaos"
 	"repro/internal/dpi"
 	"repro/internal/epochwire"
 	"repro/internal/geo"
@@ -66,8 +68,11 @@ the aggregator.
 	spool := flag.String("spool", "", "on-disk spool file for unacknowledged epochs (default: probed-<id>.spool in the temp dir)")
 	snapshot := flag.String("snapshot", "", "also write the local partial to this snapshot file (for cross-checking the aggregate)")
 	keepalive := flag.Duration("keepalive", 10*time.Second, "idle interval before a keepalive ping")
+	ackTimeout := flag.Duration("ack-timeout", 30*time.Second, "bound on waiting for an ack or pong before reconnecting")
 	backoffMax := flag.Duration("backoff-max", 5*time.Second, "cap on the reconnect backoff")
 	retryFor := flag.Duration("retry-for", 0, "give up if the aggregator stays unreachable this long (0 = retry forever)")
+	spoolBudget := flag.Int64("spool-budget", 0, "spool disk budget in bytes; sealing blocks when the spool is full (0 = unlimited)")
+	chaosSpec := flag.String("chaos", "", "inject seeded faults, e.g. 1234:reset=0.05,enospc=0.02,fuel=40 (see internal/chaos)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and pprof on this address")
 	verbose := flag.Bool("v", false, "log debug detail")
 	quiet := flag.Bool("quiet", false, "print only the essential summary lines (CI mode)")
@@ -79,6 +84,14 @@ the aggregator.
 		os.Exit(2)
 	}
 	log := obs.NewLogger(os.Stderr, "probed", obs.LevelFromFlags(*verbose, *quiet)).With("probe", *id)
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		var err error
+		if inj, err = chaos.Parse(*chaosSpec); err != nil {
+			fail(err)
+		}
+		log.Infof("chaos: %s", inj)
+	}
 	say := func(format string, args ...any) {
 		if !*quiet {
 			fmt.Printf(format, args...)
@@ -175,18 +188,26 @@ the aggregator.
 	if spoolPath == "" {
 		spoolPath = filepath.Join(os.TempDir(), "probed-"+*id+".spool")
 	}
-	sh, err := epochwire.NewShipper(epochwire.ShipperConfig{
-		Addr:       *aggr,
-		ProbeID:    *id,
-		SpoolPath:  spoolPath,
-		Cfg:        rcfg,
-		Shards:     pl.Shards(),
-		Keepalive:  *keepalive,
-		BackoffMax: *backoffMax,
-		RetryFor:   *retryFor,
-		Logf:       log.Infof,
-		Registry:   reg,
-	})
+	scfg := epochwire.ShipperConfig{
+		Addr:        *aggr,
+		ProbeID:     *id,
+		SpoolPath:   spoolPath,
+		Cfg:         rcfg,
+		Shards:      pl.Shards(),
+		Keepalive:   *keepalive,
+		AckTimeout:  *ackTimeout,
+		BackoffMax:  *backoffMax,
+		RetryFor:    *retryFor,
+		SpoolBudget: *spoolBudget,
+		Logf:        log.Infof,
+		Registry:    reg,
+	}
+	if inj != nil {
+		d := &net.Dialer{Timeout: *ackTimeout}
+		scfg.Dial = inj.Dial("probe.wire", d.Dial)
+		scfg.FS = inj.FS("probe.spool", chaos.OS)
+	}
+	sh, err := epochwire.NewShipper(scfg)
 	if err != nil {
 		fail(err)
 	}

@@ -21,13 +21,10 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"math"
-	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -579,31 +576,14 @@ func runFetch(args []string) error {
 	if *out == "" && !textMode {
 		return fmt.Errorf("fetch: -o output file is required (snapshots are binary)")
 	}
-	conn, err := net.DialTimeout("tcp", *from, *timeout)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(*timeout))
-	if _, err := io.WriteString(conn, req); err != nil {
-		return err
-	}
-	br := bufio.NewReader(conn)
-	line, err := br.ReadString('\n')
-	if err != nil {
-		return err
-	}
-	line = strings.TrimSuffix(line, "\n")
-	var n int64
-	if _, err := fmt.Sscanf(line, "ok %d", &n); err != nil {
-		return fmt.Errorf("fetch: aggregator answered %q", line)
-	}
+	client := &epochwire.CtlClient{Addr: *from, Timeout: *timeout}
 
 	if textMode {
-		body := make([]byte, n)
-		if _, err := io.ReadFull(br, body); err != nil {
-			return fmt.Errorf("fetch: truncated reply: %w", err)
+		body, err := client.Request(req)
+		if err != nil {
+			return fmt.Errorf("fetch: %w", err)
 		}
+		n := int64(len(body))
 		if *out != "" {
 			if err := os.WriteFile(*out, body, 0o644); err != nil {
 				return err
@@ -634,8 +614,9 @@ func runFetch(args []string) error {
 		return err
 	}
 	defer f.Close()
-	if _, err := io.CopyN(f, br, n); err != nil {
-		return fmt.Errorf("fetch: truncated reply: %w", err)
+	n, err := client.Stream(req, f)
+	if err != nil {
+		return fmt.Errorf("fetch: %w", err)
 	}
 	fmt.Printf("fetched %d bytes from %s to %s\n", n, *from, *out)
 	return nil

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/leakcheck"
 	"repro/internal/rollup"
 )
 
@@ -53,6 +54,7 @@ func ctlRequest(t *testing.T, addr, req string) []byte {
 // ctl command, then lands a new day in the directory and checks the
 // rescan picks it up.
 func TestServer(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	var merged *rollup.Partial
 	for day := 0; day < 3; day++ {

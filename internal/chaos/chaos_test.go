@@ -1,0 +1,487 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	in, err := Parse("12:dial=0.1,reset=0.05,corrupt=0.02,fuel=64,stall=200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.spec.Seed != 12 || in.spec.Prob[FaultDial] != 0.1 || in.spec.Prob[FaultReset] != 0.05 ||
+		in.spec.Prob[FaultCorrupt] != 0.02 || in.spec.Fuel != 64 || in.spec.Stall != 200*time.Millisecond {
+		t.Fatalf("parsed spec = %+v", in.spec)
+	}
+	if got := in.FuelLeft(); got != 64 {
+		t.Fatalf("FuelLeft = %d, want 64", got)
+	}
+	if s := in.String(); !strings.Contains(s, "seed 12") || !strings.Contains(s, "corrupt=0.02") {
+		t.Fatalf("String = %q", s)
+	}
+
+	for _, bad := range []string{
+		"",                // no colon
+		"seed:dial=0.1",   // non-numeric seed
+		"1:bogus=0.5",     // unknown fault
+		"1:dial",          // no value
+		"1:dial=1.5",      // probability out of range
+		"1:dial=-0.1",     // probability out of range
+		"1:fuel=0",        // non-positive fuel
+		"1:fuel=x",        // non-integer fuel
+		"1:stall=-1s",     // non-positive stall
+		"1:stall=soonish", // unparsable duration
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestDecisionsAreDeterministicAndInterleavingIndependent(t *testing.T) {
+	run := func(order []string) map[string][]bool {
+		in, err := Parse("99:reset=0.3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][]bool)
+		for _, site := range order {
+			st := in.site(site)
+			out[site] = append(out[site], in.fire(st, FaultReset))
+		}
+		return out
+	}
+	// Interleave two sites two different ways; per-site decision
+	// sequences must match exactly.
+	a := run([]string{"x", "x", "y", "x", "y", "y", "x", "y"})
+	b := run([]string{"y", "y", "x", "y", "x", "x", "y", "x"})
+	for site := range a {
+		for i := range a[site] {
+			if a[site][i] != b[site][i] {
+				t.Fatalf("site %s op %d: decision differs across interleavings", site, i)
+			}
+		}
+	}
+	// And a fault must actually fire somewhere at p=0.3 over 8 ops.
+	fired := false
+	for _, ds := range a {
+		for _, d := range ds {
+			fired = fired || d
+		}
+	}
+	if !fired {
+		t.Fatal("no fault fired in 8 ops at p=0.3 — decision function suspect")
+	}
+}
+
+func TestFuelSubsides(t *testing.T) {
+	in, err := Parse("7:reset=1,fuel=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := in.site("wire")
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if in.fire(st, FaultReset) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d faults, want exactly fuel=3", fired)
+	}
+	if left := in.FuelLeft(); left != 0 {
+		t.Fatalf("FuelLeft = %d, want 0", left)
+	}
+	if got := in.Fired(); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+}
+
+func TestNilInjectorIsTransparent(t *testing.T) {
+	var in *Injector
+	if in.FuelLeft() != 0 || in.Fired() != 0 || in.Crashed() {
+		t.Fatal("nil injector reports activity")
+	}
+	if in.String() != "chaos: off" {
+		t.Fatalf("String = %q", in.String())
+	}
+	dial := func(network, addr string) (net.Conn, error) { return nil, errors.New("marker") }
+	if got := in.Dial("s", DialFunc(dial)); got == nil {
+		t.Fatal("nil Dial returned nil func")
+	} else if _, err := got("tcp", "x"); err == nil || err.Error() != "marker" {
+		t.Fatal("nil Dial wrapped the func")
+	}
+	if fs := in.FS("s", OS); fs != OS {
+		t.Fatal("nil FS wrapped the filesystem")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if got := in.Listener(ln, "s"); got != ln {
+		t.Fatal("nil Listener wrapped the listener")
+	}
+}
+
+// pipeConns returns the two ends of an in-process TCP connection.
+func pipeConns(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestConnReset(t *testing.T) {
+	in, err := Parse("3:reset=1,fuel=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := pipeConns(t)
+	fc := in.WrapConn("wire")(client)
+	if _, err := fc.Write([]byte("hello")); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("write err = %v, want ECONNRESET", err)
+	}
+	// Fuel spent: the next write goes through on a fresh conn.
+	client2, server2 := pipeConns(t)
+	_ = server
+	fc2 := in.WrapConn("wire")(client2)
+	if _, err := fc2.Write([]byte("ok")); err != nil {
+		t.Fatalf("post-fuel write err = %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(server2, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("read = %q, %v", buf, err)
+	}
+}
+
+func TestConnShortWriteKillsConn(t *testing.T) {
+	in, err := Parse("3:shortw=1,fuel=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := pipeConns(t)
+	fc := in.WrapConn("wire")(client)
+	msg := []byte("0123456789")
+	n, werr := fc.Write(msg)
+	if werr == nil {
+		t.Fatal("short write reported success")
+	}
+	if n >= len(msg) {
+		t.Fatalf("short write wrote %d of %d", n, len(msg))
+	}
+	// The receiver sees exactly the prefix, then EOF/reset.
+	got, _ := io.ReadAll(server)
+	if !bytes.Equal(got, msg[:n]) {
+		t.Fatalf("receiver got %q, want prefix %q", got, msg[:n])
+	}
+}
+
+func TestConnCorruptFlipsOneByteSilently(t *testing.T) {
+	in, err := Parse("3:corrupt=1,fuel=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := pipeConns(t)
+	fc := in.WrapConn("wire")(client)
+	msg := []byte("abcdefgh")
+	orig := append([]byte(nil), msg...)
+	n, werr := fc.Write(msg)
+	if werr != nil || n != len(msg) {
+		t.Fatalf("corrupt write = %d, %v; want silent success", n, werr)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("caller's buffer was mutated")
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1 (got %q)", diff, got)
+	}
+}
+
+func TestConnStallRespectsDeadline(t *testing.T) {
+	in, err := Parse("3:stallr=1,fuel=1,stall=5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _ := pipeConns(t)
+	fc := in.WrapConn("wire")(client)
+	if err := fc.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, rerr := fc.Read(make([]byte, 1))
+	elapsed := time.Since(start)
+	if !errors.Is(rerr, os.ErrDeadlineExceeded) {
+		t.Fatalf("read err = %v, want deadline exceeded", rerr)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("stall slept %v despite a 50ms deadline", elapsed)
+	}
+}
+
+func TestConnStallCapWithoutDeadline(t *testing.T) {
+	in, err := Parse("3:stallw=1,fuel=1,stall=30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _ := pipeConns(t)
+	fc := in.WrapConn("wire")(client)
+	start := time.Now()
+	_, werr := fc.Write([]byte("x"))
+	if !errors.Is(werr, os.ErrDeadlineExceeded) {
+		t.Fatalf("write err = %v, want deadline exceeded", werr)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond || el > 2*time.Second {
+		t.Fatalf("stall slept %v, want ~30ms", el)
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	in, err := Parse("3:dial=1,fuel=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	dial := in.Dial("wire", net.Dial)
+	if _, err := dial("tcp", ln.Addr().String()); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("first dial err = %v, want ECONNREFUSED", err)
+	}
+	c, err := dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("post-fuel dial err = %v", err)
+	}
+	c.Close()
+}
+
+func TestFSWriteFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want error
+	}{
+		{"enospc", "5:enospc=1,fuel=1", syscall.ENOSPC},
+		{"short", "5:fsshort=1,fuel=1", io.ErrShortWrite},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := Parse(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := in.FS("disk", OS)
+			path := filepath.Join(t.TempDir(), "f")
+			f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			n, werr := f.WriteAt([]byte("0123456789"), 0)
+			if !errors.Is(werr, tc.want) {
+				t.Fatalf("WriteAt err = %v, want %v", werr, tc.want)
+			}
+			if tc.name == "short" && (n <= 0 || n >= 10) {
+				t.Fatalf("short write wrote %d of 10", n)
+			}
+			// Fuel spent: the retry succeeds and the bytes land.
+			if _, err := f.WriteAt([]byte("0123456789"), 0); err != nil {
+				t.Fatalf("retry err = %v", err)
+			}
+			got := make([]byte, 10)
+			if _, err := f.ReadAt(got, 0); err != nil || string(got) != "0123456789" {
+				t.Fatalf("readback = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestFSSyncAndRenameFaults(t *testing.T) {
+	in, err := Parse("5:fsync=1,rename=1,fuel=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := in.FS("disk", OS)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Sync err = %v, want EIO", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "g")
+	if err := fs.Rename(path, dst); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Rename err = %v, want EIO", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("failed rename removed the source")
+	}
+	if _, err := os.Stat(dst); err == nil {
+		t.Fatal("failed rename produced the destination")
+	}
+	// Fuel spent: rename now works.
+	if err := fs.Rename(path, dst); err != nil {
+		t.Fatalf("post-fuel rename err = %v", err)
+	}
+}
+
+func TestCrashAtLatchesFS(t *testing.T) {
+	in := CrashAt("disk", "write", 1)
+	fs := in.FS("disk", OS)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("first"), 0); err != nil {
+		t.Fatalf("write 0 err = %v", err)
+	}
+	n, werr := f.WriteAt([]byte("secondsecond"), 5)
+	if !errors.Is(werr, ErrCrashed) {
+		t.Fatalf("write 1 err = %v, want ErrCrashed", werr)
+	}
+	if n >= 12 {
+		t.Fatal("crash write completed fully")
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not latched")
+	}
+	// Everything after the crash fails, including other ops and files.
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v", err)
+	}
+	if err := fs.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename err = %v", err)
+	}
+	if _, err := fs.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open err = %v", err)
+	}
+	if _, err := fs.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash readfile err = %v", err)
+	}
+	// The torn prefix reached the real file before the latch.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) <= 5 || string(data[:5]) != "first" {
+		t.Fatalf("on-disk bytes = %q", data)
+	}
+	if len(data) >= 5+12 {
+		t.Fatal("crash write fully visible on disk")
+	}
+}
+
+func TestCrashAtRename(t *testing.T) {
+	in := CrashAt("disk", "rename", 0)
+	fs := in.FS("disk", OS)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "tmp")
+	if err := os.WriteFile(src, []byte("state"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "state")
+	if err := fs.Rename(src, dst); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename err = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(dst); err == nil {
+		t.Fatal("crashed rename produced the destination")
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatal("crashed rename removed the source")
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Rename(path, path+"2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path + "2")
+	if err != nil || string(data) != "ab" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := OS.Remove(path + "2"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,12 +10,14 @@ import (
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/capture"
+	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/rollup"
 	"repro/internal/services"
@@ -44,6 +46,12 @@ type AggConfig struct {
 	// metrics; when nil a private registry is created, so the ctl
 	// `metrics` verb always answers.
 	Registry *obs.Registry
+	// WrapConn, when set, wraps every accepted probe connection — the
+	// seam chaos-enabled daemons inject wire faults through.
+	WrapConn func(net.Conn) net.Conn
+	// FS, when set, replaces the OS filesystem for state persistence
+	// and snapshot writes — the chaos.FS seam.
+	FS chaos.FS
 }
 
 // probeState is one probe's slice of aggregator state.
@@ -112,6 +120,9 @@ func NewAggregator(addr, ctlAddr string, cfg AggConfig) (*Aggregator, error) {
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.FS == nil {
+		cfg.FS = chaos.OS
 	}
 	a := &Aggregator{
 		cfg:     cfg,
@@ -191,13 +202,28 @@ func (a *Aggregator) accept() {
 		if err != nil {
 			return
 		}
+		if a.cfg.WrapConn != nil {
+			conn = a.cfg.WrapConn(conn)
+		}
 		a.wg.Add(1)
 		go func() {
 			defer a.wg.Done()
+			// Fault isolation: one probe's connection handler must never
+			// take the aggregator down. A panic here (a decode bug tickled
+			// by a hostile or corrupted stream) kills this connection only;
+			// apply's mutations happen under a.mu with deferred unlocks, so
+			// shared state stays consistent and the probe's cursor simply
+			// stays where the last completed apply left it.
+			defer func() {
+				if r := recover(); r != nil {
+					a.metrics.ConnPanics.Inc()
+					a.cfg.Logf("epochwire: probe connection from %s: recovered panic: %v", conn.RemoteAddr(), r)
+				}
+				conn.Close()
+			}()
 			if err := a.serve(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				a.cfg.Logf("epochwire: probe connection from %s: %v", conn.RemoteAddr(), err)
 			}
-			conn.Close()
 		}()
 	}
 }
@@ -241,6 +267,11 @@ func (a *Aggregator) serve(conn net.Conn) error {
 		old.Close() // latest connection for a probe ID wins
 	}
 	ps.conn = conn
+	// The config must land before any persist can run: the incarnation
+	// reset below persists, and a brand-new probe's entry serialized
+	// with a zero config would poison the state file for the next
+	// restart (a load-time decode error), not just this session.
+	ps.cfg = h.Cfg
 	if ps.incarnation != h.Incarnation {
 		// A new probe process: its replayed stream supersedes whatever
 		// the old incarnation delivered. Reset this probe's slice of
@@ -260,12 +291,16 @@ func (a *Aggregator) serve(conn net.Conn) error {
 			ps.appliedBytes[d] = 0
 		}
 		a.foldCache, a.snapCache = nil, nil
-		a.persistLocked()
+		a.persistTolerantLocked()
 	}
-	ps.cfg = h.Cfg
 	durable := ps.durable
 	a.mu.Unlock()
 
+	// Every write to the probe gets its own deadline: a probe that
+	// stops draining its socket times out and loses only its own
+	// connection, instead of parking this handler (and whatever locks a
+	// stuck write would transitively hold) forever.
+	conn.SetWriteDeadline(time.Now().Add(a.cfg.IdleTimeout))
 	if err := WriteWelcome(conn, &Welcome{Durable: durable}); err != nil {
 		return err
 	}
@@ -279,7 +314,12 @@ func (a *Aggregator) serve(conn net.Conn) error {
 		}
 		switch m.Type {
 		case MsgPing:
-			if err := WriteMessage(conn, &Message{Type: MsgPong}); err != nil {
+			durable, err := a.pingState(h.ProbeID, h.Incarnation)
+			if err != nil {
+				return err
+			}
+			conn.SetWriteDeadline(time.Now().Add(a.cfg.IdleTimeout))
+			if err := WriteMessage(conn, &Message{Type: MsgPong, Durable: durable}); err != nil {
 				return err
 			}
 		case MsgEpoch, MsgFin:
@@ -287,6 +327,7 @@ func (a *Aggregator) serve(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
+			conn.SetWriteDeadline(time.Now().Add(a.cfg.IdleTimeout))
 			if err := WriteMessage(conn, ack); err != nil {
 				return err
 			}
@@ -296,25 +337,33 @@ func (a *Aggregator) serve(conn net.Conn) error {
 	}
 }
 
+// pingState answers a keepalive: when the probe has applied-but-not-
+// durable messages (an earlier state persist failed), the ping is the
+// retry trigger, so an idle session still converges to durability.
+// Returns the durable cursor the pong should carry.
+func (a *Aggregator) pingState(probeID string, incarnation uint64) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ps := a.probes[probeID]
+	if ps == nil || ps.incarnation != incarnation {
+		return 0, fmt.Errorf("epochwire: probe %q state superseded mid-stream", probeID)
+	}
+	if ps.durable < ps.applied {
+		a.persistTolerantLocked()
+	}
+	return ps.durable, nil
+}
+
 // apply folds one epoch/fin message into the probe's partial and
 // returns the ack. Duplicates (seq already applied — a retransmit
 // racing an ack) are acked without re-applying; a sequence gap means
 // the peers disagree about history and kills the connection.
 func (a *Aggregator) apply(probeID string, incarnation uint64, m *Message) (*Message, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	ps := a.probes[probeID]
-	if ps == nil || ps.incarnation != incarnation {
-		return nil, fmt.Errorf("epochwire: probe %q state superseded mid-stream", probeID)
-	}
-	if m.Seq <= ps.applied {
-		a.metrics.Duplicates.Inc()
-		return &Message{Type: MsgAck, Seq: m.Seq, Durable: ps.durable}, nil
-	}
-	if m.Seq != ps.applied+1 {
-		a.metrics.SeqGaps.Inc()
-		return nil, fmt.Errorf("epochwire: probe %q sent seq %d after %d", probeID, m.Seq, ps.applied)
-	}
+	// Decode outside a.mu: the blob decode is the expensive part of an
+	// apply and reads nothing from shared state, so one probe's slow or
+	// enormous epoch no longer stalls its peers' applies and the ctl
+	// plane's folds. (A duplicate pays a wasted decode — retransmit
+	// races are rare; a stalled aggregator is not.)
 	part, err := rollup.Read(bytes.NewReader(m.Blob))
 	if err != nil {
 		return nil, fmt.Errorf("epochwire: probe %q seq %d: %w", probeID, m.Seq, err)
@@ -328,6 +377,27 @@ func (a *Aggregator) apply(probeID string, incarnation uint64, m *Message) (*Mes
 	// The message partial's cell totals feed the conservation gauges;
 	// computed before the merge consumes it (one epoch: a short walk).
 	msgBytes := part.CellTotals()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ps := a.probes[probeID]
+	if ps == nil || ps.incarnation != incarnation {
+		return nil, fmt.Errorf("epochwire: probe %q state superseded mid-stream", probeID)
+	}
+	if m.Seq <= ps.applied {
+		a.metrics.Duplicates.Inc()
+		// A retransmit means the probe never saw our ack — often because
+		// the session died right after a persist failure. Retry the
+		// persist here so the duplicate's ack can report progress.
+		if ps.durable < ps.applied {
+			a.persistTolerantLocked()
+		}
+		return &Message{Type: MsgAck, Seq: m.Seq, Durable: ps.durable}, nil
+	}
+	if m.Seq != ps.applied+1 {
+		a.metrics.SeqGaps.Inc()
+		return nil, fmt.Errorf("epochwire: probe %q sent seq %d after %d", probeID, m.Seq, ps.applied)
+	}
 	if ps.part == nil {
 		ps.part = part
 	} else if err := ps.part.Merge(part); err != nil {
@@ -351,21 +421,36 @@ func (a *Aggregator) apply(probeID string, incarnation uint64, m *Message) (*Mes
 		ps.fin = true
 		a.metrics.FinsApplied.Inc()
 	}
-	// FIN persists unconditionally: the probe's Finish blocks until its
-	// fin is durable, so exit 0 on the probe certifies the whole run is
-	// in this aggregator's state file.
+	// FIN triggers a persist unconditionally: the probe's Finish blocks
+	// until its fin is *durable*, so exit 0 on the probe certifies the
+	// whole run is in this aggregator's state file. A persist failure
+	// is tolerated, not fatal to the connection: the ack honestly
+	// reports the stale durable cursor, the probe keeps the session and
+	// its spool, and the next apply, duplicate, or ping retries — the
+	// durable cursor lags until the disk recovers, which is exactly
+	// what a cursor is for.
 	if m.Type == MsgFin || a.dirty >= a.cfg.PersistEvery {
-		if err := a.persistLocked(); err != nil {
-			return nil, err
-		}
-	}
-	if m.Type == MsgFin {
-		a.checkDrain()
+		a.persistTolerantLocked()
 	}
 	return &Message{Type: MsgAck, Seq: m.Seq, Durable: ps.durable}, nil
 }
 
-// checkDrain closes done once enough distinct probes have fin'd.
+// persistTolerantLocked persists, tolerating failure: the durable
+// cursors simply stay behind and a later trigger retries. Success may
+// newly satisfy the drain condition (fins become durable), so it
+// re-checks. Caller holds mu.
+func (a *Aggregator) persistTolerantLocked() {
+	if err := a.persistLocked(); err != nil {
+		a.metrics.PersistErrors.Inc()
+		a.cfg.Logf("epochwire: state persist failed (durable cursors lag until a retry lands): %v", err)
+		return
+	}
+	a.checkDrain()
+}
+
+// checkDrain closes done once enough distinct probes have fin'd
+// *durably* — fin applied and captured by a successful persist — so
+// draining never certifies a run the state file doesn't hold yet.
 // Caller holds mu.
 func (a *Aggregator) checkDrain() {
 	if a.draining || a.cfg.Probes <= 0 {
@@ -373,7 +458,7 @@ func (a *Aggregator) checkDrain() {
 	}
 	fins := 0
 	for _, ps := range a.probes {
-		if ps.fin {
+		if ps.fin && ps.durable >= ps.applied {
 			fins++
 		}
 	}
@@ -475,7 +560,7 @@ func (a *Aggregator) WriteSnapshot(path string) error {
 	if err != nil {
 		return err
 	}
-	return atomicWrite(path, b)
+	return atomicWrite(a.cfg.FS, path, b)
 }
 
 // Status is the machine-readable aggregator state for the admin
@@ -783,10 +868,9 @@ func (a *Aggregator) persistLocked() error {
 		}
 	}
 	var crc [4]byte
-	sum := crc32.ChecksumIEEE(buf.Bytes())
-	crc[0], crc[1], crc[2], crc[3] = byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum)
+	putUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
 	buf.Write(crc[:])
-	if err := atomicWrite(a.cfg.StatePath, buf.Bytes()); err != nil {
+	if err := atomicWrite(a.cfg.FS, a.cfg.StatePath, buf.Bytes()); err != nil {
 		return err
 	}
 	a.metrics.Persists.Inc()
@@ -798,7 +882,7 @@ func (a *Aggregator) persistLocked() error {
 }
 
 func (a *Aggregator) loadState() error {
-	raw, err := os.ReadFile(a.cfg.StatePath)
+	raw, err := a.cfg.FS.ReadFile(a.cfg.StatePath)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -904,12 +988,34 @@ func (a *Aggregator) loadState() error {
 	return nil
 }
 
-// atomicWrite writes data to path via a temp file + rename, so readers
-// never see a torn file.
-func atomicWrite(path string, data []byte) error {
+// atomicWrite writes data to path durably: temp file, write, fsync,
+// close, rename, directory fsync. A crash at any point leaves either
+// the complete old file or the complete new one (plus at worst a stale
+// .tmp that the next write truncates), and a completed rename survives
+// power loss — the invariant every durability point of this package
+// leans on.
+func atomicWrite(fs chaos.FS, path string, data []byte) error {
+	if fs == nil {
+		fs = chaos.OS
+	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
 }

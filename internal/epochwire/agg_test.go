@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/rollup"
 )
 
@@ -235,5 +236,41 @@ func TestAggregatorKillsSequenceGap(t *testing.T) {
 	}
 	if _, err := ReadMessage(p.br); err == nil {
 		t.Fatal("gap seq acked; connection should have died")
+	}
+}
+
+// TestAggregatorHandshakePersistSurvivesRestart pins a state-poisoning
+// bug the convergence oracle caught: the handshake's incarnation-reset
+// persist ran before the probe's config was recorded, so a state file
+// whose *last successful* persist was that handshake one (every later
+// persist failing — a dying disk, or chaos) held a zero config the
+// next start refused to load. Here the handshake persist is the only
+// one that succeeds (the chaos crash latch eats every later sync, the
+// shutdown persist included), and a fresh aggregator must still start
+// from that file.
+func TestAggregatorHandshakePersistSurvivesRestart(t *testing.T) {
+	cfg := testConfig()
+	state := filepath.Join(t.TempDir(), "agg.state")
+	in := chaos.CrashAt("aggd.state", "sync", 1) // sync #0 = handshake persist
+	a1, err := NewAggregator("127.0.0.1:0", "", AggConfig{
+		StatePath: state, PersistEvery: 1,
+		FS: in.FS("aggd.state", chaos.OS),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dialProbe(t, a1.Addr(), "north", 7, cfg)
+	a1.Stop() // its persist hits the crash latch and is dropped
+	if !in.Crashed() {
+		t.Fatal("the shutdown persist never reached the crash point")
+	}
+	a2, err := NewAggregator("127.0.0.1:0", "", AggConfig{StatePath: state, PersistEvery: 1})
+	if err != nil {
+		t.Fatalf("restart from the handshake-only state file: %v", err)
+	}
+	defer a2.Stop()
+	p := dialProbe(t, a2.Addr(), "north", 7, cfg)
+	if p.wl.Durable != 0 {
+		t.Fatalf("recovered probe welcomed with durable %d, want 0", p.wl.Durable)
 	}
 }

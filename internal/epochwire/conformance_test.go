@@ -14,6 +14,7 @@ import (
 	"repro/internal/epochwire"
 	"repro/internal/geo"
 	"repro/internal/gtpsim"
+	"repro/internal/leakcheck"
 	"repro/internal/probe"
 	"repro/internal/rollup"
 	"repro/internal/services"
@@ -189,6 +190,7 @@ func (c *chanSource) StableData() bool { return true }
 // byte-identical to the single-process run — through a plain run, an
 // aggregator restart mid-run, and a probe kill + restart mid-run.
 func TestDistributedConformance(t *testing.T) {
+	leakcheck.Check(t)
 	fx := distWorkload(t)
 
 	newAgg := func(t *testing.T, addr, statePath string) *epochwire.Aggregator {

@@ -1,0 +1,52 @@
+package epochwire
+
+import "errors"
+
+// The wire plane's error taxonomy. Every error a session can produce
+// is either *transient* — the connection (or disk operation) died but
+// retrying is sound, so the shipper backs off and redials — or
+// *fatal* — retrying cannot help (a handshake rejection, a sequence
+// the spool no longer holds, disk retries exhausted), so the shipper
+// latches the error and surfaces it through Finish. Classification is
+// carried by errors.Is-able sentinels wrapped around the site error;
+// an unclassified error defaults to transient, because the cost of
+// retrying a hopeless error is a bounded delay (RetryFor) while the
+// cost of latching a recoverable one is a lost run.
+var (
+	// ErrTransient marks an error whose operation may be retried.
+	ErrTransient = errors.New("epochwire: transient")
+	// ErrFatal marks an error that latches the session dead.
+	ErrFatal = errors.New("epochwire: fatal")
+)
+
+// classified wraps an error with its taxonomy sentinel; errors.Is and
+// errors.As traverse both branches, so call sites keep matching the
+// underlying error (os.ErrDeadlineExceeded, syscall.ENOSPC, ...) while
+// the retry loop matches the sentinel.
+type classified struct {
+	err  error
+	kind error
+}
+
+func (c *classified) Error() string   { return c.err.Error() }
+func (c *classified) Unwrap() []error { return []error{c.err, c.kind} }
+
+// Transient marks err retryable. nil stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, kind: ErrTransient}
+}
+
+// Fatal marks err non-retryable. nil stays nil.
+func Fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, kind: ErrFatal}
+}
+
+// IsFatal reports whether err is marked fatal. Unlabeled errors are
+// not: transience is the default.
+func IsFatal(err error) bool { return errors.Is(err, ErrFatal) }

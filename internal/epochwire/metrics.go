@@ -24,10 +24,11 @@ func dirLabel(d services.Direction) string {
 // the session is. All fields are nil-safe obs primitives; the zero
 // value is inert.
 type ShipperMetrics struct {
-	SpoolDepth    *obs.Gauge // wire_spool_depth: entries the spool retains
-	SpoolBytes    *obs.Gauge // wire_spool_bytes: spool file size on disk
-	Unacked       *obs.Gauge // wire_unacked_messages: spooled but not yet durable
-	DurableSeq    *obs.Gauge // wire_durable_seq: aggregator's durable cursor
+	SpoolDepth    *obs.Gauge   // wire_spool_depth: entries the spool retains
+	SpoolBytes    *obs.Gauge   // wire_spool_bytes: spool file size on disk
+	SpoolRetries  *obs.Gauge   // wire_spool_write_retries: failed-and-retried spool writes
+	Unacked       *obs.Gauge   // wire_unacked_messages: spooled but not yet durable
+	DurableSeq    *obs.Gauge   // wire_durable_seq: aggregator's durable cursor
 	Spooled       *obs.Counter // wire_messages_spooled_total: epochs + fin appended
 	Sends         *obs.Counter // wire_sends_total: epoch/fin messages written to the wire
 	Acks          *obs.Counter // wire_acks_total: acks received
@@ -47,6 +48,7 @@ func NewShipperMetrics(reg *obs.Registry) *ShipperMetrics {
 	m := &ShipperMetrics{
 		SpoolDepth:    reg.Gauge("wire_spool_depth", "Entries the on-disk spool retains (not yet durable at the aggregator)."),
 		SpoolBytes:    reg.Gauge("wire_spool_bytes", "Spool file size on disk."),
+		SpoolRetries:  reg.Gauge("wire_spool_write_retries", "Spool write/sync attempts that failed and were retried."),
 		Unacked:       reg.Gauge("wire_unacked_messages", "Messages spooled but not yet durable at the aggregator."),
 		DurableSeq:    reg.Gauge("wire_durable_seq", "The aggregator's durable cursor as last acknowledged."),
 		Spooled:       reg.Counter("wire_messages_spooled_total", "Epoch and fin messages appended to the spool."),
@@ -83,6 +85,8 @@ type AggMetrics struct {
 	SeqGaps           *obs.Counter // aggd_sequence_gaps_total: connections killed by a sequence gap
 	IncarnationResets *obs.Counter // aggd_incarnation_resets_total: probe streams discarded and replayed
 	Persists          *obs.Counter // aggd_persists_total: state file rewrites
+	PersistErrors     *obs.Counter // aggd_persist_errors_total: state rewrites that failed (retried later)
+	ConnPanics        *obs.Counter // aggd_conn_panics_total: probe handlers recovered from a panic
 	// AppliedBytes is aggd_applied_cell_bytes{dir=...}: cell bytes
 	// across live per-probe partials (a gauge — incarnation resets
 	// subtract the discarded stream).
@@ -100,6 +104,8 @@ func newAggMetrics(reg *obs.Registry) *AggMetrics {
 		SeqGaps:           reg.Counter("aggd_sequence_gaps_total", "Connections killed by a sequence gap."),
 		IncarnationResets: reg.Counter("aggd_incarnation_resets_total", "Probe streams discarded for a new incarnation."),
 		Persists:          reg.Counter("aggd_persists_total", "State file rewrites."),
+		PersistErrors:     reg.Counter("aggd_persist_errors_total", "State file rewrites that failed; the durable cursor lags until a retry lands."),
+		ConnPanics:        reg.Counter("aggd_conn_panics_total", "Probe connection handlers that recovered from a panic."),
 	}
 	for d := services.Direction(0); d < services.NumDirections; d++ {
 		m.AppliedBytes[d] = reg.Gauge(

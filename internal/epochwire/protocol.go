@@ -13,17 +13,18 @@
 // to one local run — falls out of invariants already pinned by the
 // rollup tests.
 //
-// # Wire protocol v1
+// # Wire protocol v2
 //
 // A session opens with a handshake:
 //
 //	probe → agg   Hello: magic "EPWR", version byte, probe ID string,
 //	              incarnation (8 bytes BE, random per process), grid
 //	              config as a zero-epoch snapshot blob (uvarint length
-//	              + bytes)
+//	              + bytes), CRC32-IEEE of all the above (4 bytes BE)
 //	agg → probe   Welcome: magic "EPWR", version byte, status byte
 //	              (0 = accepted: durable-cursor uvarint follows;
-//	              1 = rejected: reason string follows, conn closes)
+//	              1 = rejected: reason string follows, conn closes),
+//	              CRC32-IEEE trailer as in Hello
 //
 // The aggregator rejects a version it does not speak and a grid that
 // is not union-compatible with the grids it already aggregates (same
@@ -33,9 +34,15 @@
 // from the next one, which is what makes reconnects — and aggregator
 // restarts from a state file — exactly-once.
 //
-// After the handshake both directions speak length-prefixed messages:
+// After the handshake both directions speak length-prefixed messages,
+// each closed by a CRC32-IEEE trailer over the type, length, and
+// payload bytes — v2's defence against in-flight corruption. Without
+// it a flipped bit in an ack could advance the probe's durable cursor
+// past data the aggregator never saw, and the spool would prune the
+// only remaining copy; with it, corruption anywhere in a frame is a
+// connection error, and the retransmit path repairs the stream.
 //
-//	[type byte][uvarint payload length][payload]
+//	[type byte][uvarint payload length][payload][crc32 4 bytes BE]
 //
 //	'E' epoch   probe → agg; payload = seq uvarint, watermark uvarint,
 //	            blob uvarint length + bytes. The blob is a one-epoch
@@ -48,7 +55,9 @@
 //	'A' ack     agg → probe; payload = seq uvarint (applied), durable
 //	            uvarint (highest seq persisted to the state file — the
 //	            probe may prune its spool through it).
-//	'P' ping    probe → agg, empty payload; 'O' pong answers it.
+//	'P' ping    probe → agg, empty payload; 'O' pong answers it with a
+//	            durable uvarint, so an idle session still learns when a
+//	            previously failed state persist finally lands.
 //
 // The probe sends synchronously: one epoch/fin, then its ack, with
 // pings keeping an idle connection alive. Duplicate sequence numbers
@@ -64,6 +73,7 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/capture"
@@ -72,8 +82,9 @@ import (
 
 // Version is the protocol version this package speaks. The handshake
 // carries it explicitly so mismatched peers fail with a reason, not a
-// parse error mid-stream.
-const Version = 1
+// parse error mid-stream. v2 added the CRC32 frame and handshake
+// trailers and the pong durable cursor.
+const Version = 2
 
 // helloMagic opens both halves of the handshake.
 var helloMagic = [4]byte{'E', 'P', 'W', 'R'}
@@ -113,7 +124,8 @@ type Message struct {
 	// that may still receive data — everything below it is sealed on
 	// every shard of the probe's pipeline.
 	Watermark uint64
-	// Durable (ack) is the highest seq the aggregator has persisted.
+	// Durable (ack, pong) is the highest seq the aggregator has
+	// persisted.
 	Durable uint64
 	// Blob (epoch/fin) is a rollup snapshot: one epoch, or zero epochs
 	// plus totals for fin.
@@ -145,7 +157,11 @@ func WriteMessage(w io.Writer, m *Message) error {
 		if err := capture.WriteUvarint(&payload, m.Durable); err != nil {
 			return err
 		}
-	case MsgPing, MsgPong:
+	case MsgPong:
+		if err := capture.WriteUvarint(&payload, m.Durable); err != nil {
+			return err
+		}
+	case MsgPing:
 		// Empty payload.
 	default:
 		return fmt.Errorf("epochwire: unknown message type %q", m.Type)
@@ -156,8 +172,48 @@ func WriteMessage(w io.Writer, m *Message) error {
 		return err
 	}
 	payload.WriteTo(&frame)
+	var crc [4]byte
+	putUint32(crc[:], crc32.ChecksumIEEE(frame.Bytes()))
+	frame.Write(crc[:])
 	_, err := w.Write(frame.Bytes())
 	return err
+}
+
+// crcReader accumulates a CRC32-IEEE over everything read through it,
+// so a decoder can parse a frame incrementally and still verify the
+// trailer covers exactly the bytes it consumed.
+type crcReader struct {
+	r   *bufio.Reader
+	sum uint32
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		var one [1]byte
+		one[0] = b
+		c.sum = crc32.Update(c.sum, crc32.IEEETable, one[:])
+	}
+	return b, err
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// readCRCTrailer reads the 4-byte trailer (bypassing cr) and checks it
+// against what cr accumulated.
+func readCRCTrailer(r *bufio.Reader, cr *crcReader, what string) error {
+	var crc [4]byte
+	if err := capture.ReadFull(r, crc[:], what+" crc"); err != nil {
+		return err
+	}
+	if got := getUint32(crc[:]); got != cr.sum {
+		return fmt.Errorf("epochwire: %s CRC mismatch (frame says %08x, content sums to %08x)", what, got, cr.sum)
+	}
+	return nil
 }
 
 // ReadMessage reads one framed message. Declared lengths are checked
@@ -165,18 +221,19 @@ func WriteMessage(w io.Writer, m *Message) error {
 // mid-message errors with io.ErrUnexpectedEOF, and a payload that does
 // not parse to exactly its declared length is a framing error.
 func ReadMessage(r *bufio.Reader) (*Message, error) {
-	typ, err := r.ReadByte()
+	cr := &crcReader{r: r}
+	typ, err := cr.ReadByte()
 	if err != nil {
 		if err == io.EOF {
 			return nil, io.EOF // clean close between messages
 		}
 		return nil, fmt.Errorf("epochwire: reading message type: %w", err)
 	}
-	n, err := capture.ReadUvarint(r, MaxPayload, "epochwire message length")
+	n, err := capture.ReadUvarint(cr, MaxPayload, "epochwire message length")
 	if err != nil {
 		return nil, err
 	}
-	lr := &io.LimitedReader{R: r, N: int64(n)}
+	lr := &io.LimitedReader{R: cr, N: int64(n)}
 	blr := bufio.NewReader(lr)
 	m := &Message{Type: typ}
 	switch typ {
@@ -202,13 +259,20 @@ func ReadMessage(r *bufio.Reader) (*Message, error) {
 		if m.Durable, err = capture.ReadUvarint(blr, ^uint64(0)>>1, "epochwire ack durable"); err != nil {
 			return nil, err
 		}
-	case MsgPing, MsgPong:
+	case MsgPong:
+		if m.Durable, err = capture.ReadUvarint(blr, ^uint64(0)>>1, "epochwire pong durable"); err != nil {
+			return nil, err
+		}
+	case MsgPing:
 		// Empty payload.
 	default:
 		return nil, fmt.Errorf("epochwire: unknown message type 0x%02x", typ)
 	}
 	if blr.Buffered() > 0 || lr.N > 0 {
 		return nil, fmt.Errorf("epochwire: message payload longer than its %q content", typ)
+	}
+	if err := readCRCTrailer(r, cr, "epochwire message"); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -252,6 +316,9 @@ func WriteHello(w io.Writer, h *Hello) error {
 	if err := capture.WriteString(&buf, string(blob)); err != nil {
 		return err
 	}
+	var crc [4]byte
+	putUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crc[:])
 	_, err = w.Write(buf.Bytes())
 	return err
 }
@@ -267,16 +334,22 @@ func (e *VersionError) Error() string {
 
 // ReadHello reads and validates the handshake opener. A version
 // mismatch returns *VersionError so the server can reject with a
-// reason instead of a parse failure.
+// reason instead of a parse failure. Note the version check precedes
+// the CRC check by necessity — everything after the version byte is
+// version-dependent — so a corrupted version byte is indistinguishable
+// from a genuine mismatch; the shipper tolerates a bounded number of
+// consecutive rejections before latching fatal for exactly this
+// reason.
 func ReadHello(r *bufio.Reader) (*Hello, error) {
+	cr := &crcReader{r: r}
 	var magic [4]byte
-	if err := capture.ReadFull(r, magic[:], "epochwire hello magic"); err != nil {
+	if err := capture.ReadFull(cr, magic[:], "epochwire hello magic"); err != nil {
 		return nil, err
 	}
 	if magic != helloMagic {
 		return nil, fmt.Errorf("epochwire: bad hello magic %x (want %x)", magic, helloMagic)
 	}
-	ver, err := r.ReadByte()
+	ver, err := cr.ReadByte()
 	if err != nil {
 		return nil, fmt.Errorf("epochwire: truncated hello version: %w", err)
 	}
@@ -284,19 +357,22 @@ func ReadHello(r *bufio.Reader) (*Hello, error) {
 		return nil, &VersionError{Got: ver}
 	}
 	h := &Hello{}
-	if h.ProbeID, err = capture.ReadStringLimited(r, MaxProbeID, "epochwire probe ID"); err != nil {
+	if h.ProbeID, err = capture.ReadStringLimited(cr, MaxProbeID, "epochwire probe ID"); err != nil {
 		return nil, err
 	}
 	if len(h.ProbeID) == 0 {
 		return nil, fmt.Errorf("epochwire: empty probe ID in hello")
 	}
 	var i64 [8]byte
-	if err := capture.ReadFull(r, i64[:], "epochwire incarnation"); err != nil {
+	if err := capture.ReadFull(cr, i64[:], "epochwire incarnation"); err != nil {
 		return nil, err
 	}
 	h.Incarnation = getUint64(i64[:])
-	blob, err := capture.ReadStringLimited(r, MaxConfigBlob, "epochwire config blob")
+	blob, err := capture.ReadStringLimited(cr, MaxConfigBlob, "epochwire config blob")
 	if err != nil {
+		return nil, err
+	}
+	if err := readCRCTrailer(r, cr, "epochwire hello"); err != nil {
 		return nil, err
 	}
 	if h.Cfg, err = DecodeConfig([]byte(blob)); err != nil {
@@ -335,38 +411,45 @@ func WriteWelcome(w io.Writer, wl *Welcome) error {
 			return err
 		}
 	}
+	var crc [4]byte
+	putUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crc[:])
 	_, err := w.Write(buf.Bytes())
 	return err
 }
 
-// ReadWelcome reads the handshake answer.
+// ReadWelcome reads the handshake answer. The CRC trailer matters
+// most here: the cursor in an accepted Welcome is what the shipper
+// prunes its spool against, so a corrupted Welcome must fail the read
+// rather than deliver a wrong cursor.
 func ReadWelcome(r *bufio.Reader) (*Welcome, error) {
+	cr := &crcReader{r: r}
 	var magic [4]byte
-	if err := capture.ReadFull(r, magic[:], "epochwire welcome magic"); err != nil {
+	if err := capture.ReadFull(cr, magic[:], "epochwire welcome magic"); err != nil {
 		return nil, err
 	}
 	if magic != helloMagic {
 		return nil, fmt.Errorf("epochwire: bad welcome magic %x (want %x)", magic, helloMagic)
 	}
-	ver, err := r.ReadByte()
+	ver, err := cr.ReadByte()
 	if err != nil {
 		return nil, fmt.Errorf("epochwire: truncated welcome version: %w", err)
 	}
 	if ver != Version {
 		return nil, &VersionError{Got: ver}
 	}
-	status, err := r.ReadByte()
+	status, err := cr.ReadByte()
 	if err != nil {
 		return nil, fmt.Errorf("epochwire: truncated welcome status: %w", err)
 	}
 	wl := &Welcome{}
 	switch status {
 	case 0:
-		if wl.Durable, err = capture.ReadUvarint(r, ^uint64(0)>>1, "epochwire welcome cursor"); err != nil {
+		if wl.Durable, err = capture.ReadUvarint(cr, ^uint64(0)>>1, "epochwire welcome cursor"); err != nil {
 			return nil, err
 		}
 	case 1:
-		if wl.Reject, err = capture.ReadStringLimited(r, MaxReason, "epochwire reject reason"); err != nil {
+		if wl.Reject, err = capture.ReadStringLimited(cr, MaxReason, "epochwire reject reason"); err != nil {
 			return nil, err
 		}
 		if wl.Reject == "" {
@@ -374,6 +457,9 @@ func ReadWelcome(r *bufio.Reader) (*Welcome, error) {
 		}
 	default:
 		return nil, fmt.Errorf("epochwire: unknown welcome status %d", status)
+	}
+	if err := readCRCTrailer(r, cr, "epochwire welcome"); err != nil {
+		return nil, err
 	}
 	return wl, nil
 }
@@ -419,4 +505,12 @@ func getUint64(b []byte) uint64 {
 		v = v<<8 | uint64(b[i])
 	}
 	return v
+}
+
+func putUint32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+func getUint32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }

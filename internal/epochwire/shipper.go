@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/rollup"
 	"repro/internal/services"
@@ -31,13 +33,28 @@ type ShipperConfig struct {
 	Keepalive time.Duration
 	// AckTimeout bounds the wait for an ack or pong (default 30s).
 	AckTimeout time.Duration
-	// BackoffMax caps the reconnect backoff (default 5s; initial step
-	// 100ms, doubling).
+	// BackoffBase is the first reconnect backoff step (default 100ms,
+	// doubling per failed attempt up to BackoffMax). Each step is
+	// additionally jittered by a deterministic per-probe factor so a
+	// fleet of probes orphaned by one aggregator restart does not redial
+	// in lockstep.
+	BackoffBase time.Duration
+	// BackoffMax caps the reconnect backoff (default 5s).
 	BackoffMax time.Duration
 	// RetryFor bounds how long the shipper keeps retrying a dead
 	// aggregator before giving up fatally. Zero means forever — the
 	// spool holds everything meanwhile.
 	RetryFor time.Duration
+	// SpoolBudget caps the spool file's on-disk size in bytes; an
+	// append that would exceed it blocks (backpressuring the pipeline's
+	// sealing) until acks prune the spool. Zero means unlimited.
+	SpoolBudget int64
+	// Dial, when set, replaces the default TCP dialer — the seam
+	// chaos-enabled daemons inject wire faults through.
+	Dial func(network, addr string) (net.Conn, error)
+	// FS, when set, replaces the OS filesystem for the spool — the
+	// chaos.FS seam.
+	FS chaos.FS
 	// Logf, when set, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
 	// Registry, when set, receives the wire_* shipper metrics
@@ -95,13 +112,23 @@ func NewShipper(cfg ShipperConfig) (*Shipper, error) {
 	if cfg.AckTimeout <= 0 {
 		cfg.AckTimeout = 30 * time.Second
 	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.BackoffMax < cfg.BackoffBase {
+		cfg.BackoffMax = cfg.BackoffBase
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	sp, err := newSpool(cfg.SpoolPath)
+	if cfg.Dial == nil {
+		d := &net.Dialer{Timeout: cfg.AckTimeout}
+		cfg.Dial = d.Dial
+	}
+	sp, err := newSpool(cfg.SpoolPath, cfg.FS, cfg.SpoolBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +164,7 @@ func (s *Shipper) syncSpoolGauges() {
 	depth, size := s.sp.stats()
 	s.metrics.SpoolDepth.Set(int64(depth))
 	s.metrics.SpoolBytes.Set(size)
+	s.metrics.SpoolRetries.Set(int64(s.sp.retryCount()))
 	durable := s.Durable()
 	if last := s.sp.lastSeq(); last >= durable {
 		s.metrics.Unacked.Set(int64(last - durable))
@@ -242,11 +270,13 @@ func (s *Shipper) Finish(part *rollup.Partial) error {
 
 // Abort stops the sender without waiting for durability and closes the
 // spool — the shutdown path for a probe that is not completing its
-// run.
+// run. Releasing the spool first unblocks any seal hook waiting on the
+// disk budget.
 func (s *Shipper) Abort() {
 	s.mu.Lock()
 	s.stopped = true
 	s.mu.Unlock()
+	s.sp.release()
 	s.poke()
 	<-s.exited
 	s.sp.close()
@@ -268,6 +298,7 @@ func (s *Shipper) setFatal(err error) {
 		s.fatal = err
 	}
 	s.mu.Unlock()
+	s.sp.release() // unblock a seal hook waiting on the disk budget
 	s.poke()
 }
 
@@ -278,21 +309,38 @@ func (s *Shipper) poke() {
 	}
 }
 
+// rejectError carries a handshake rejection out of serve. The sender
+// latches it fatal only once it repeats: the hello's version byte is
+// necessarily checked before the handshake CRC (everything after it is
+// version-dependent), so a single rejection may be the echo of a
+// hello corrupted in flight — three in a row cannot be.
+type rejectError struct{ reason string }
+
+func (e *rejectError) Error() string {
+	return "epochwire: aggregator rejected handshake: " + e.reason
+}
+
+// consecutiveRejectLimit is how many back-to-back handshake
+// rejections the sender tolerates before latching fatal.
+const consecutiveRejectLimit = 3
+
 // sender is the connection goroutine: dial, handshake, stream the
 // spool from the aggregator's cursor, one ack per message, pings when
-// idle. Any connection error closes the conn and retries with
-// exponential backoff; only a handshake rejection, a spool gap, or
-// RetryFor running out is fatal.
+// idle. The error taxonomy drives the loop: a transient session error
+// closes the conn and redials with jittered exponential backoff; a
+// fatal one (repeated rejection, a spool gap, RetryFor running out)
+// latches and ends the sender.
 func (s *Shipper) sender() {
 	defer close(s.exited)
-	backoff := 100 * time.Millisecond
+	attempt := 0
+	rejects := 0
 	var downSince time.Time
 	for {
 		if s.done() {
 			return
 		}
 		s.metrics.Dials.Inc()
-		conn, err := net.DialTimeout("tcp", s.cfg.Addr, s.cfg.AckTimeout)
+		conn, err := s.cfg.Dial("tcp", s.cfg.Addr)
 		if err == nil {
 			before := s.Durable()
 			err = s.serve(conn)
@@ -303,34 +351,70 @@ func (s *Shipper) sender() {
 			if s.done() {
 				return
 			}
+			var rej *rejectError
+			switch {
+			case errors.As(err, &rej):
+				if rejects++; rejects >= consecutiveRejectLimit {
+					s.setFatal(Fatal(err))
+					return
+				}
+			case IsFatal(err):
+				s.setFatal(err)
+				return
+			default:
+				rejects = 0
+			}
 			if err != nil {
-				s.cfg.Logf("epochwire: session with %s ended: %v (retrying in %v)", s.cfg.Addr, err, backoff)
+				s.cfg.Logf("epochwire: session with %s ended: %v", s.cfg.Addr, err)
 			}
 			if err == nil || s.Durable() > before {
 				// The session made progress; reconnect immediately
 				// with a fresh backoff budget.
 				downSince = time.Time{}
-				backoff = 100 * time.Millisecond
+				attempt = 0
 				continue
 			}
 		} else {
-			s.cfg.Logf("epochwire: dialing %s: %v (retrying in %v)", s.cfg.Addr, err, backoff)
+			s.cfg.Logf("epochwire: dialing %s: %v", s.cfg.Addr, err)
 		}
 		if downSince.IsZero() {
 			downSince = time.Now()
 		}
 		if s.cfg.RetryFor > 0 && time.Since(downSince) > s.cfg.RetryFor {
-			s.setFatal(fmt.Errorf("epochwire: aggregator %s unreachable for %v: %w", s.cfg.Addr, s.cfg.RetryFor, err))
+			s.setFatal(Fatal(fmt.Errorf("epochwire: aggregator %s unreachable for %v: %w", s.cfg.Addr, s.cfg.RetryFor, err)))
 			return
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitterBackoff(s.cfg.ProbeID, attempt, s.cfg.BackoffBase, s.cfg.BackoffMax)):
 		case <-s.notify:
 		}
-		if backoff *= 2; backoff > s.cfg.BackoffMax {
-			backoff = s.cfg.BackoffMax
-		}
+		attempt++
 	}
+}
+
+// jitterBackoff is the attempt-th reconnect delay for probeID:
+// base·2^attempt capped at max, then scaled by a factor in [0.5, 1.5)
+// derived deterministically from (probe ID, attempt). No math/rand —
+// a failing run's timing is reproducible from its inputs — yet
+// distinct probes spread out instead of redialing an aggregator that
+// just restarted in lockstep.
+func jitterBackoff(probeID string, attempt int, base, max time.Duration) time.Duration {
+	d := max
+	if shift := uint(attempt); shift < 32 && base<<shift < max {
+		d = base << shift
+	}
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(probeID); i++ {
+		h = (h ^ uint64(probeID[i])) * 0x100000001B3
+	}
+	h ^= uint64(attempt) * 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	frac := 0.5 + float64(h>>11)/(1<<53) // [0.5, 1.5)
+	return time.Duration(float64(d) * frac)
 }
 
 // done reports whether the sender has nothing left to do: aborted,
@@ -352,13 +436,14 @@ func (s *Shipper) serve(conn net.Conn) error {
 		return err
 	}
 	if wl.Reject != "" {
-		s.setFatal(fmt.Errorf("epochwire: aggregator rejected handshake: %s", wl.Reject))
-		return s.fatalErr()
+		return &rejectError{reason: wl.Reject}
 	}
 	if wl.Durable > s.sp.lastSeq() {
-		s.setFatal(fmt.Errorf("epochwire: aggregator's durable cursor %d is past this probe's last sequence %d — probe ID %q collision?",
+		// The Welcome's CRC has already checked out, so this cursor is
+		// what the aggregator really holds: state for a probe with this
+		// ID that is further along than we are. Retrying cannot help.
+		return Fatal(fmt.Errorf("epochwire: aggregator's durable cursor %d is past this probe's last sequence %d — probe ID %q collision?",
 			wl.Durable, s.sp.lastSeq(), s.cfg.ProbeID))
-		return s.fatalErr()
 	}
 	s.mu.Lock()
 	if wl.Durable > s.durable {
@@ -378,8 +463,7 @@ func (s *Shipper) serve(conn net.Conn) error {
 		if next <= s.sp.lastSeq() {
 			m, err := s.sp.get(next)
 			if err != nil {
-				s.setFatal(err)
-				return err
+				return err // Fatal-labeled by the spool
 			}
 			conn.SetDeadline(time.Now().Add(s.cfg.AckTimeout))
 			if err := WriteMessage(conn, m); err != nil {
@@ -402,9 +486,21 @@ func (s *Shipper) serve(conn net.Conn) error {
 			s.sp.pruneThrough(ack.Durable)
 			s.syncSpoolGauges()
 			next++
+			// A duplicate's ack can carry a durable cursor past the seq
+			// it acknowledges: the previous session delivered further
+			// messages whose acks were lost with the connection. Those
+			// sequences are durable (and just got pruned) — skip them,
+			// or the next get() would read the spool below its own
+			// prune line and misdiagnose a cursor regression.
+			if ack.Durable >= next {
+				next = ack.Durable + 1
+			}
 			continue
 		}
 		// Idle: wait for new work, pinging to keep the session alive.
+		// The pong carries the aggregator's durable cursor, so a state
+		// persist that failed at apply time and succeeded on a later
+		// retry still reaches an idle probe waiting on fin durability.
 		select {
 		case <-s.notify:
 		case <-time.After(s.cfg.Keepalive):
@@ -413,8 +509,19 @@ func (s *Shipper) serve(conn net.Conn) error {
 				return err
 			}
 			s.metrics.Pings.Inc()
-			if _, err := s.readAck(br, MsgPong); err != nil {
+			pong, err := s.readAck(br, MsgPong)
+			if err != nil {
 				return err
+			}
+			s.mu.Lock()
+			if pong.Durable > s.durable {
+				s.durable = pong.Durable
+			}
+			s.mu.Unlock()
+			s.sp.pruneThrough(pong.Durable)
+			s.syncSpoolGauges()
+			if pong.Durable >= next {
+				next = pong.Durable + 1
 			}
 		}
 	}
@@ -430,10 +537,4 @@ func (s *Shipper) readAck(br *bufio.Reader, want byte) (*Message, error) {
 		return nil, fmt.Errorf("epochwire: expected %q reply, got %q", want, m.Type)
 	}
 	return m, nil
-}
-
-func (s *Shipper) fatalErr() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fatal
 }

@@ -1,0 +1,218 @@
+package epochwire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/leakcheck"
+	"repro/internal/rollup"
+)
+
+// sealOne drives one seal event through the shipper: bin's single cell
+// carries volume bytes. Returns the matching single-epoch partial so
+// tests can accumulate the exact expected totals.
+func sealOne(t *testing.T, sh *Shipper, cfg rollup.Config, bin int, volume float64) *rollup.Partial {
+	t.Helper()
+	nameOf := func(uint32) string { return "Facebook" }
+	ep := rollup.Epoch{Bin: bin, Cells: []rollup.Cell{{Dir: 0, Svc: 0, Commune: 3, Bytes: volume}}}
+	sh.SealHook(0, ep, nameOf)
+	return rollup.SingleEpochPartial(cfg, ep, nameOf)
+}
+
+// TestShipperSpoolENOSPCLatchesFatal pins the disk-exhaustion story:
+// when every spool write fails with ENOSPC (past the bounded retries),
+// the shipper latches fatal instead of hanging or dropping data
+// silently, and Finish surfaces a fatal, ENOSPC-attributed error.
+func TestShipperSpoolENOSPCLatchesFatal(t *testing.T) {
+	leakcheck.Check(t)
+	cfg := testConfig()
+	spec := chaos.Spec{Seed: 1}
+	spec.Prob[chaos.FaultENOSPC] = 1 // every write, unlimited fuel
+	in := spec.Injector()
+	sh, err := NewShipper(ShipperConfig{
+		Addr:       "127.0.0.1:1", // never reached: the spool fails first
+		ProbeID:    "full-disk",
+		SpoolPath:  filepath.Join(t.TempDir(), "full.spool"),
+		Cfg:        cfg,
+		Shards:     1,
+		BackoffMax: 10 * time.Millisecond,
+		FS:         in.FS("spool", chaos.OS),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealOne(t, sh, cfg, 0, 100)
+	err = sh.Finish(&rollup.Partial{Cfg: cfg})
+	if err == nil {
+		t.Fatal("Finish returned nil although every spool write failed")
+	}
+	if !IsFatal(err) {
+		t.Errorf("spool exhaustion should be fatal, got: %v", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("error should attribute the cause (ENOSPC), got: %v", err)
+	}
+	if got := sh.LastSeq(); got != 0 {
+		t.Errorf("failed append assigned seq %d; durability contract says it must not", got)
+	}
+}
+
+// TestShipperAckTimeoutReconnectResumes pins the ack-timeout path: a
+// first "aggregator" that welcomes the probe, swallows its epoch and
+// never acks must cost exactly one AckTimeout, after which the shipper
+// redials, reaches the real aggregator, and the run completes exactly
+// — nothing double-applied, nothing lost.
+func TestShipperAckTimeoutReconnectResumes(t *testing.T) {
+	leakcheck.Check(t)
+	cfg := testConfig()
+	a := startAgg(t, AggConfig{Probes: 1, PersistEvery: 1})
+
+	// The black hole: handshakes fine, then reads and never replies.
+	hole, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	holeDone := make(chan struct{})
+	release := make(chan struct{})
+	t.Cleanup(func() {
+		hole.Close()
+		close(release)
+		<-holeDone
+	})
+	go func() {
+		defer close(holeDone)
+		c, err := hole.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		br := bufio.NewReader(c)
+		if _, err := ReadHello(br); err != nil {
+			return
+		}
+		WriteWelcome(c, &Welcome{})
+		ReadMessage(br) // swallow seq 1; the ack never comes
+		<-release       // hold the conn open so the probe times out, not resets
+	}()
+
+	var dials atomic.Int64
+	dial := func(network, addr string) (net.Conn, error) {
+		if dials.Add(1) == 1 {
+			addr = hole.Addr().String()
+		}
+		return net.Dial(network, addr)
+	}
+	sh, err := NewShipper(ShipperConfig{
+		Addr:        a.Addr(),
+		ProbeID:     "patient",
+		SpoolPath:   filepath.Join(t.TempDir(), "patient.spool"),
+		Cfg:         cfg,
+		Shards:      1,
+		AckTimeout:  150 * time.Millisecond,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+		Dial:        dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &rollup.Partial{Cfg: cfg}
+	for bin := 0; bin < 3; bin++ {
+		if err := want.Merge(sealOne(t, sh, cfg, bin, float64(100+bin))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.Finish(want); err != nil {
+		t.Fatal(err)
+	}
+	if got := dials.Load(); got < 2 {
+		t.Fatalf("finished after %d dials; the black hole should have forced a reconnect", got)
+	}
+	if got, want := foldTotal(t, a), 100.0+101+102; got != want {
+		t.Errorf("aggregator folded %v bytes, want %v", got, want)
+	}
+	if got := a.metrics.Duplicates.Load(); got != 0 {
+		t.Errorf("%d duplicate applies; the reconnect should resume from the durable cursor", got)
+	}
+	if got := sh.Durable(); got != sh.LastSeq() {
+		t.Errorf("durable cursor %d short of last seq %d after Finish", got, sh.LastSeq())
+	}
+}
+
+// TestShipperSealAfterAbortIsNoOp pins the shutdown edge: seal hooks
+// racing a shutdown (a pipeline shard sealing while main aborts) must
+// neither panic nor spool, repeated Aborts must be safe, and a Finish
+// after Abort must fail loudly rather than pretend durability.
+func TestShipperSealAfterAbortIsNoOp(t *testing.T) {
+	leakcheck.Check(t)
+	cfg := testConfig()
+	sh, err := NewShipper(ShipperConfig{
+		Addr:       "127.0.0.1:1",
+		ProbeID:    "quitter",
+		SpoolPath:  filepath.Join(t.TempDir(), "quitter.spool"),
+		Cfg:        cfg,
+		Shards:     1,
+		BackoffMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Abort()
+	sealOne(t, sh, cfg, 0, 100) // must be a silent no-op
+	if got := sh.LastSeq(); got != 0 {
+		t.Errorf("seal after abort spooled seq %d", got)
+	}
+	if err := sh.Finish(&rollup.Partial{Cfg: cfg}); err == nil {
+		t.Error("Finish after Abort returned nil; it cannot certify durability")
+	}
+	sh.Abort() // idempotent
+}
+
+// TestJitterBackoffSpread pins the deterministic reconnect jitter: for
+// a fixed attempt the delay is a pure function of the probe ID, stays
+// inside the [0.5, 1.5) band around the exponential step, and a fleet
+// of probes spreads across most of that band instead of thundering
+// back in lockstep.
+func TestJitterBackoffSpread(t *testing.T) {
+	base, max := 100*time.Millisecond, 5*time.Second
+	const attempt = 3
+	step := base << attempt
+	const fleet = 64
+	lo, hi := max, time.Duration(0)
+	distinct := make(map[time.Duration]bool, fleet)
+	for i := 0; i < fleet; i++ {
+		id := fmt.Sprintf("probe-%02d", i)
+		d := jitterBackoff(id, attempt, base, max)
+		if d < step/2 || d >= step+step/2 {
+			t.Fatalf("probe %s: delay %v outside [%v, %v)", id, d, step/2, step+step/2)
+		}
+		if d2 := jitterBackoff(id, attempt, base, max); d2 != d {
+			t.Fatalf("probe %s: jitter not deterministic (%v then %v)", id, d, d2)
+		}
+		distinct[d] = true
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if len(distinct) < fleet*3/4 {
+		t.Errorf("only %d distinct delays across %d probes", len(distinct), fleet)
+	}
+	if spread := hi - lo; spread < step/2 {
+		t.Errorf("fleet spread %v covers under half the jitter band (step %v)", spread, step)
+	}
+	// Large attempts clamp at BackoffMax (jittered), never overflow.
+	if d := jitterBackoff("probe-00", 40, base, max); d < max/2 || d >= max+max/2 {
+		t.Errorf("attempt 40: delay %v outside the jittered cap band around %v", d, max)
+	}
+}

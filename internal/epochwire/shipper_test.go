@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/leakcheck"
 	"repro/internal/rollup"
 )
 
@@ -12,6 +13,7 @@ import (
 // pipeline): a few seal events, a finish, and the fold must hold
 // exactly the shipped cells.
 func TestShipperAggregatorSmallRun(t *testing.T) {
+	leakcheck.Check(t)
 	cfg := testConfig()
 	a, err := NewAggregator("127.0.0.1:0", "", AggConfig{
 		Probes: 1, PersistEvery: 2,

@@ -4,15 +4,29 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// spoolWriteRetries bounds how many times an append retries a failed
+// write or sync before giving up fatally; spoolRetryDelay spaces the
+// attempts. A transient disk hiccup (injected or real) rides through;
+// a persistently full disk exhausts the budget and latches the
+// shipper, which is the honest outcome — the durability contract
+// cannot be met.
+const (
+	spoolWriteRetries = 8
+	spoolRetryDelay   = 5 * time.Millisecond
 )
 
 // spool is the probe-side durability buffer: every sealed epoch (and
-// the final fin) is appended to an on-disk file before it is offered
-// to the network, and retained until the aggregator reports it
-// *durable* — applied and persisted to its state file, not merely
-// received. A dead or restarted aggregator therefore never loses a
-// sealed epoch: the shipper replays everything past the aggregator's
-// durable cursor from here.
+// the final fin) is appended to an on-disk file — written *and
+// fsynced* — before it is offered to the network, and retained until
+// the aggregator reports it *durable*: applied and persisted to its
+// state file, not merely received. A dead or restarted aggregator
+// therefore never loses a sealed epoch: the shipper replays everything
+// past the aggregator's durable cursor from here.
 //
 // The layout is an append-only blob file plus an in-memory index of
 // {type, watermark, offset, length} entries for the contiguous
@@ -22,14 +36,26 @@ import (
 // persisted — a probe restart starts a new incarnation and regenerates
 // its stream from the source, which is the recovery model for probe
 // crashes (see the package comment).
+//
+// A budget caps the spool's on-disk size. When an append would exceed
+// it, the appending goroutine blocks until pruning frees space — this
+// is the backpressure path: a dead aggregator eventually stalls
+// sealing instead of silently growing the spool without bound. The
+// release flag (set by shipper fatal/abort) unblocks waiters so a
+// latched shipper never wedges the pipeline.
 type spool struct {
 	mu       sync.Mutex
-	f        *os.File
+	space    sync.Cond // waits for budget headroom; signaled by prune/release
+	fs       chaos.FS
+	f        chaos.File
+	budget   int64  // max on-disk bytes; 0 = unlimited
+	released bool   // shipper dead: stop blocking, fail appends fast
 	firstSeq uint64 // seq of entries[0]; meaningful only when len(entries) > 0
 	nextSeq  uint64 // seq the next append receives
 	pruned   uint64 // highest seq ever pruned (all ≤ pruned are gone)
 	entries  []spoolEntry
-	size     int64 // current file length
+	size     int64  // current file length
+	retries  uint64 // write/sync attempts that failed and were retried
 }
 
 type spoolEntry struct {
@@ -39,21 +65,51 @@ type spoolEntry struct {
 	n   int32
 }
 
-func newSpool(path string) (*spool, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+func newSpool(path string, fs chaos.FS, budget int64) (*spool, error) {
+	if fs == nil {
+		fs = chaos.OS
+	}
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("epochwire: opening spool: %w", err)
 	}
-	return &spool{f: f, nextSeq: 1}, nil
+	s := &spool{fs: fs, f: f, budget: budget, nextSeq: 1}
+	s.space.L = &s.mu
+	return s, nil
 }
 
-// append stores one outgoing epoch/fin blob and assigns it the next
-// sequence number.
+// append stores one outgoing epoch/fin blob — durably: the bytes are
+// written and fsynced (with bounded retries) before the sequence
+// number is assigned, so an entry the sender can offer to the wire is
+// always fully on disk. Blocks while the spool is at its disk budget.
 func (s *spool) append(typ byte, wm uint64, blob []byte) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.f.WriteAt(blob, s.size); err != nil {
-		return 0, fmt.Errorf("epochwire: spool write: %w", err)
+	for s.budget > 0 && s.size+int64(len(blob)) > s.budget && !s.released {
+		if int64(len(blob)) > s.budget {
+			return 0, Fatal(fmt.Errorf("epochwire: %d-byte epoch exceeds the whole %d-byte spool budget", len(blob), s.budget))
+		}
+		s.space.Wait()
+	}
+	if s.released {
+		return 0, Fatal(fmt.Errorf("epochwire: spool closed"))
+	}
+	var err error
+	for attempt := 0; attempt <= spoolWriteRetries; attempt++ {
+		if attempt > 0 {
+			s.retries++
+			time.Sleep(spoolRetryDelay)
+		}
+		if _, err = s.f.WriteAt(blob, s.size); err != nil {
+			continue
+		}
+		if err = s.f.Sync(); err != nil {
+			continue
+		}
+		break
+	}
+	if err != nil {
+		return 0, Fatal(fmt.Errorf("epochwire: spool write failed %d times: %w", spoolWriteRetries+1, err))
 	}
 	seq := s.nextSeq
 	s.nextSeq++
@@ -74,22 +130,23 @@ func (s *spool) get(seq uint64) (*Message, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if seq <= s.pruned {
-		return nil, fmt.Errorf("epochwire: spool no longer holds seq %d (pruned through %d); aggregator state regressed past its own durable cursor", seq, s.pruned)
+		return nil, Fatal(fmt.Errorf("epochwire: spool no longer holds seq %d (pruned through %d); aggregator state regressed past its own durable cursor", seq, s.pruned))
 	}
 	if len(s.entries) == 0 || seq < s.firstSeq || seq >= s.firstSeq+uint64(len(s.entries)) {
-		return nil, fmt.Errorf("epochwire: spool has no seq %d", seq)
+		return nil, Fatal(fmt.Errorf("epochwire: spool has no seq %d", seq))
 	}
 	e := s.entries[seq-s.firstSeq]
 	blob := make([]byte, e.n)
 	if _, err := s.f.ReadAt(blob, e.off); err != nil {
-		return nil, fmt.Errorf("epochwire: spool read: %w", err)
+		return nil, Fatal(fmt.Errorf("epochwire: spool read: %w", err))
 	}
 	return &Message{Type: e.typ, Seq: seq, Watermark: e.wm, Blob: blob}, nil
 }
 
-// pruneThrough drops every entry with seq ≤ durable. When the spool
-// empties completely the backing file is truncated to zero so a
-// healthy session keeps disk use at one in-flight window.
+// pruneThrough drops every entry with seq ≤ durable, waking any
+// appender blocked on the disk budget. When the spool empties
+// completely the backing file is truncated to zero so a healthy
+// session keeps disk use at one in-flight window.
 func (s *spool) pruneThrough(durable uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -105,8 +162,19 @@ func (s *spool) pruneThrough(durable uint64) {
 		s.entries = nil
 		if err := s.f.Truncate(0); err == nil {
 			s.size = 0
+			s.space.Broadcast()
 		}
 	}
+}
+
+// release unblocks budget waiters and fails any future append — called
+// when the shipper latches fatal or aborts, so a blocked SealHook
+// returns instead of wedging the pipeline forever.
+func (s *spool) release() {
+	s.mu.Lock()
+	s.released = true
+	s.space.Broadcast()
+	s.mu.Unlock()
 }
 
 // stats reports the spool's retained entry count and on-disk size —
@@ -119,6 +187,13 @@ func (s *spool) stats() (depth int, size int64) {
 	return len(s.entries), s.size
 }
 
+// retryCount reports how many append attempts failed and were retried.
+func (s *spool) retryCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retries
+}
+
 // lastSeq returns the highest sequence number ever appended (0 before
 // the first append).
 func (s *spool) lastSeq() uint64 {
@@ -128,6 +203,7 @@ func (s *spool) lastSeq() uint64 {
 }
 
 func (s *spool) close() error {
+	s.release()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.f.Close()

@@ -1,0 +1,161 @@
+// Package leakcheck asserts that a test leaves no goroutines behind.
+// It snapshots the normalized stack signatures of all live goroutines
+// when armed and diffs against a second snapshot at test cleanup,
+// retrying for a grace period so goroutines that are mid-exit (conn
+// handlers draining after Close, timers firing) get to finish.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check arms a leak assertion for t: at cleanup, any goroutine that
+// was not running when Check was called — and is not a known runtime
+// or testing goroutine — fails the test with its stack.
+func Check(t *testing.T) {
+	t.Helper()
+	before := snapshot()
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't pile a leak report on top of a real failure
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = diff(before, snapshot())
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n---\n"))
+	})
+}
+
+// snapshot returns a multiset of normalized goroutine signatures,
+// keeping one representative raw stack per signature for reporting.
+func snapshot() map[string]stackCount {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]stackCount)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		sig := normalize(g)
+		if sig == "" || ignored(sig) {
+			continue
+		}
+		sc := out[sig]
+		sc.count++
+		if sc.raw == "" {
+			sc.raw = g
+		}
+		out[sig] = sc
+	}
+	return out
+}
+
+type stackCount struct {
+	count int
+	raw   string
+}
+
+// normalize strips goroutine IDs, addresses, and argument values so
+// two goroutines parked at the same place share a signature.
+func normalize(g string) string {
+	var b strings.Builder
+	for i, line := range strings.Split(g, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if i == 0 {
+			// "goroutine 12 [chan receive]:" → "[chan receive]"
+			if j := strings.Index(line, "["); j >= 0 {
+				if k := strings.Index(line[j:], "]"); k >= 0 {
+					state := line[j : j+k+1]
+					// Strip wait durations: "[chan receive, 2 minutes]".
+					if c := strings.Index(state, ","); c >= 0 {
+						state = state[:c] + "]"
+					}
+					b.WriteString(state)
+					b.WriteByte('\n')
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "created by ") {
+			// Keep the creator, drop the "in goroutine N" suffix.
+			if j := strings.Index(line, " in goroutine"); j >= 0 {
+				line = line[:j]
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+			continue
+		}
+		if strings.Contains(line, ".go:") {
+			continue // file:line +offset — addresses vary
+		}
+		// Function call line: strip the argument list.
+		if j := strings.LastIndex(line, "("); j > 0 {
+			line = line[:j]
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ignored reports signatures that belong to the runtime or the test
+// framework rather than to code under test.
+func ignored(sig string) bool {
+	for _, frag := range []string{
+		"testing.tRunner",
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runFuzz",
+		"runtime.goexit",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"runtime.runfinq",
+		"runtime/trace",
+		"signal.signal_recv",
+		"os/signal.loop",
+		"leakcheck.snapshot",
+	} {
+		if strings.Contains(sig, frag) {
+			return true
+		}
+	}
+	// The main test goroutine shows up as [running] with only this
+	// package's frames after filtering.
+	return strings.TrimSpace(sig) == "" || sig == "[running]\n"
+}
+
+// diff returns a report line for every signature whose count grew.
+func diff(before, after map[string]stackCount) []string {
+	var out []string
+	for sig, sc := range after {
+		if grew := sc.count - before[sig].count; grew > 0 {
+			out = append(out, fmt.Sprintf("%d × %s", grew, sc.raw))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

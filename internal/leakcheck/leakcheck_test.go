@@ -1,0 +1,42 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNoLeakPasses(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestSlowExitWithinGracePasses(t *testing.T) {
+	Check(t)
+	go func() { time.Sleep(200 * time.Millisecond) }()
+}
+
+func TestDiffFindsGrowth(t *testing.T) {
+	before := snapshot()
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	time.Sleep(20 * time.Millisecond)
+	leaked := diff(before, snapshot())
+	close(stop)
+	if len(leaked) == 0 {
+		t.Fatal("diff missed a parked goroutine")
+	}
+	if !strings.Contains(strings.Join(leaked, ""), "TestDiffFindsGrowth") {
+		t.Fatalf("leak report does not name the creator:\n%s", strings.Join(leaked, "\n"))
+	}
+}
+
+func TestNormalizeStripsVaryingParts(t *testing.T) {
+	a := normalize("goroutine 7 [chan receive, 3 minutes]:\nmain.worker(0xc000012345)\n\t/src/main.go:10 +0x45\ncreated by main.start in goroutine 1\n\t/src/main.go:5 +0x9")
+	b := normalize("goroutine 99 [chan receive]:\nmain.worker(0xc0009abcde)\n\t/src/main.go:10 +0xdead\ncreated by main.start in goroutine 42\n\t/src/main.go:5 +0x1")
+	if a != b || a == "" {
+		t.Fatalf("signatures differ:\n%q\n%q", a, b)
+	}
+}
