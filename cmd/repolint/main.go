@@ -1,0 +1,211 @@
+// Command repolint runs the repository's machine-checked invariant
+// suite (internal/lint): the analyzers that enforce DESIGN.md §8's
+// buffer-ownership and hot-path allocation discipline, §12's
+// telemetry contracts, §13's durability and error-taxonomy rules, and
+// the chaos seams of the wire plane.
+//
+// Standalone, from anywhere inside the module:
+//
+//	repolint ./...                 # whole tree (the CI gate)
+//	repolint ./internal/epochwire  # one package
+//	repolint -list                 # print the analyzers and exit
+//
+// As a vet tool, sharing go vet's build graph and export data:
+//
+//	go vet -vettool=$(which repolint) ./...
+//
+// Exit status: 0 clean, 1 operational error, 2 findings — the same
+// contract go vet expects from an analysis driver.
+//
+// Suppressions (//lint:ignore <analyzer> <reason>) and their policy —
+// including the hard "no suppressions in internal/epochwire" rule —
+// are documented in DESIGN.md §14.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// The go vet driver protocol probes the tool before handing it
+	// package config files: -V=full must print an identity line, and
+	// -flags must list the tool's flag schema (we add none).
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Printf("repolint version 1\n")
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(runVetUnit(os.Args[1]))
+	}
+	os.Exit(runStandalone())
+}
+
+// runStandalone type-checks packages from source (go/importer's
+// source mode) and runs the suite over every matched unit.
+func runStandalone() int {
+	fs := flag.NewFlagSet("repolint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: repolint [packages]\n       go vet -vettool=$(which repolint) [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, _, err := lint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	// The source importer resolves module import paths through the go
+	// command, which needs the working directory inside the module.
+	if err := os.Chdir(root); err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	loader := lint.NewLoader()
+	units, err := loader.Load(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	found := 0
+	for _, u := range units {
+		for _, d := range lint.RunUnit(u, lint.Analyzers()) {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", found)
+		return 2
+	}
+	return 0
+}
+
+// vetCfg is the package-unit description the go vet driver hands a
+// vettool: the file set to analyze plus the import universe as
+// compiled export data, so no re-building is needed.
+type vetCfg struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one go vet package unit described by cfgPath.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 1
+	}
+	var cfg vetCfg
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver always expects the facts file, even though repolint
+	// carries no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	unit := &lint.Unit{PkgPath: unitPath(cfg.ImportPath), Fset: fset}
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFailed(cfg, err)
+		}
+		unit.Files = append(unit.Files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	unit.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tcfg := types.Config{Importer: imp}
+	unit.Pkg, err = tcfg.Check(cfg.ImportPath, fset, unit.Files, unit.Info)
+	if err != nil {
+		return typecheckFailed(cfg, err)
+	}
+	diags := lint.RunUnit(unit, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Msg)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// unitPath strips go vet's test-variant suffix ("pkg [pkg.test]") so
+// analyzer scoping sees the plain import path.
+func unitPath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+func typecheckFailed(cfg vetCfg, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "repolint: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}

@@ -585,7 +585,7 @@ func runFetch(args []string) error {
 		}
 		n := int64(len(body))
 		if *out != "" {
-			if err := os.WriteFile(*out, body, 0o644); err != nil {
+			if err := writeFileSync(*out, body); err != nil {
 				return err
 			}
 			fmt.Printf("fetched %d bytes from %s to %s\n", n, *from, *out)
@@ -618,8 +618,31 @@ func runFetch(args []string) error {
 	if err != nil {
 		return fmt.Errorf("fetch: %w", err)
 	}
+	// A fetched snapshot is usually the input to the next pipeline
+	// stage; flush it so a crash right after "fetched" can't lie.
+	if err := f.Sync(); err != nil {
+		return err
+	}
 	fmt.Printf("fetched %d bytes from %s to %s\n", n, *from, *out)
 	return nil
+}
+
+// writeFileSync is os.WriteFile with an fsync before close, so the
+// success message never outruns the data.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // renderStatus prints the aggregator's status JSON as a per-probe

@@ -17,6 +17,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -183,7 +184,7 @@ func summarize(path string, quiet bool) {
 	begin := time.Now()
 	for {
 		fr, err := rd.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -2,6 +2,7 @@ package capture
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -28,7 +29,7 @@ func WriteUvarint(w io.Writer, v uint64) error {
 func ReadUvarint(r io.ByteReader, max uint64, what string) (uint64, error) {
 	v, err := binary.ReadUvarint(r)
 	if err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return 0, fmt.Errorf("capture: truncated %s: %w", what, io.ErrUnexpectedEOF)
 		}
 		return 0, fmt.Errorf("capture: reading %s: %w", what, err)

@@ -12,6 +12,7 @@
 package capture
 
 import (
+	"errors"
 	"io"
 	"time"
 )
@@ -75,6 +76,8 @@ func NewSliceSource(frames []Frame) *SliceSource {
 }
 
 // Next implements Source.
+//
+//repro:hotpath
 func (s *SliceSource) Next() (Frame, error) {
 	if s.next >= len(s.frames) {
 		return Frame{}, io.EOF
@@ -98,7 +101,7 @@ func Collect(src Source) ([]Frame, error) {
 	var frames []Frame
 	for {
 		f, err := src.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return frames, nil
 		}
 		if err != nil {

@@ -2,6 +2,7 @@ package capture
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"time"
@@ -40,7 +41,7 @@ func TestSliceSourceAndCollect(t *testing.T) {
 		t.Fatal(err)
 	}
 	for range 2 {
-		if _, err := src.Next(); err != io.EOF {
+		if _, err := src.Next(); !errors.Is(err, io.EOF) {
 			t.Fatalf("drained source returned %v, want io.EOF", err)
 		}
 	}
@@ -110,11 +111,11 @@ func TestTraceTruncationIsAnError(t *testing.T) {
 			t.Fatal(err)
 		}
 		_, err = Collect(r)
-		if err == nil || err == io.EOF {
+		if err == nil || errors.Is(err, io.EOF) {
 			t.Errorf("truncation at %d not reported (err = %v)", cut, err)
 		}
 		// The reader stays broken: subsequent calls repeat the error.
-		if _, err2 := r.Next(); err2 == nil || err2 == io.EOF {
+		if _, err2 := r.Next(); err2 == nil || errors.Is(err2, io.EOF) {
 			t.Errorf("broken reader resumed after truncation at %d", cut)
 		}
 	}

@@ -32,6 +32,8 @@ func NewCountingSource(src Source, reg *obs.Registry) Source {
 }
 
 // Next implements Source.
+//
+//repro:hotpath
 func (s *CountingSource) Next() (Frame, error) {
 	f, err := s.src.Next()
 	if err == nil {

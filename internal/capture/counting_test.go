@@ -1,6 +1,7 @@
 package capture
 
 import (
+	"errors"
 	"io"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ func TestCountingSource(t *testing.T) {
 	n := 0
 	for {
 		_, err := src.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -1,6 +1,7 @@
 package capture
 
 import (
+	"errors"
 	"io"
 	"testing"
 	"time"
@@ -25,12 +26,12 @@ func TestStopSourceCutsStream(t *testing.T) {
 		}
 	}
 	s.Stop()
-	if _, err := s.Next(); err != io.EOF {
+	if _, err := s.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("Next after Stop = %v, want io.EOF", err)
 	}
 	// Stop is idempotent and EOF is sticky.
 	s.Stop()
-	if _, err := s.Next(); err != io.EOF {
+	if _, err := s.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("second Next after Stop = %v, want io.EOF", err)
 	}
 }

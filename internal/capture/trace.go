@@ -3,6 +3,7 @@ package capture
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -65,7 +66,7 @@ func Copy(tw *Writer, src Source) (int, error) {
 	n := 0
 	for {
 		f, err := src.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return n, tw.Flush()
 		}
 		if err != nil {
@@ -113,7 +114,7 @@ func (tr *Reader) Next() (Frame, error) {
 	}
 	var hdr [12]byte
 	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			tr.err = io.EOF
 		} else {
 			tr.err = fmt.Errorf("capture: truncated trace record header: %w", err)

@@ -102,6 +102,8 @@ func (c *Classifier) result(id services.ID, stage string) Result {
 // Classify inspects one subscriber packet: the inner IP header, the
 // server-side port, and the transport payload of the first packets of
 // the flow (empty for pure ACKs). serverIP is the non-UE endpoint.
+//
+//repro:hotpath
 func (c *Classifier) Classify(serverIP [4]byte, serverPort uint16, payload []byte) Result {
 	if host, ok := clientHelloSNI(payload); ok {
 		// Exact hostname first, then every dot-delimited parent suffix:
@@ -193,6 +195,8 @@ func ParseClientHelloSNI(data []byte) (string, bool) {
 
 // clientHelloSNI is the allocation-free core of ParseClientHelloSNI:
 // the returned hostname aliases data.
+//
+//repro:hotpath
 func clientHelloSNI(data []byte) ([]byte, bool) {
 	if len(data) < 5 || data[0] != tlsContentTypeHandshake {
 		return nil, false
@@ -281,6 +285,8 @@ func NewFlowCache(c *Classifier) *FlowCache {
 // Classify returns the cached or computed classification for a packet
 // of the given flow. Unclassified flows are retried while payloads
 // keep arriving (the SNI may appear after the TCP handshake).
+//
+//repro:hotpath
 func (fc *FlowCache) Classify(flow pkt.Flow, serverIP [4]byte, serverPort uint16, payload []byte) Result {
 	if r, ok := fc.flows[flow]; ok && r.Service != "" {
 		return r

@@ -72,6 +72,7 @@ package epochwire
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -187,6 +188,7 @@ type crcReader struct {
 	sum uint32
 }
 
+//repro:hotpath
 func (c *crcReader) ReadByte() (byte, error) {
 	b, err := c.r.ReadByte()
 	if err == nil {
@@ -197,6 +199,7 @@ func (c *crcReader) ReadByte() (byte, error) {
 	return b, err
 }
 
+//repro:hotpath
 func (c *crcReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
@@ -224,7 +227,7 @@ func ReadMessage(r *bufio.Reader) (*Message, error) {
 	cr := &crcReader{r: r}
 	typ, err := cr.ReadByte()
 	if err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, io.EOF // clean close between messages
 		}
 		return nil, fmt.Errorf("epochwire: reading message type: %w", err)
@@ -493,12 +496,14 @@ func DecodeConfig(blob []byte) (rollup.Config, error) {
 	return p.Cfg, nil
 }
 
+//repro:hotpath
 func putUint64(b []byte, v uint64) {
 	for i := 0; i < 8; i++ {
 		b[i] = byte(v >> (56 - 8*i))
 	}
 }
 
+//repro:hotpath
 func getUint64(b []byte) uint64 {
 	var v uint64
 	for i := 0; i < 8; i++ {
@@ -507,10 +512,12 @@ func getUint64(b []byte) uint64 {
 	return v
 }
 
+//repro:hotpath
 func putUint32(b []byte, v uint32) {
 	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
 }
 
+//repro:hotpath
 func getUint32(b []byte) uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }

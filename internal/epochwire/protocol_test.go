@@ -66,7 +66,7 @@ func TestMessageRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if _, err := ReadMessage(br); err != io.EOF {
+	if _, err := ReadMessage(br); !errors.Is(err, io.EOF) {
 		t.Errorf("after the last message: %v, want io.EOF", err)
 	}
 }

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ChaosSeam enforces the §13 injection seams inside the wire plane:
+// every I/O epochwire performs must route through the seams its
+// configs already carry — ShipperConfig.Dial / CtlClient.Dial for the
+// network, chaos.FS for the disk, AggConfig.WrapConn for accepted
+// connections. A direct os.* or net.* call is traffic the chaos plane
+// cannot fault, which silently shrinks the convergence oracle's
+// coverage: chaos can't fault what doesn't go through the seam.
+//
+// The seam *defaults* (a raw &net.Dialer{} stored into a nil
+// cfg.Dial) are fine — the analyzer flags direct calls to the
+// bypassing package functions, not the construction of fallbacks.
+var ChaosSeam = &Analyzer{
+	Name: "chaosseam",
+	Doc:  "direct os/net I/O in internal/epochwire bypasses the chaos injection seams (DESIGN.md §13)",
+	Run:  runChaosSeam,
+}
+
+// seamBypass maps forbidden package functions to the seam that must
+// carry the operation instead.
+var seamBypass = map[[2]string]string{
+	{"os", "OpenFile"}:     "chaos.FS",
+	{"os", "Open"}:         "chaos.FS",
+	{"os", "Create"}:       "chaos.FS",
+	{"os", "ReadFile"}:     "chaos.FS",
+	{"os", "WriteFile"}:    "chaos.FS",
+	{"os", "Rename"}:       "chaos.FS",
+	{"os", "Remove"}:       "chaos.FS",
+	{"net", "Dial"}:        "the Dial seam",
+	{"net", "DialTimeout"}: "the Dial seam",
+	{"net", "DialTCP"}:     "the Dial seam",
+}
+
+// net.Listen is deliberately absent: the aggregator listens directly
+// and the seam is AggConfig.WrapConn, applied to each accepted
+// connection — faulting the listener would kill the daemon, not model
+// a flaky link.
+
+func runChaosSeam(pass *Pass) {
+	if !pathWithin(pass.PkgPath, "internal/epochwire") {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			// Tests exercise the seams from outside and may touch the
+			// real filesystem for scaffolding.
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			seam, hit := seamBypass[[2]string{fn.Pkg().Path(), fn.Name()}]
+			if !hit || !IsPkgFunc(fn, fn.Pkg().Path(), fn.Name()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "direct %s.%s bypasses %s: chaos can't fault what doesn't go through the seam", fn.Pkg().Path(), fn.Name(), seam)
+			return true
+		})
+	}
+}

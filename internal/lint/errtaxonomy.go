@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ErrTaxonomy enforces the §13 error-taxonomy plumbing: transient vs
+// fatal classification (and every other sentinel in the tree) is
+// carried by wrapped errors.Is-able chains, so
+//
+//   - error values must be matched with errors.Is, never == / != —
+//     identity comparison breaks the moment anyone wraps the sentinel
+//     (and the chaos planes wrap everything);
+//   - fmt.Errorf must thread an inner error through %w, not %v / %s /
+//     %q — a stringified error drops the sentinel chain, and with it
+//     the shipper's retry/latch decision;
+//   - err.Error() inside a wrap is the same bug with extra steps.
+//
+// Comparisons against nil stay untouched: they ask "is there an
+// error", not "which one".
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "match errors with errors.Is and wrap with %w so sentinel chains survive (DESIGN.md §13)",
+	Run:  runErrTaxonomy,
+}
+
+func runErrTaxonomy(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNilIdent(n.X) || isNilIdent(n.Y) {
+					return true
+				}
+				if isErrorValue(pass.typeOf(n.X)) && isErrorValue(pass.typeOf(n.Y)) {
+					pass.Reportf(n.OpPos, "%s on error values misses wrapped sentinels: use errors.Is", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isErrorValue(pass.typeOf(n.Tag)) {
+					pass.Reportf(n.Tag.Pos(), "switch on an error value compares with ==: use an errors.Is chain")
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap verifies that every error-typed argument of a
+// fmt.Errorf call is consumed by a %w verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if !IsPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		verb := verbs[i]
+		if verb == 0 || verb == '*' {
+			continue
+		}
+		if sel, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			if s, ok := ast.Unparen(sel.Fun).(*ast.SelectorExpr); ok && s.Sel.Name == "Error" &&
+				len(sel.Args) == 0 && isErrorValue(pass.typeOf(s.X)) {
+				pass.Reportf(arg.Pos(), "err.Error() inside fmt.Errorf stringifies the chain: pass the error itself with %%w")
+				continue
+			}
+		}
+		if verb != 'w' && isErrorValue(pass.typeOf(arg)) {
+			pass.Reportf(arg.Pos(), "error formatted with %%%c drops the sentinel chain (errors.Is stops matching): use %%w", verb)
+		}
+	}
+}
+
+// formatVerbs extracts the verb consuming each successive argument of
+// a printf-style format: '*' width/precision markers consume an
+// argument of their own (recorded as '*'), and explicit [n] argument
+// indexes reposition the cursor the way fmt does.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	next := 0 // next argument index a verb would consume
+	set := func(idx int, v rune) {
+		for len(verbs) <= idx {
+			verbs = append(verbs, 0)
+		}
+		verbs[idx] = v
+	}
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		i++
+		if c != '%' {
+			continue
+		}
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// width / precision, each possibly '*'
+		for pass := 0; pass < 2; pass++ {
+			if i < len(format) && format[i] == '*' {
+				set(next, '*')
+				next++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+			if pass == 0 && i < len(format) && format[i] == '.' {
+				i++
+				continue
+			}
+			break
+		}
+		// explicit argument index
+		if i < len(format) && format[i] == '[' {
+			j := strings.IndexByte(format[i:], ']')
+			if j < 0 {
+				break
+			}
+			if n, err := strconv.Atoi(format[i+1 : i+j]); err == nil && n >= 1 {
+				next = n - 1
+			}
+			i += j + 1
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := rune(format[i])
+		i++
+		if verb == '%' {
+			continue
+		}
+		set(next, verb)
+		next++
+	}
+	return verbs
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a small stdlib reimplementation of the analysistest
+// golden-comment harness: fixture packages live under
+// testdata/<analyzer>/src/<importpath>/, and every line that must
+// produce a diagnostic carries a marker comment
+//
+//	// want "regexp" `regexp` ...
+//
+// with one pattern per expected diagnostic on that line. Running an
+// analyzer over a fixture fails on any unexpected diagnostic, any
+// unmatched expectation, and any malformed marker (unparsable string
+// literal or invalid regexp) — so the fixtures double as the proof
+// that each analyzer fires on the seeded violation and stays silent
+// on the corrected form beside it.
+
+// expectation is one parsed want pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWantComment parses the body of a `// want ...` comment into
+// its patterns. The syntax is a sequence of Go string literals,
+// double- or back-quoted.
+func parseWantComment(text string) ([]string, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	var pats []string
+	for rest != "" {
+		var quote byte
+		switch rest[0] {
+		case '"', '`':
+			quote = rest[0]
+		default:
+			return nil, fmt.Errorf("want pattern must be a quoted string, got %q", rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern %q", rest)
+		}
+		lit := rest[:end+2]
+		pat, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %s: %w", lit, err)
+		}
+		pats = append(pats, pat)
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return pats, nil
+}
+
+// collectExpectations walks a unit's comments for want markers.
+// Malformed markers are returned as problems, not expectations.
+func collectExpectations(fset *token.FileSet, files []*ast.File) (exps []*expectation, problems []string) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !wantRe.MatchString(text) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats, err := parseWantComment(text)
+				if err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: %v", pos.Filename, pos.Line, err))
+					continue
+				}
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						problems = append(problems, fmt.Sprintf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err))
+						continue
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return exps, problems
+}
+
+// CheckFixture runs the analyzer over every fixture package under
+// dir/src and diffs its diagnostics against the want markers. The
+// returned problems are empty exactly when the fixture is golden.
+func CheckFixture(a *Analyzer, dir string) ([]string, error) {
+	src := filepath.Join(dir, "src")
+	var pkgDirs []string
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				pkgDirs = append(pkgDirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgDirs) == 0 {
+		return nil, fmt.Errorf("lint: fixture %s holds no Go packages", dir)
+	}
+	sort.Strings(pkgDirs)
+
+	loader := NewLoader()
+	var problems []string
+	for _, pkgDir := range pkgDirs {
+		rel, err := filepath.Rel(src, pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		var filenames []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				filenames = append(filenames, filepath.Join(pkgDir, e.Name()))
+			}
+		}
+		sort.Strings(filenames)
+		unit, err := loader.CheckFiles(filepath.ToSlash(rel), filenames)
+		if err != nil {
+			return nil, err
+		}
+		diags := RunUnit(unit, []*Analyzer{a})
+		exps, probs := collectExpectations(unit.Fset, unit.Files)
+		problems = append(problems, probs...)
+
+		for _, d := range diags {
+			matched := false
+			for _, e := range exps {
+				if !e.matched && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Msg) {
+					e.matched = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+			}
+		}
+		for _, e := range exps {
+			if !e.matched {
+				problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// RunFixture is the test-facing wrapper: it fails t with every
+// fixture problem CheckFixture finds.
+func RunFixture(t interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}, a *Analyzer, dir string) {
+	t.Helper()
+	problems, err := CheckFixture(a, dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	for _, p := range problems {
+		t.Errorf("fixture %s: %s", dir, p)
+	}
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FrameOwnership enforces the §8 buffer-ownership contract on
+// capture.Source: a Frame's Data is valid only until the next Next
+// call, because hot sources serialize into reused scratch. Retaining
+// a frame therefore aliases a buffer the source is about to
+// overwrite. The analyzer flags the three retention shapes:
+//
+//   - storing a Frame (or its Data) into a struct field or composite
+//     literal of another type;
+//   - appending a Frame (or its Data) to a slice, or storing it
+//     through an index expression;
+//   - capturing a Frame variable inside a goroutine's function
+//     literal (the goroutine runs after Next moved on).
+//
+// A function that demonstrably copies first is exempt: rebinding the
+// frame's Data (f.Data = append(...) / a fresh slice) before the
+// retention point, or consulting capture.IsStable / StableData the
+// way the pipeline router does, silences the analyzer for that
+// function.
+var FrameOwnership = &Analyzer{
+	Name: "frameownership",
+	Doc:  "capture.Frame.Data is only valid until the next Next: copy before retaining (DESIGN.md §8)",
+	Run:  runFrameOwnership,
+}
+
+func runFrameOwnership(pass *Pass) {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			// Tests materialize via capture.Collect, which owns its
+			// copies; retention there cannot outlive a live source.
+			continue
+		}
+		forEachFunc(file, func(fd *ast.FuncDecl) {
+			checkFrameRetention(pass, fd)
+		})
+	}
+}
+
+// isFrame reports whether e is a capture.Frame value.
+func isFrame(pass *Pass, e ast.Expr) bool {
+	return isNamed(pass.typeOf(e), "internal/capture", "Frame")
+}
+
+// frameObj resolves e to the frame object it retains: a Frame-typed
+// identifier, or <frame>.Data. Returns nil when e retains no frame.
+func frameObj(pass *Pass, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "Data" && isFrame(pass, sel.X) {
+		e = ast.Unparen(sel.X)
+	} else if !isFrame(pass, e) {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+func checkFrameRetention(pass *Pass, fd *ast.FuncDecl) {
+	// Exemption pass: where does the function rebind a frame's Data,
+	// and does it consult source stability at all?
+	rebound := map[types.Object]token.Pos{}
+	stabilityGuard := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "Data" && isFrame(pass, sel.X) {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						if obj := pass.Info.Uses[id]; obj != nil {
+							if p, seen := rebound[obj]; !seen || n.Pos() < p {
+								rebound[obj] = n.Pos()
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			var name string
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if name == "IsStable" || name == "StableData" {
+				stabilityGuard = true
+			}
+		}
+		return true
+	})
+	exempt := func(obj types.Object, at token.Pos) bool {
+		if stabilityGuard {
+			return true
+		}
+		p, ok := rebound[obj]
+		return ok && p < at
+	}
+
+	walkStack(fd, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				obj := frameObj(pass, rhs)
+				if obj == nil {
+					continue
+				}
+				switch l := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					if pass.fieldSelection(l) != nil && !exempt(obj, n.Pos()) {
+						pass.Reportf(n.Pos(), "Frame data stored in a struct field outlives the next Next call: copy Data first")
+					}
+				case *ast.IndexExpr:
+					if !exempt(obj, n.Pos()) {
+						pass.Reportf(n.Pos(), "Frame data stored through an index outlives the next Next call: copy Data first")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// Building a Frame itself is a source's job; building any
+			// other type around frame data is retention.
+			if isFrame(pass, n) {
+				return true
+			}
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if obj := frameObj(pass, v); obj != nil && !exempt(obj, n.Pos()) {
+					pass.Reportf(v.Pos(), "Frame data embedded in a composite literal outlives the next Next call: copy Data first")
+				}
+			}
+		case *ast.CallExpr:
+			if !pass.isBuiltin(n, "append") {
+				return true
+			}
+			// append(buf, f.Data...) spreads the bytes — that IS the
+			// copy, not a retention of the slice header.
+			if n.Ellipsis != token.NoPos {
+				return true
+			}
+			for _, arg := range n.Args[1:] {
+				if obj := frameObj(pass, arg); obj != nil && !exempt(obj, n.Pos()) {
+					pass.Reportf(arg.Pos(), "Frame appended to a slice outlives the next Next call: copy Data first")
+				}
+			}
+		case *ast.FuncLit:
+			inGo := false
+			for _, anc := range stack {
+				if _, ok := anc.(*ast.GoStmt); ok {
+					inGo = true
+					break
+				}
+			}
+			if !inGo {
+				return true
+			}
+			ast.Inspect(n.Body, func(c ast.Node) bool {
+				id, ok := c.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil || !isNamed(obj.Type(), "internal/capture", "Frame") {
+					return true
+				}
+				if obj.Pos() < n.Pos() && !exempt(obj, n.Pos()) {
+					pass.Reportf(id.Pos(), "goroutine captures Frame %s: it runs after the source reuses the buffer — copy Data first", id.Name)
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// pathWithin reports whether pkgPath lies at or below the
+// module-relative fragment frag ("internal/epochwire"). Real units
+// carry module-qualified paths ("repro/internal/epochwire"); fixture
+// units carry the fragment directly. External-test units ("..._test")
+// count as inside their package's tree.
+func pathWithin(pkgPath, frag string) bool {
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+	return pkgPath == frag ||
+		strings.HasPrefix(pkgPath, frag+"/") ||
+		strings.HasSuffix(pkgPath, "/"+frag) ||
+		strings.Contains(pkgPath, "/"+frag+"/")
+}
+
+// pathWithinAny reports whether pkgPath lies within any fragment.
+func pathWithinAny(pkgPath string, frags ...string) bool {
+	for _, f := range frags {
+		if pathWithin(pkgPath, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// namedType returns the named type behind t, unwrapping one level of
+// pointer, or nil.
+func namedType(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (or *t) is the named type pkgFrag.name,
+// where pkgFrag is matched as a path suffix so fixtures and
+// module-qualified units both resolve ("internal/capture", "Frame").
+func isNamed(t types.Type, pkgFrag, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && pathWithin(n.Obj().Pkg().Path(), pkgFrag)
+}
+
+// walkStack walks every node of root in source order, invoking fn
+// with the node and its ancestor chain (outermost first, not
+// including the node itself). Returning false skips the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if !fn(n, stack) {
+			return
+		}
+		stack = append(stack, n)
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return c == n
+			}
+			walk(c)
+			return false
+		})
+		stack = stack[:len(stack)-1]
+	}
+	walk(root)
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// typeOf returns the static type of e, or nil.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// isConversion reports whether call is a type conversion, returning
+// its target type.
+func (p *Pass) isConversion(call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// isBuiltin reports whether call invokes the named predeclared
+// builtin (append, make, ...).
+func (p *Pass) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// fieldSelection returns the field object when sel selects a struct
+// field (not a method), or nil.
+func (p *Pass) fieldSelection(sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// enclosingFuncs yields every function body in the file: declarations
+// and literals, with the declaration node for position reporting.
+func forEachFunc(file *ast.File, fn func(decl *ast.FuncDecl)) {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd)
+		}
+	}
+}
+
+// hasCallNamed reports whether body contains a call whose selector or
+// identifier name is name, optionally bounded to positions in
+// (after, before); zero bounds mean unbounded.
+func hasCallNamed(body ast.Node, name string, after, before token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if id.Name != name {
+			return true
+		}
+		if after != token.NoPos && call.Pos() <= after {
+			return true
+		}
+		if before != token.NoPos && call.Pos() >= before {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc enforces the §8 zero-allocation budget on functions
+// annotated with the //repro:hotpath directive (the per-frame /
+// per-observation loops of probe, dpi, rollup, capture, epochwire and
+// the obs primitives they publish into). Inside an annotated
+// function it flags the constructs that allocate per event:
+//
+//   - fmt.* calls;
+//   - string<->[]byte conversions (except the compiler-optimized
+//     m[string(b)] map-probe form §8 leans on);
+//   - map and slice composite literals, and make(map)/make(chan);
+//   - boxing a concrete value into an interface;
+//   - function literals and `go` statements.
+//
+// Cold paths are exempt: anything inside a panic(...) argument, a
+// return statement carrying a non-nil error, or an if/switch branch
+// whose direct statements return such an error — error construction
+// is allowed to allocate, the steady state is not. Amortized growth
+// (append, make([]T, n), new(T)) is likewise allowed: §8's slab and
+// arena patterns pay a fractional allocation per event by design, and
+// the AllocsPerRun tests pin the actual budgets.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//repro:hotpath functions must not allocate per event (DESIGN.md §8)",
+	Run:  runHotPathAlloc,
+}
+
+const hotpathDirective = "//repro:hotpath"
+
+// isHotPath reports whether the function declaration carries the
+// //repro:hotpath directive in its doc comment.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		forEachFunc(file, func(fd *ast.FuncDecl) {
+			if !isHotPath(fd) {
+				return
+			}
+			checkHotPath(pass, fd)
+		})
+	}
+}
+
+// onColdPath reports whether the node at the top of stack sits on an
+// error/panic path the §8 budget does not count.
+func onColdPath(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(anc.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+					return true
+				}
+			}
+		case *ast.ReturnStmt:
+			if returnsError(pass, anc) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Only branch blocks (if/else, case) count as cold; the
+			// function body itself returning an error at the end must
+			// not excuse its whole steady-state path.
+			if i == 0 || !isBranchBlock(stack[i-1], anc) {
+				continue
+			}
+			for _, st := range anc.List {
+				if ret, ok := st.(*ast.ReturnStmt); ok && returnsError(pass, ret) {
+					return true
+				}
+				if es, ok := st.(*ast.ExprStmt); ok {
+					if call, ok := es.X.(*ast.CallExpr); ok {
+						if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+							return true
+						}
+					}
+				}
+			}
+		case *ast.CaseClause:
+			for _, st := range anc.Body {
+				if ret, ok := st.(*ast.ReturnStmt); ok && returnsError(pass, ret) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isBranchBlock reports whether block is the body or else of an if
+// statement (parent is the node directly above it in the stack).
+func isBranchBlock(parent ast.Node, block *ast.BlockStmt) bool {
+	ifst, ok := parent.(*ast.IfStmt)
+	return ok && (ifst.Body == block || ifst.Else == block)
+}
+
+// returnsError reports whether ret carries a non-nil error result.
+func returnsError(pass *Pass, ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		if isNilIdent(res) {
+			continue
+		}
+		if isErrorValue(pass.typeOf(res)) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if !onColdPath(pass, stack) {
+				pass.Reportf(n.Pos(), "go statement on a hot path spawns per event")
+			}
+		case *ast.FuncLit:
+			if !onColdPath(pass, stack) {
+				pass.Reportf(n.Pos(), "function literal on a hot path allocates its closure per event")
+			}
+		case *ast.CompositeLit:
+			if onColdPath(pass, stack) {
+				return true
+			}
+			switch pass.typeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates per event on a hot path")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates per event on a hot path")
+			}
+		case *ast.CallExpr:
+			if onColdPath(pass, stack) {
+				return true
+			}
+			checkHotCall(pass, n, stack)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	// Conversions: string allocation unless it is the compiler's
+	// map-probe idiom m[string(b)].
+	if target, ok := pass.isConversion(call); ok {
+		if len(call.Args) != 1 {
+			return
+		}
+		from := pass.typeOf(call.Args[0])
+		if from == nil {
+			return
+		}
+		switch {
+		case isBasicString(target) && isByteOrRuneSlice(from):
+			// []byte/[]rune -> string: exempt the map-index form.
+			if len(stack) > 0 {
+				if idx, ok := stack[len(stack)-1].(*ast.IndexExpr); ok && ast.Unparen(idx.Index) == call {
+					if _, isMap := pass.typeOf(idx.X).Underlying().(*types.Map); isMap {
+						return
+					}
+				}
+			}
+			pass.Reportf(call.Pos(), "byte-to-string conversion allocates per event (the map-probe m[string(b)] form is free)")
+		case isByteOrRuneSlice(target) && isBasicString(from):
+			pass.Reportf(call.Pos(), "string-to-bytes conversion copies and allocates per event")
+		}
+		return
+	}
+
+	fn := pass.CalleeFunc(call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates per event on a hot path", fn.Name())
+		return
+	}
+	if pass.isBuiltin(call, "make") && len(call.Args) > 0 {
+		switch pass.typeOf(call.Args[0]).Underlying().(type) {
+		case *types.Map:
+			pass.Reportf(call.Pos(), "make(map) allocates per event on a hot path")
+		case *types.Chan:
+			pass.Reportf(call.Pos(), "make(chan) allocates per event on a hot path")
+		}
+		return
+	}
+
+	// Interface boxing: a concrete non-pointer argument passed to an
+	// interface parameter allocates (constants and untyped nils are
+	// static; pointers fit the interface word).
+	sig, _ := pass.typeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				break
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			break
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv := pass.Info.Types[arg]
+		at := tv.Type
+		if at == nil || tv.Value != nil || types.IsInterface(at) {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Pointer, *types.Signature, *types.Map, *types.Chan, *types.Slice:
+			continue // pointer-shaped: no boxing copy
+		}
+		if bt, ok := at.Underlying().(*types.Basic); ok && bt.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s value boxed into interface %s allocates per event", at, pt)
+	}
+}
+
+// isBasicString reports whether t's underlying type is string.
+func isBasicString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteOrRuneSlice reports whether t's underlying type is []byte or
+// []rune — the string-conversion partners that allocate.
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked analysis unit: a package's sources —
+// possibly augmented with its in-package test files, or the external
+// _test package — parsed and checked against a shared FileSet.
+type Unit struct {
+	// PkgPath is the unit's import path relative to the module root
+	// ("internal/rollup"); external test units carry a "_test" suffix.
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks units against one shared FileSet,
+// resolving imports from source (go/importer's "source" mode shells
+// out to the go command for module paths, so "repro/internal/..."
+// imports resolve as long as the process runs inside the module).
+// Imported packages are cached across units.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader with a fresh FileSet and source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// CheckFiles parses filenames (comments kept) and type-checks them as
+// one unit named pkgPath. Parse or type errors fail the whole unit:
+// analyzers only ever see packages that compile.
+func (l *Loader) CheckFiles(pkgPath string, filenames []string) (*Unit, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: unit %s has no files", pkgPath)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var terrs []string
+	cfg := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			if len(terrs) < 10 {
+				terrs = append(terrs, err.Error())
+			}
+		},
+	}
+	pkg, err := cfg.Check(pkgPath, l.fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s:\n\t%s", pkgPath, strings.Join(terrs, "\n\t"))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	return &Unit{PkgPath: pkgPath, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod and returns its
+// directory and the declared module path.
+func ModuleRoot(dir string) (root, modpath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFiles splits one directory's .go files into the three unit
+// ingredients: package sources, in-package tests, external-package
+// tests. Generated helpers starting with "_" or "." are skipped, as
+// is everything when the directory holds no Go files at all.
+type dirFiles struct {
+	dir     string // relative to module root, "." for the root
+	name    string // package name of the base sources
+	base    []string
+	inTest  []string
+	extTest []string
+}
+
+// packageDirs expands patterns ("./...", "dir/...", plain dirs)
+// against the module root into the directories holding Go packages,
+// skipping testdata, vendor and hidden trees.
+func packageDirs(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(filepath.Clean(rel))
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if rest, recursive := strings.CutSuffix(pat, "..."); recursive {
+			start := filepath.Join(root, strings.TrimSuffix(rest, "/"))
+			err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != start && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				rel, _ := filepath.Rel(root, path)
+				add(rel)
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: walking %s: %w", pat, err)
+			}
+			continue
+		}
+		add(pat)
+	}
+	return dirs, nil
+}
+
+// scanDir gathers one directory's Go files, peeking only at package
+// clauses. Returns nil when the directory holds no Go sources.
+func scanDir(root, rel string) (*dirFiles, error) {
+	abs := filepath.Join(root, rel)
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	df := &dirFiles{dir: rel}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(abs, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		pkgName := f.Name.Name
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			if df.name != "" && df.name != pkgName {
+				return nil, fmt.Errorf("lint: %s: packages %s and %s in one directory", abs, df.name, pkgName)
+			}
+			df.name = pkgName
+			df.base = append(df.base, path)
+		case strings.HasSuffix(pkgName, "_test"):
+			df.extTest = append(df.extTest, path)
+		default:
+			df.inTest = append(df.inTest, path)
+		}
+	}
+	if df.name == "" && len(df.inTest) == 0 && len(df.extTest) == 0 {
+		return nil, nil
+	}
+	sort.Strings(df.base)
+	sort.Strings(df.inTest)
+	sort.Strings(df.extTest)
+	return df, nil
+}
+
+// Load type-checks every package under the patterns into analysis
+// units. A directory yields its package unit — augmented with
+// in-package test files, the same shape `go vet` analyzes — plus a
+// separate unit for an external _test package when one exists.
+// root must be the module root; unit paths are module-qualified
+// ("repro/internal/rollup").
+func (l *Loader) Load(root string, patterns []string) ([]*Unit, error) {
+	_, modpath, err := ModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Unit
+	for _, rel := range dirs {
+		df, err := scanDir(root, rel)
+		if err != nil {
+			return nil, err
+		}
+		if df == nil {
+			continue
+		}
+		pkgPath := modpath
+		if rel != "." {
+			pkgPath = modpath + "/" + filepath.ToSlash(rel)
+		}
+		if len(df.base)+len(df.inTest) > 0 {
+			u, err := l.CheckFiles(pkgPath, append(append([]string{}, df.base...), df.inTest...))
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+		if len(df.extTest) > 0 {
+			u, err := l.CheckFiles(pkgPath+"_test", df.extTest)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+	}
+	return units, nil
+}

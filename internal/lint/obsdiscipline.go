@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsDiscipline enforces the §12 telemetry contracts inside
+// internal/obs:
+//
+//   - the metric primitives (Counter, Gauge, Histogram) promise
+//     nil-receiver safety — the zero-value bundle is inert, so
+//     instrumented hot paths carry no enablement branch. Every
+//     exported pointer-receiver method on them must guard the nil
+//     receiver before touching a field;
+//   - GaugeFunc callbacks may take their owning subsystem's locks
+//     (the aggregator's per-probe gauges do), so the registry must
+//     never invoke one while holding its own mutex — that is a
+//     lock-order cycle waiting for a scrape. Calling a func-typed
+//     struct field between mu.Lock() and mu.Unlock() is flagged.
+var ObsDiscipline = &Analyzer{
+	Name: "obsdiscipline",
+	Doc:  "obs primitives stay nil-receiver safe; gauge callbacks run outside the registry lock (DESIGN.md §12)",
+	Run:  runObsDiscipline,
+}
+
+// nilSafePrimitives are the obs types whose methods the §12 contract
+// makes nil-safe.
+var nilSafePrimitives = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func runObsDiscipline(pass *Pass) {
+	if !pathWithin(pass.PkgPath, "internal/obs") {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		forEachFunc(file, func(fd *ast.FuncDecl) {
+			checkNilReceiver(pass, fd)
+			checkLockedCallbacks(pass, fd)
+		})
+	}
+}
+
+// receiverVar returns the declared receiver object of fd when fd is a
+// pointer-receiver method on one of the nil-safe primitives.
+func receiverVar(pass *Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	name := fd.Recv.List[0].Names[0]
+	obj, _ := pass.Info.Defs[name].(*types.Var)
+	if obj == nil {
+		return nil
+	}
+	ptr, ok := obj.Type().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || !nilSafePrimitives[named.Obj().Name()] {
+		return nil
+	}
+	return obj
+}
+
+// checkNilReceiver demands a nil guard before the first receiver
+// field access in exported methods of the nil-safe primitives.
+func checkNilReceiver(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	recv := receiverVar(pass, fd)
+	if recv == nil {
+		return
+	}
+	firstUse := token.NoPos
+	guard := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == recv {
+				if pass.fieldSelection(n) != nil && (firstUse == token.NoPos || n.Pos() < firstUse) {
+					firstUse = n.Pos()
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if id, ok := ast.Unparen(side).(*ast.Ident); ok && pass.Info.Uses[id] == recv {
+					other := n.Y
+					if side == n.Y {
+						other = n.X
+					}
+					if isNilIdent(other) && (guard == token.NoPos || n.Pos() < guard) {
+						guard = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	if firstUse == token.NoPos {
+		return
+	}
+	if guard == token.NoPos || guard > firstUse {
+		pass.Reportf(fd.Name.Pos(), "%s.%s must stay nil-receiver safe (§12): guard the receiver against nil before touching fields",
+			fd.Recv.List[0].Names[0].Name, fd.Name.Name)
+	}
+}
+
+// checkLockedCallbacks flags calls of func-typed struct fields (the
+// GaugeFunc callback shape) made lexically between a mutex Lock and
+// its Unlock.
+func checkLockedCallbacks(pass *Pass, fd *ast.FuncDecl) {
+	var lockPos, unlockPos token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		switch fn.Name() {
+		case "Lock":
+			if lockPos == token.NoPos || call.Pos() < lockPos {
+				lockPos = call.Pos()
+			}
+		case "Unlock":
+			// A deferred Unlock holds the lock to the function's end.
+			deferred := false
+			ast.Inspect(fd.Body, func(d ast.Node) bool {
+				if ds, ok := d.(*ast.DeferStmt); ok && ds.Call == call {
+					deferred = true
+					return false
+				}
+				return true
+			})
+			if !deferred && (unlockPos == token.NoPos || call.Pos() < unlockPos) {
+				unlockPos = call.Pos()
+			}
+		}
+		return true
+	})
+	if lockPos == token.NoPos {
+		return
+	}
+	if unlockPos == token.NoPos {
+		unlockPos = fd.Body.End()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if call.Pos() < lockPos || call.Pos() > unlockPos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f := pass.fieldSelection(sel)
+		if f == nil {
+			return true
+		}
+		if _, isFunc := f.Type().Underlying().(*types.Signature); isFunc {
+			pass.Reportf(call.Pos(), "callback field %s invoked under the registry lock: evaluate gauge callbacks outside it (§12)", f.Name())
+		}
+		return true
+	})
+}

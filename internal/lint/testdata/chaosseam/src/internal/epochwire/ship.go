@@ -1,0 +1,56 @@
+// Package epochwire is the chaosseam fixture: it stands in for the
+// wire plane, where every byte of I/O must route through an injected
+// seam so the chaos plane can fault it.
+package epochwire
+
+import (
+	"net"
+	"os"
+	"time"
+)
+
+// Seams mirrors the ShipperConfig surface: injected I/O functions.
+type Seams struct {
+	Dial func(network, addr string) (net.Conn, error)
+}
+
+func dialDirect(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `direct net\.Dial bypasses the Dial seam`
+}
+
+func dialTimeoutDirect(addr string, d time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, d) // want `direct net\.DialTimeout bypasses the Dial seam`
+}
+
+func openDirect(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0o600) // want `direct os\.OpenFile bypasses chaos\.FS`
+}
+
+func readDirect(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `direct os\.ReadFile bypasses chaos\.FS`
+}
+
+func renameDirect(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath) // want `direct os\.Rename bypasses chaos\.FS`
+}
+
+// dialSeamed routes through the injected seam: a func-typed config
+// field is exactly what chaos wraps.
+func dialSeamed(s Seams, addr string) (net.Conn, error) {
+	return s.Dial("tcp", addr)
+}
+
+// dialFallback builds the seam's default. Calling a method on a
+// net.Dialer value is the fallback the configs install into a nil
+// Dial field — construction is fine, only package-level bypasses are
+// not.
+func dialFallback(addr string) (net.Conn, error) {
+	d := &net.Dialer{}
+	return d.Dial("tcp", addr)
+}
+
+// keep the listener story honest: net.Listen is not a bypass — the
+// seam for inbound traffic is WrapConn, applied per accepted conn.
+func listenDirect(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

@@ -1,0 +1,9 @@
+package epochwire
+
+import "os"
+
+// Test files exercise the seams from outside and may touch the real
+// filesystem for scaffolding: no diagnostics here.
+func scaffold(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

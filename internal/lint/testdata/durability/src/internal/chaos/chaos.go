@@ -1,0 +1,9 @@
+// Package chaos implements the seam the durability discipline is
+// injected through, so it is exempt from the analyzer entirely.
+package chaos
+
+import "os"
+
+func Scribble(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

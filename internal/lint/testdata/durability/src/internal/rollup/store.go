@@ -1,0 +1,69 @@
+// Package rollup is the durability fixture: a stand-in for the
+// snapshot/spool planes where every write must reach the platter
+// before success is reported.
+package rollup
+
+import "os"
+
+func writeBare(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `bare os\.WriteFile on a durable plane skips fsync`
+}
+
+func createUnsynced(path string, data []byte) error {
+	f, err := os.Create(path) // want `file created on a durable plane is never fsynced`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+func createSynced(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func renameBare(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want `rename onto a durable path without a preceding fsync` `rename is not durable until the directory is synced`
+}
+
+func renameNoDirSync(f *os.File, tmp, dst string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want `rename is not durable until the directory is synced`
+}
+
+// renameDurable is the §13 commit sequence: contents synced, renamed
+// into place, directory entry synced.
+func renameDurable(f *os.File, tmp, dst, dir string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir flushes a directory entry, the tail of the commit sequence.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,9 @@
+// Package tools sits outside the durable planes: bare writes of
+// throwaway output are fine here.
+package tools
+
+import "os"
+
+func dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,55 @@
+// Package errfix is the errtaxonomy fixture: sentinel matching must
+// survive wrapping, so comparisons go through errors.Is and wraps
+// through %w.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrTransient = errors.New("transient")
+
+func compareIdentity(err error) bool {
+	return err == io.EOF // want `== on error values misses wrapped sentinels`
+}
+
+func compareNotEqual(err error) bool {
+	return err != ErrTransient // want `!= on error values misses wrapped sentinels`
+}
+
+// compareNil asks "is there an error", not "which one": allowed.
+func compareNil(err error) bool {
+	return err == nil
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, io.EOF)
+}
+
+func switchIdentity(err error) string {
+	switch err { // want `switch on an error value compares with ==`
+	case io.EOF:
+		return "eof"
+	}
+	return ""
+}
+
+func wrapDropsChain(err error) error {
+	return fmt.Errorf("reading spool: %v", err) // want `drops the sentinel chain`
+}
+
+func wrapStringifies(err error) error {
+	return fmt.Errorf("reading spool: %s", err.Error()) // want `stringifies the chain`
+}
+
+func wrapKeepsChain(err error) error {
+	return fmt.Errorf("reading spool: %w", err)
+}
+
+// wrapWidthArgs exercises the verb/argument cursor: * consumes an
+// argument of its own, and the error still lands on %w.
+func wrapWidthArgs(width int, err error) error {
+	return fmt.Errorf("%*d bytes short: %w", width, 8, err)
+}

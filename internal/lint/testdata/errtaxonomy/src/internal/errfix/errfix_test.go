@@ -1,0 +1,9 @@
+package errfix
+
+import "io"
+
+// The taxonomy holds in tests too: a test asserting on a wrapped
+// error with == silently stops failing the day someone wraps it.
+func helperCompare(err error) bool {
+	return err != io.EOF // want `!= on error values misses wrapped sentinels`
+}

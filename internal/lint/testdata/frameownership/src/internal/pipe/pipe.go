@@ -1,0 +1,64 @@
+// Package pipe is the frameownership fixture. It imports the real
+// capture package (resolved through the source importer), because the
+// analyzer keys on the capture.Frame named type.
+package pipe
+
+import "repro/internal/capture"
+
+type ring struct {
+	last   []byte
+	frames []capture.Frame
+}
+
+func (r *ring) retainField(f capture.Frame) {
+	r.last = f.Data // want `Frame data stored in a struct field`
+}
+
+func (r *ring) retainAppend(f capture.Frame) {
+	r.frames = append(r.frames, f) // want `Frame appended to a slice`
+}
+
+func retainIndex(tab [][]byte, i int, f capture.Frame) {
+	tab[i] = f.Data // want `Frame data stored through an index`
+}
+
+type record struct {
+	payload []byte
+}
+
+func retainLiteral(f capture.Frame) record {
+	return record{payload: f.Data} // want `Frame data embedded in a composite literal`
+}
+
+func spawn(f capture.Frame, sink func(capture.Frame)) {
+	go func() {
+		sink(f) // want `goroutine captures Frame f`
+	}()
+}
+
+// retainCopied rebinds Data to an owned buffer before retaining: the
+// router's obligation under the ownership contract, so no diagnostic.
+func (r *ring) retainCopied(f capture.Frame) {
+	f.Data = append([]byte(nil), f.Data...)
+	r.frames = append(r.frames, f)
+}
+
+// retainStable consults source stability the way the pipeline router
+// does: a stable source's buffers are never reused, so retention is
+// sound and the function is exempt.
+func (r *ring) retainStable(src capture.Source, f capture.Frame) {
+	if capture.IsStable(src) {
+		r.frames = append(r.frames, f)
+	}
+}
+
+// copyBytes spreads the bytes into another buffer — that IS the copy,
+// not a retention of the slice header.
+func copyBytes(buf []byte, f capture.Frame) []byte {
+	return append(buf, f.Data...)
+}
+
+// rebuild constructs a Frame, which is a source's job, not retention.
+func rebuild(data []byte) capture.Frame {
+	return capture.Frame{Data: data}
+}

@@ -1,0 +1,81 @@
+// Package hot is the hotpathalloc fixture: functions carrying the
+// //repro:hotpath directive live under the §8 zero-allocation budget;
+// everything else is free to allocate.
+package hot
+
+import "fmt"
+
+type sink interface {
+	accept(any)
+}
+
+//repro:hotpath
+func formatHot(v int) string {
+	return fmt.Sprintf("%d", v) // want `fmt\.Sprintf allocates per event`
+}
+
+//repro:hotpath
+func stringify(b []byte) string {
+	return string(b) // want `byte-to-string conversion allocates per event`
+}
+
+// probe uses the compiler-recognized map-probe form, which does not
+// materialize the string.
+//
+//repro:hotpath
+func probe(m map[string]int, b []byte) int {
+	return m[string(b)]
+}
+
+//repro:hotpath
+func toBytes(s string) []byte {
+	return []byte(s) // want `string-to-bytes conversion copies and allocates`
+}
+
+//repro:hotpath
+func literals() int {
+	xs := []int{1, 2, 3}   // want `slice literal allocates per event`
+	m := map[int]int{1: 1} // want `map literal allocates per event`
+	return xs[0] + m[1]
+}
+
+//repro:hotpath
+func makes(n int) int {
+	m := make(map[int]int, n) // want `make\(map\) allocates per event`
+	s := make([]int, 0, n)    // amortized slab growth: allowed
+	return len(m) + cap(s)
+}
+
+//repro:hotpath
+func boxed(s sink, v int, p *int) {
+	s.accept(v) // want `int value boxed into interface`
+	s.accept(p) // a pointer fits the interface word: free
+}
+
+//repro:hotpath
+func spawns(done chan struct{}) {
+	go drain(done) // want `go statement on a hot path spawns per event`
+}
+
+func drain(chan struct{}) {}
+
+//repro:hotpath
+func closes(n int) func() int {
+	return func() int { return n } // want `function literal on a hot path allocates its closure per event`
+}
+
+// coldError allocates only on the error path, which the budget does
+// not count: error construction may allocate, the steady state not.
+//
+//repro:hotpath
+func coldError(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("short frame: %d bytes", len(b))
+	}
+	return int(b[0]), nil
+}
+
+// formatCold carries no directive: no budget applies.
+func formatCold(v int) string {
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,72 @@
+// Package obs is the obsdiscipline fixture: metric primitives must
+// stay nil-receiver safe, and the registry must never run a gauge
+// callback while holding its own lock.
+package obs
+
+import "sync"
+
+// Counter mirrors the nil-receiver-safe metric primitive contract.
+type Counter struct{ v uint64 }
+
+type Gauge struct{ v int64 }
+
+// Add guards the receiver before the first field touch: safe.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc touches the field with no guard at all.
+func (c *Counter) Inc() { // want `c\.Inc must stay nil-receiver safe`
+	c.v++
+}
+
+// Set guards only after the first dereference, which is too late.
+func (g *Gauge) Set(v int64) { // want `g\.Set must stay nil-receiver safe`
+	g.v = v
+	if g == nil {
+		return
+	}
+}
+
+// load is unexported: internal call sites own the nil check.
+func (c *Counter) load() uint64 {
+	return c.v
+}
+
+type registry struct {
+	mu sync.Mutex
+	gf func() int64
+}
+
+// scrapeLocked invokes the callback while holding the lock: the
+// callback may take its subsystem's locks, and the cycle deadlocks on
+// the next scrape.
+func (r *registry) scrapeLocked() int64 {
+	r.mu.Lock()
+	v := r.gf() // want `callback field gf invoked under the registry lock`
+	r.mu.Unlock()
+	return v
+}
+
+// scrapeDeferred holds the lock to function end via defer, so the
+// callback still runs under it.
+func (r *registry) scrapeDeferred() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gf() // want `callback field gf invoked under the registry lock`
+}
+
+// scrape snapshots the callback under the lock and runs it outside:
+// the §12 pattern.
+func (r *registry) scrape() int64 {
+	r.mu.Lock()
+	gf := r.gf
+	r.mu.Unlock()
+	if gf == nil {
+		return 0
+	}
+	return gf()
+}

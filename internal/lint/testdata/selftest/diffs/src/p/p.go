@@ -1,0 +1,13 @@
+// Package p seeds both diff directions: a diagnostic with no want
+// marker, and a want marker with no diagnostic.
+package p
+
+import "io"
+
+func violates(err error) bool {
+	return err == io.EOF
+}
+
+func clean(err error) bool {
+	return err == nil // want `this never fires`
+}

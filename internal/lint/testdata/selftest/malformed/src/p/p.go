@@ -1,0 +1,11 @@
+// Package p seeds malformed want markers: the harness must reject
+// them instead of silently expecting nothing.
+package p
+
+func clean() int {
+	return 0 // want unquoted
+}
+
+func alsoClean() int {
+	return 1 // want "unterminated
+}

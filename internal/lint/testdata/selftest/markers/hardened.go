@@ -1,0 +1,11 @@
+// This file is type-checked under the import path internal/epochwire
+// by the unit tests: any marker there — even a justified one — is
+// rejected, and the finding it tried to hide survives.
+package markers
+
+import "io"
+
+func waved(err error) bool {
+	//lint:ignore errtaxonomy the hardened core must reject this
+	return err == io.EOF
+}

@@ -1,0 +1,24 @@
+// Package p proves the suppression syntax: a justified marker on the
+// flagged line or the line above silences exactly that analyzer
+// there, and nothing else.
+package p
+
+import "io"
+
+func suppressedAbove(err error) bool {
+	//lint:ignore errtaxonomy this helper tests identity on purpose
+	return err == io.EOF
+}
+
+func suppressedTrailing(err error) bool {
+	return err == io.EOF //lint:ignore errtaxonomy identity is the point here
+}
+
+func wrongAnalyzerNamed(err error) bool {
+	//lint:ignore durability naming another analyzer does not suppress this one
+	return err == io.EOF // want `== on error values misses wrapped sentinels`
+}
+
+func unsuppressed(err error) bool {
+	return err == io.EOF // want `== on error values misses wrapped sentinels`
+}

@@ -31,6 +31,8 @@ type Counter struct {
 }
 
 // Add adds n. Safe on a nil receiver (no-op).
+//
+//repro:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -38,6 +40,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc adds 1. Safe on a nil receiver (no-op).
+//
+//repro:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -60,6 +64,8 @@ type Gauge struct {
 }
 
 // Set stores v. Safe on a nil receiver (no-op).
+//
+//repro:hotpath
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -67,6 +73,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adds d (negative to decrement). Safe on a nil receiver (no-op).
+//
+//repro:hotpath
 func (g *Gauge) Add(d int64) {
 	if g != nil {
 		g.v.Add(d)
@@ -75,6 +83,8 @@ func (g *Gauge) Add(d int64) {
 
 // Max raises the gauge to v if v is larger — the lock-free "high
 // watermark" update shard workers race on. Safe on a nil receiver.
+//
+//repro:hotpath
 func (g *Gauge) Max(v int64) {
 	if g == nil {
 		return
@@ -118,6 +128,8 @@ func NewHistogram(bounds []int64) *Histogram {
 }
 
 // Observe records one value. Safe on a nil receiver (no-op).
+//
+//repro:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

@@ -2,6 +2,7 @@ package probe
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -118,6 +119,8 @@ var batchPool = sync.Pool{New: func() any {
 // ownership contract); the arena's capacity is fixed, so earlier
 // frames' Data slices stay valid as the batch fills. full reports that
 // the batch should be sealed before the next frame.
+//
+//repro:hotpath
 func (b *batch) add(f capture.Frame, copyData bool) {
 	if copyData && len(f.Data) > 0 {
 		if len(f.Data) > cap(b.arena)-len(b.arena) {
@@ -221,7 +224,7 @@ func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
 	var srcErr error
 	for {
 		f, err := src.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -256,6 +259,8 @@ func (pl *Pipeline) Run(src capture.Source) (*Report, error) {
 
 // mix32 is a multiplicative finalizer spreading sequential TEIDs
 // uniformly over shard indices.
+//
+//repro:hotpath
 func mix32(v uint32) uint32 {
 	v ^= v >> 16
 	v *= 0x7feb352d

@@ -298,6 +298,8 @@ func (p *Probe) SetSink(s Sink) { p.sink = s }
 // HandleFrame consumes one captured frame. The frame bytes are only
 // read during the call: the probe retains nothing of them, so callers
 // may reuse the buffer immediately (the capture.Source contract).
+//
+//repro:hotpath
 func (p *Probe) HandleFrame(at time.Time, frame []byte) {
 	var err error
 	p.decoded, err = p.parser.Decode(frame, p.decoded)
@@ -322,6 +324,7 @@ func (p *Probe) HandleFrame(at time.Time, frame []byte) {
 	}
 }
 
+//repro:hotpath
 func (p *Probe) handleControl(locationBearing, hasTEID bool, dataTEID uint32, hasULI bool, uli pkt.ULI) {
 	p.report.ControlMessages++
 	if !locationBearing || !hasULI {
@@ -342,6 +345,8 @@ func (p *Probe) handleControl(locationBearing, hasTEID bool, dataTEID uint32, ha
 }
 
 // maybeUserPlane accounts a GTP-U G-PDU.
+//
+//repro:hotpath
 func (p *Probe) maybeUserPlane(at time.Time) {
 	// Locate the tunnel: an inner IPv4 decoded immediately after GTP-U
 	// marks a G-PDU. The inner IP's index anchors everything below —

@@ -129,6 +129,12 @@ func MergeFiles(dst string, srcs ...string) error {
 	if err := enc.Close(); err != nil {
 		return err
 	}
+	// The merged store is durable state: flush it to the platter
+	// before reporting success, or a crash can leave a short file that
+	// readers mistake for truncation corruption.
+	if err := f.Sync(); err != nil {
+		return err
+	}
 	return f.Close()
 }
 

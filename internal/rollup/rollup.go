@@ -277,6 +277,8 @@ func (b *Builder) OnSeal(h SealHook) { b.onSeal = h }
 // a fresh generation (counted in LateFrames); generations of one bin
 // merge exactly at Seal time, so out-of-order arrival never loses or
 // double-counts a byte.
+//
+//repro:hotpath
 func (b *Builder) Observe(o probe.Observation) {
 	if b.done {
 		panic("rollup: Observe after Seal")

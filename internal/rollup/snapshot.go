@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -671,7 +672,7 @@ func (d *Decoder) finish() error {
 	// A snapshot is a whole-stream format: anything after the trailer
 	// (a double Write, a concatenation, a botched transfer) is
 	// corruption and must be flagged, not silently ignored.
-	if _, err := d.br.ReadByte(); err != io.EOF {
+	if _, err := d.br.ReadByte(); !errors.Is(err, io.EOF) {
 		return fmt.Errorf("rollup: trailing data after the snapshot checksum")
 	}
 	return nil
@@ -798,6 +799,10 @@ func WriteFile(path string, p *Partial) error {
 		return err
 	}
 	if err := WriteV2(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}

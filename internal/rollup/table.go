@@ -7,10 +7,13 @@ import "repro/internal/services"
 // 32..47, the commune in the low 32. One integer key means the open
 // epoch accumulators hash a word instead of a struct (and never a
 // string), which is what makes Builder.Observe allocation-free.
+//
+//repro:hotpath
 func packCell(dir uint8, svc services.ID, commune int32) uint64 {
 	return uint64(dir)<<48 | uint64(svc)<<32 | uint64(uint32(commune))
 }
 
+//repro:hotpath
 func unpackCell(key uint64, bytes float64) Cell {
 	return Cell{
 		Dir:     uint8(key >> 48),
@@ -21,6 +24,8 @@ func unpackCell(key uint64, bytes float64) Cell {
 }
 
 // hashCell is a splitmix64-style finalizer over the packed key.
+//
+//repro:hotpath
 func hashCell(key uint64) uint64 {
 	key ^= key >> 30
 	key *= 0xbf58476d1ce4e5b9
@@ -49,6 +54,8 @@ const cellTableMinSize = 64
 // insert path: a pure update of an existing cell never rehashes, even
 // at the load threshold. The table is kept strictly below full by the
 // pre-insert check, so probes always terminate.
+//
+//repro:hotpath
 func (t *cellTable) add(key uint64, v float64) {
 	if t.keys == nil {
 		t.grow()

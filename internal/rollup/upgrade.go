@@ -57,5 +57,10 @@ func UpgradeFile(src, dst string) error {
 	if err := enc.Close(); err != nil {
 		return err
 	}
+	// Upgraded stores replace their v1 originals; fsync before the
+	// caller deletes the only other copy.
+	if err := out.Sync(); err != nil {
+		return err
+	}
 	return out.Close()
 }
